@@ -1,0 +1,28 @@
+# Convenience targets for the reproduction workflow.
+
+.PHONY: install test bench examples exhibits clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	python examples/quickstart.py
+	python examples/feature_group_study.py
+	python examples/vendor_portability.py
+	python examples/deployment_monitor.py
+	python examples/failure_archaeology.py
+	python examples/client_agent.py
+	python examples/rul_planner.py
+
+exhibits: bench
+	@echo "rendered exhibits in benchmarks/results/"
+
+clean:
+	rm -rf .pytest_cache .hypothesis benchmarks/results
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables/figures, renders it
+as ASCII, prints it and saves it under ``benchmarks/results/`` so the
+EXPERIMENTS.md evidence can be refreshed by re-running the suite.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_exhibit(name: str, text: str) -> None:
+    """Persist a rendered exhibit and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")

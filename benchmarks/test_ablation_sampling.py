@@ -1,0 +1,53 @@
+"""Ablation — under-sampling ratio and positive-window length (§III-C(3)).
+
+The paper picks negatives:positives ratios of 3:1 / 5:1 and positive
+windows of 7/14/21 days. The bench sweeps both and reports the
+resulting drive-level metrics, asserting the pipeline is not brittle
+around the paper's choices.
+"""
+
+import pytest
+
+from benchmarks._util import save_exhibit
+from benchmarks.conftest import EVAL_END, TRAIN_END
+from repro.core import MFPA, MFPAConfig
+from repro.reporting import render_table
+
+RATIOS = (1.0, 3.0, 5.0, 10.0)
+WINDOWS = (7, 14, 21)
+
+
+@pytest.mark.benchmark(group="ablation-sampling")
+def test_ablation_sampling_choices(benchmark, fleet_vendor_i):
+    def run(ratio, window):
+        model = MFPA(MFPAConfig(negative_ratio=ratio, positive_window=window))
+        model.fit(fleet_vendor_i, train_end_day=TRAIN_END)
+        return model.evaluate(TRAIN_END, EVAL_END).drive_report
+
+    headline = benchmark.pedantic(run, args=(3.0, 14), rounds=1, iterations=1)
+
+    rows = []
+    reports = {}
+    for ratio in RATIOS:
+        report = headline if ratio == 3.0 else run(ratio, 14)
+        reports[("ratio", ratio)] = report
+        rows.append([f"ratio {ratio:.0f}:1, window 14", report.tpr, report.fpr, report.auc])
+    for window in WINDOWS:
+        report = headline if window == 14 else run(3.0, window)
+        reports[("window", window)] = report
+        rows.append([f"ratio 3:1, window {window}", report.tpr, report.fpr, report.auc])
+
+    table = render_table(
+        ["Configuration", "TPR", "FPR", "AUC"],
+        rows,
+        title="Ablation: under-sampling ratio and positive-window length",
+    )
+    save_exhibit("ablation_sampling", table)
+
+    # The paper's settings sit in a stable region: every swept config
+    # within the paper's ranges keeps a usable model.
+    for key, report in reports.items():
+        if key in (("ratio", 10.0),):
+            continue  # outside the paper's range, allowed to degrade
+        assert report.tpr >= 0.75, key
+        assert report.auc >= 0.9, key

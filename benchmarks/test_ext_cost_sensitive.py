@@ -1,0 +1,72 @@
+"""Extension bench — cost-sensitive learning (cf. the authors' CSLE [24]).
+
+Two ways to shift the TPR/FPR trade-off toward the economics of
+consumer data loss: reweight classes *inside* the forest's gini
+criterion, or tune the decision threshold after training. This bench
+compares both against the plain model under one cost model
+(miss = $600 data-recovery, false alarm = $40 needless replacement
+handling).
+"""
+
+import pytest
+
+from benchmarks._util import save_exhibit
+from benchmarks.conftest import EVAL_END, TRAIN_END
+from repro.core import MFPA, MFPAConfig
+from repro.core.thresholding import CostModel
+from repro.ml import RandomForestClassifier
+from repro.reporting import render_table
+
+COSTS = CostModel(miss_cost=600.0, false_alarm_cost=40.0)
+
+
+@pytest.mark.benchmark(group="ext-cost")
+def test_ext_cost_sensitive_learning(benchmark, fleet_vendor_i):
+    def run(class_weight, calibrate):
+        model = MFPA(
+            MFPAConfig(
+                algorithm=RandomForestClassifier(
+                    n_estimators=40, max_depth=12, class_weight=class_weight, seed=0
+                )
+            )
+        )
+        model.fit(fleet_vendor_i, train_end_day=TRAIN_END - 60)
+        if calibrate:
+            model.calibrate_threshold(TRAIN_END - 60, TRAIN_END, max_fpr=0.02)
+        return model.evaluate(TRAIN_END, EVAL_END)
+
+    headline = benchmark.pedantic(
+        run, args=({0: 1.0, 1: 5.0}, False), rounds=1, iterations=1
+    )
+    variants = {
+        "plain RF": run(None, False),
+        "class_weight 5:1": headline,
+        "class_weight balanced": run("balanced", False),
+        "plain RF + tuned threshold": run(None, True),
+    }
+
+    rows = []
+    for name, result in variants.items():
+        report = result.drive_report
+        cost = COSTS.expected_cost(report.tp, report.fp, report.fn, report.tn)
+        rows.append([name, report.tpr, report.fpr, cost])
+    table = render_table(
+        ["Variant", "TPR", "FPR", "Expected cost ($)"],
+        rows,
+        title="Extension: cost-sensitive learning vs threshold tuning (cf. CSLE [24])",
+    )
+    save_exhibit("ext_cost_sensitive", table)
+
+    plain = variants["plain RF"].drive_report
+    weighted = variants["class_weight 5:1"].drive_report
+    assert weighted.tpr >= plain.tpr - 0.02, "upweighting failures must not lose recall"
+    # Some cost-aware variant should not cost more than the plain model.
+    plain_cost = COSTS.expected_cost(plain.tp, plain.fp, plain.fn, plain.tn)
+    best_cost = min(
+        COSTS.expected_cost(
+            r.drive_report.tp, r.drive_report.fp, r.drive_report.fn, r.drive_report.tn
+        )
+        for name, r in variants.items()
+        if name != "plain RF"
+    )
+    assert best_cost <= plain_cost + 40.0

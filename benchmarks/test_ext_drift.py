@@ -1,0 +1,75 @@
+"""Extension bench — the drift behind Figs 12/16's FPR creep.
+
+The paper reports that MFPA "needs iteration every 2-3 months" because
+learned feature distributions shift. This bench quantifies the shift:
+per-feature PSI between the training era and each subsequent month,
+next to the same months' FPR from the temporal bench — the mechanism
+and the symptom side by side.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks._util import save_exhibit
+from benchmarks.conftest import TRAIN_END
+from repro.analysis.temporal import rolling_monthly_evaluation
+from repro.core.drift import feature_drift_report
+from repro.reporting import render_table
+
+REFERENCE = (TRAIN_END - 90, TRAIN_END)
+N_MONTHS = 5
+
+
+@pytest.mark.benchmark(group="ext-drift")
+def test_ext_feature_drift_explains_fpr_creep(benchmark, fitted_sfwb):
+    def monthly_drift():
+        rows = []
+        for month in range(N_MONTHS):
+            window = (TRAIN_END + month * 30, TRAIN_END + (month + 1) * 30)
+            report = feature_drift_report(fitted_sfwb, REFERENCE, window)
+            rows.append(
+                {
+                    "month": month + 1,
+                    "mean_psi": float(np.mean([d.psi for d in report])),
+                    "worst": report[0],
+                }
+            )
+        return rows
+
+    drift_rows = benchmark.pedantic(monthly_drift, rounds=1, iterations=1)
+    fpr_rows = rolling_monthly_evaluation(fitted_sfwb, TRAIN_END, N_MONTHS, 30)
+
+    table = render_table(
+        ["Month", "Mean PSI", "Worst feature", "Worst PSI", "Drive FPR"],
+        [
+            [
+                drift["month"],
+                drift["mean_psi"],
+                drift["worst"].column,
+                drift["worst"].psi,
+                fpr["fpr"],
+            ]
+            for drift, fpr in zip(drift_rows, fpr_rows)
+        ],
+        title="Extension: feature drift (PSI vs training era) alongside monthly FPR",
+    )
+    save_exhibit("ext_drift", table)
+
+    mean_psis = [row["mean_psi"] for row in drift_rows]
+    # Drift grows (weakly) with temporal distance from training.
+    assert mean_psis[-1] >= mean_psis[0] - 0.01
+    slope = np.polyfit(range(N_MONTHS), mean_psis, 1)[0]
+    assert slope > -0.005
+    # The age-driven cumulative counters are the drifting features.
+    worst = {row["worst"].column for row in drift_rows}
+    growing = {
+        "s12_power_on_hours",
+        "s6_data_units_read",
+        "s7_data_units_written",
+        "s8_host_read_commands",
+        "s9_host_write_commands",
+        "s11_power_cycles",
+        "s5_percentage_used",
+        "s10_controller_busy_time",
+    }
+    assert worst & growing

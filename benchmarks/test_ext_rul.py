@@ -1,0 +1,70 @@
+"""Extension bench — remaining-useful-life regression.
+
+Beyond the binary "will fail" of Fig 19: how accurately can the SFWB
+features place a failing drive on a countdown? Reported as MAE over
+faulty test drives' true countdowns, the within-7-days hit rate, and
+the rank correlation between predicted and true urgency.
+"""
+
+import pytest
+
+from benchmarks._util import save_exhibit
+from benchmarks.conftest import EVAL_END, TRAIN_END
+from repro.core.rul import RULConfig, RULRegressor
+from repro.reporting import render_table
+
+
+@pytest.mark.benchmark(group="ext-rul")
+def test_ext_remaining_useful_life(benchmark, fleet_vendor_i):
+    def run():
+        model = RULRegressor(RULConfig(n_estimators=40, seed=0))
+        model.fit(fleet_vendor_i, train_end_day=TRAIN_END)
+        return model, model.evaluate(TRAIN_END, EVAL_END)
+
+    model, evaluation = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Per-distance error profile: how accuracy degrades with distance
+    # from failure (the RUL analogue of Fig 19).
+    import numpy as np
+
+    prepared = model.dataset_
+    rows_by_bucket: dict[str, list[float]] = {"0-7d": [], "8-21d": [], "22-45d": []}
+    for serial, failure_time in model.failure_times_.items():
+        if not TRAIN_END <= failure_time < EVAL_END:
+            continue
+        days = prepared.drive_rows(serial)["day"]
+        base = prepared._row_slices()[serial].start
+        in_window = (days >= failure_time - 45) & (days <= failure_time)
+        if not np.any(in_window):
+            continue
+        indices = base + np.flatnonzero(in_window)
+        truths = (failure_time - days[in_window]).astype(float)
+        predictions = model.predict_rows(indices)
+        errors = np.abs(predictions - truths)
+        for truth, error in zip(truths, errors):
+            if truth <= 7:
+                rows_by_bucket["0-7d"].append(error)
+            elif truth <= 21:
+                rows_by_bucket["8-21d"].append(error)
+            else:
+                rows_by_bucket["22-45d"].append(error)
+
+    table = render_table(
+        ["True countdown", "Records", "MAE (days)"],
+        [
+            [bucket, len(errors), float(np.mean(errors)) if errors else float("nan")]
+            for bucket, errors in rows_by_bucket.items()
+        ],
+        title=(
+            "Extension: remaining-useful-life regression — "
+            f"overall MAE {evaluation.mae_days:.1f}d, "
+            f"within-7d {evaluation.within_7_days:.0%}, "
+            f"Spearman {evaluation.spearman:.2f}"
+        ),
+    )
+    save_exhibit("ext_rul", table)
+
+    assert evaluation.mae_days <= 20.0
+    assert evaluation.spearman > 0.3, "predictions must rank urgency correctly"
+    near = rows_by_bucket["0-7d"]
+    assert near and float(np.mean(near)) <= 15.0

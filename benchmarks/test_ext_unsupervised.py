@@ -1,0 +1,57 @@
+"""Extension bench — how far do you get with no failure labels at all?
+
+CSS labels are expensive (tickets require manual matching, §III-C(2)).
+An unsupervised isolation forest scores anomalies from telemetry shape
+alone; this bench quantifies the gap to the supervised SFWB model —
+the value of the paper's labeling machinery in one number.
+"""
+
+import pytest
+
+from benchmarks._util import save_exhibit
+from benchmarks.conftest import EVAL_END, TRAIN_END
+from repro.core import MFPA, MFPAConfig
+from repro.core.features import FeatureAssembler, feature_group
+from repro.core.labeling import build_samples
+from repro.ml.isolation_forest import IsolationForest
+from repro.ml.metrics import auc_score
+from repro.reporting import render_table
+
+
+@pytest.mark.benchmark(group="ext-unsupervised")
+def test_ext_unsupervised_baseline(benchmark, fleet_vendor_i):
+    supervised = MFPA(MFPAConfig())
+    supervised.fit(fleet_vendor_i, train_end_day=TRAIN_END)
+    prepared = supervised.dataset_
+
+    samples = build_samples(prepared, supervised.failure_times_, positive_window=14)
+    evaluation = (samples.days >= TRAIN_END) & (samples.days < EVAL_END)
+    rows = samples.row_indices[evaluation]
+    labels = samples.labels[evaluation]
+
+    assembler = FeatureAssembler(feature_group("SFWB").columns)
+    train_mask = samples.days < TRAIN_END
+    X_train = assembler.assemble(prepared.columns, samples.row_indices[train_mask])
+    X_eval = assembler.assemble(prepared.columns, rows)
+
+    def run_unsupervised():
+        forest = IsolationForest(n_estimators=80, max_samples=256, seed=0)
+        forest.fit(X_train)  # no labels
+        return forest.anomaly_score(X_eval)
+
+    anomaly_scores = benchmark.pedantic(run_unsupervised, rounds=1, iterations=1)
+    unsupervised_auc = auc_score(labels, anomaly_scores)
+    supervised_auc = auc_score(labels, supervised.predict_proba_rows(rows))
+
+    table = render_table(
+        ["Model", "Labels used", "Record-level AUC"],
+        [
+            ["SFWB random forest (MFPA)", "yes", supervised_auc],
+            ["Isolation forest", "no", unsupervised_auc],
+        ],
+        title="Extension: supervised MFPA vs unsupervised anomaly detection",
+    )
+    save_exhibit("ext_unsupervised", table)
+
+    assert unsupervised_auc > 0.55, "telemetry shape alone must carry signal"
+    assert supervised_auc > unsupervised_auc, "labels must buy real accuracy"

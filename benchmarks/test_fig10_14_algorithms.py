@@ -1,0 +1,108 @@
+"""Figs 10 + 14 — MFPA portability across ML algorithms.
+
+Paper: every traditional algorithm clears 95% TPR on SFWB; RF is best
+(98.18% / 0.56%); CNN_LSTM lags (94.74% TPR, 12.98% FPR) because
+discontinuous CSS data hurts the sequence model. Reproduced shape:
+tree ensembles lead, the sequence model trails on FPR/AUC.
+
+Bayes and SVM run with the paper's sequential-forward-selection stage
+(§III-C(5)) — without it the time-drifting cumulative counters swamp
+them (see core/test_pipeline.py for the unit-level demonstration).
+Every model's alarm threshold is calibrated on a held-out validation
+slice (fit through day 300, calibrate on 300-360, test on 360-480):
+noisy scorers hover near 0.5 on healthy records, and the drive-level
+"any record alarms" rule would otherwise compound that into an
+unusable FPR.
+"""
+
+import pytest
+
+from benchmarks._util import save_exhibit
+from benchmarks.conftest import EVAL_END, TRAIN_END
+from repro.core import MFPA, MFPAConfig
+from repro.ml import (
+    CNNLSTMClassifier,
+    GaussianNaiveBayes,
+    GradientBoostingClassifier,
+    LinearSVM,
+    RandomForestClassifier,
+)
+from repro.ml.tree import DecisionTreeClassifier
+from repro.reporting import render_table
+
+
+def _configs():
+    selection_kwargs = dict(
+        feature_selection=True,
+        selection_estimator=DecisionTreeClassifier(max_depth=5, seed=0),
+    )
+    return {
+        "Bayes": MFPAConfig(algorithm=GaussianNaiveBayes(), **selection_kwargs),
+        "SVM": MFPAConfig(algorithm=LinearSVM(n_epochs=20, seed=0), **selection_kwargs),
+        "RF": MFPAConfig(
+            algorithm=RandomForestClassifier(n_estimators=60, max_depth=12, seed=0)
+        ),
+        "GBDT": MFPAConfig(
+            algorithm=GradientBoostingClassifier(n_estimators=80, max_depth=3, seed=0)
+        ),
+        "CNN_LSTM": MFPAConfig(
+            algorithm=CNNLSTMClassifier(
+                time_steps=5,
+                conv_channels=8,
+                hidden_size=16,
+                n_epochs=15,
+                seed=0,
+            ),
+            history_length=5,
+            **selection_kwargs,
+        ),
+    }
+
+
+CALIBRATION_DAYS = 60
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_14_algorithms(benchmark, fleet_vendor_i):
+    configs = _configs()
+
+    def run(name):
+        model = MFPA(configs[name])
+        model.fit(fleet_vendor_i, train_end_day=TRAIN_END - CALIBRATION_DAYS)
+        model.calibrate_threshold(
+            TRAIN_END - CALIBRATION_DAYS, TRAIN_END, max_fpr=0.01
+        )
+        return model.evaluate(TRAIN_END, EVAL_END)
+
+    headline = benchmark.pedantic(run, args=("RF",), rounds=1, iterations=1)
+    results = {"RF": headline}
+    for name in configs:
+        if name not in results:
+            results[name] = run(name)
+
+    order = ("Bayes", "SVM", "RF", "GBDT", "CNN_LSTM")
+    rows = [
+        [
+            name,
+            results[name].drive_report.tpr,
+            results[name].drive_report.fpr,
+            results[name].drive_report.accuracy,
+            results[name].drive_report.auc,
+        ]
+        for name in order
+    ]
+    table = render_table(
+        ["Algorithm", "TPR", "FPR", "ACC", "AUC"],
+        rows,
+        title="Figs 10+14: algorithm portability on SFWB (paper: RF best, CNN_LSTM weakest)",
+    )
+    save_exhibit("fig10_14_algorithms", table)
+
+    reports = {name: results[name].drive_report for name in order}
+    # Every algorithm catches the bulk of failures.
+    for name in order:
+        assert reports[name].tpr >= 0.75, name
+    # Tree ensembles lead on AUC; the sequence model does not win.
+    tree_auc = max(reports["RF"].auc, reports["GBDT"].auc)
+    assert tree_auc >= reports["CNN_LSTM"].auc - 0.02
+    assert tree_auc >= reports["Bayes"].auc - 0.02

@@ -1,0 +1,58 @@
+"""Figs 12 + 16 — temporal robustness: months of prediction, no retraining.
+
+Paper: a model trained once keeps its TPR stable for ~5 months while
+FPR creeps upward after 2-3 months (vendor I's FPR reaches 1.34% in
+month 3), motivating periodic iteration. Reproduced shape: TPR stays
+high across months; the late-month FPR does not improve on the early
+months.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks._util import save_exhibit
+from benchmarks.conftest import TRAIN_END
+from repro.analysis.temporal import rolling_monthly_evaluation
+from repro.reporting import render_table
+
+N_MONTHS = 5
+MONTH_DAYS = 30
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_16_temporal_robustness(benchmark, fitted_sfwb):
+    rows = benchmark(
+        rolling_monthly_evaluation,
+        fitted_sfwb,
+        TRAIN_END,
+        N_MONTHS,
+        MONTH_DAYS,
+    )
+
+    table = render_table(
+        ["Month", "Period", "Faulty", "Healthy", "TPR", "FPR", "AUC"],
+        [
+            [
+                row["month"],
+                f"{row['period'][0]}-{row['period'][1]}",
+                row["n_faulty"],
+                row["n_healthy"],
+                row["tpr"],
+                row["fpr"],
+                row["auc"],
+            ]
+            for row in rows
+        ],
+        title="Figs 12+16: continuous prediction without iteration (paper: FPR creeps up by month 3)",
+    )
+    save_exhibit("fig12_16_temporal", table)
+
+    evaluated = [row for row in rows if row["n_faulty"] > 0]
+    assert len(evaluated) >= 3, "need several evaluable months"
+    # TPR stays serviceable throughout.
+    tprs = [row["tpr"] for row in evaluated]
+    assert np.nanmean(tprs) >= 0.8
+    # FPR in the later months does not drop below the first month's —
+    # the drift direction the paper reports.
+    fprs = [row["fpr"] for row in rows if row["n_healthy"] > 0]
+    assert fprs[-1] >= fprs[0] - 0.02

@@ -1,0 +1,42 @@
+"""Fig 3 — failure rate per firmware version.
+
+Paper: for every vendor, the earlier the firmware version the higher
+the failure rate; vendor I's I_F_1/I_F_2 stand out. The bench computes
+per-version rates and asserts the within-vendor downward trend.
+"""
+
+import pytest
+
+from benchmarks._util import save_exhibit
+from repro.analysis.firmware_rates import (
+    firmware_failure_rates,
+    is_monotone_decreasing_per_vendor,
+)
+from repro.reporting import render_series, render_table
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_firmware_failure_rates(benchmark, fleet_all_vendors):
+    rows = benchmark(firmware_failure_rates, fleet_all_vendors)
+
+    table = render_table(
+        ["Firmware", "Drives", "Failures", "Failure rate"],
+        [[r["firmware"], r["n_drives"], r["n_failures"], r["failure_rate"]] for r in rows],
+        title="Fig 3: Failure rate of firmware versions",
+    )
+    chart = render_series(
+        "failure_rate",
+        [r["firmware"] for r in rows],
+        [r["failure_rate"] for r in rows],
+        title="Fig 3 (chart)",
+    )
+    save_exhibit("fig3_firmware", table + "\n\n" + chart)
+
+    assert is_monotone_decreasing_per_vendor(rows, slack=0.05)
+    by_name = {r["firmware"]: r["failure_rate"] for r in rows}
+    # Vendor I's oldest firmware is the worst in the whole fleet.
+    assert by_name["I_F_1"] == max(by_name.values())
+    # Ladder lengths match Fig 3: 5 / 3 / 2 / 2 versions.
+    for vendor, expected in (("I", 5), ("II", 3), ("III", 2), ("IV", 2)):
+        count = sum(1 for r in rows if r["vendor"] == vendor)
+        assert count == expected, vendor

@@ -1,0 +1,55 @@
+"""Figs 4 and 5 — cumulative W_161 / B_50 counts, faulty vs healthy.
+
+Paper: faulty SSDs (F1-F4) accumulate visibly more W_161 Windows events
+and B_50 blue screens than healthy ones (N1-N4) in the run-up to
+failure. The bench samples four of each and also checks the population
+means separate.
+"""
+
+import pytest
+
+from benchmarks._util import save_exhibit
+from repro.analysis.cumulative_events import (
+    cumulative_event_trajectories,
+    mean_final_cumulative,
+)
+from repro.reporting import render_table
+from repro.telemetry.bsod import B_50_COLUMN
+
+
+def _exhibit(dataset, column, title):
+    trajectories = cumulative_event_trajectories(
+        dataset, column, n_faulty=4, n_healthy=4, window_days=60, seed=3
+    )
+    rows = []
+    for kind, prefix in (("faulty", "F"), ("healthy", "N")):
+        for index, entry in enumerate(trajectories[kind], start=1):
+            final = entry["cumulative"][-1] if entry["cumulative"].size else 0.0
+            rows.append([f"{prefix}{index}", entry["serial"], int(final)])
+    means = mean_final_cumulative(dataset, column, window_days=60)
+    table = render_table(
+        ["Drive", "Serial", "Cumulative count (last 60 days)"], rows, title=title
+    )
+    table += (
+        f"\npopulation means: faulty {means['faulty']:.2f}, "
+        f"healthy {means['healthy']:.2f}"
+    )
+    return table, means
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_cumulative_w161(benchmark, fleet_vendor_i):
+    table, means = benchmark(
+        _exhibit, fleet_vendor_i, "w161_fs_io_error", "Fig 4: cumulative W_161"
+    )
+    save_exhibit("fig4_w161", table)
+    assert means["faulty"] > 2 * means["healthy"]
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_cumulative_b50(benchmark, fleet_vendor_i):
+    table, means = benchmark(
+        _exhibit, fleet_vendor_i, B_50_COLUMN, "Fig 5: cumulative B_50"
+    )
+    save_exhibit("fig5_b50", table)
+    assert means["faulty"] > 2 * means["healthy"]

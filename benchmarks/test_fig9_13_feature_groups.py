@@ -1,0 +1,54 @@
+"""Figs 9 + 13 — MFPA performance across the seven feature groups.
+
+Paper: SFWB performs best (TPR 98.18%, FPR 0.56%); SF trails (95.37%,
+3.58%); S alone is the weakest full-dimension group; W and B alone are
+informative but incomplete. The reproduced shape: SFWB's AUC tops the
+table, S underperforms SFWB, and W/B alone sit below the multidim
+groups on TPR.
+"""
+
+import pytest
+
+from benchmarks._util import save_exhibit
+from benchmarks.conftest import EVAL_END, TRAIN_END
+from repro.core import MFPA, MFPAConfig
+from repro.reporting import render_table
+
+GROUPS = ("SFWB", "SFW", "SFB", "SF", "S", "W", "B")
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_13_feature_groups(benchmark, fleet_vendor_i):
+    def run_group(name):
+        model = MFPA(MFPAConfig(feature_group_name=name))
+        model.fit(fleet_vendor_i, train_end_day=TRAIN_END)
+        return model.evaluate(TRAIN_END, EVAL_END)
+
+    # Benchmark the full end-to-end run of the headline group.
+    headline = benchmark.pedantic(run_group, args=("SFWB",), rounds=1, iterations=1)
+
+    results = {"SFWB": headline}
+    for name in GROUPS[1:]:
+        results[name] = run_group(name)
+
+    rows = []
+    for name in GROUPS:
+        report = results[name].drive_report
+        rows.append([name, report.tpr, report.fpr, report.accuracy, report.pdr, report.auc])
+    table = render_table(
+        ["Group", "TPR", "FPR", "ACC", "PDR", "AUC"],
+        rows,
+        title=(
+            "Figs 9+13: feature groups (drive-level, "
+            f"eval days {TRAIN_END}-{EVAL_END}; paper: SFWB 98.18%/0.56%)"
+        ),
+    )
+    save_exhibit("fig9_13_feature_groups", table)
+
+    reports = {name: results[name].drive_report for name in GROUPS}
+    best_auc = max(report.auc for report in reports.values())
+    assert reports["SFWB"].auc >= best_auc - 0.01, "SFWB must (co-)lead on AUC"
+    assert reports["SFWB"].tpr >= reports["S"].tpr, "adding W/B must not hurt TPR"
+    assert reports["SFWB"].fpr <= reports["S"].fpr + 0.02
+    # W or B alone are weaker than the full multidimensional set.
+    assert reports["SFWB"].auc >= max(reports["W"].auc, reports["B"].auc)

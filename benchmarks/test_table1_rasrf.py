@@ -1,0 +1,44 @@
+"""Table I — RaSRF trouble-ticket breakdown.
+
+Paper: drive-level 31.62% / system-level 68.38%, with "Storage drive
+failure" (31.13%) and "Blue/Black screen after startup" (21.44%) as the
+largest causes. The bench regenerates the table from the synthetic
+fleet's tickets and checks the shares track the catalog.
+"""
+
+import pytest
+
+from benchmarks._util import save_exhibit
+from repro.analysis.rasrf import level_shares, rasrf_breakdown
+from repro.reporting import render_table
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_rasrf_breakdown(benchmark, fleet_all_vendors):
+    rows = benchmark(rasrf_breakdown, fleet_all_vendors)
+
+    table = render_table(
+        ["Failure Level", "Category", "Cause", "Count", "Share", "Paper"],
+        [
+            [
+                row["failure_level"],
+                row["category"],
+                row["cause"],
+                row["count"],
+                row["share"],
+                row["expected_share"],
+            ]
+            for row in rows
+        ],
+        title="Table I: RaSRF — Replaced as SSD_Related Failures",
+    )
+    shares = level_shares(fleet_all_vendors)
+    table += (
+        f"\nlevel split: drive-level {shares['drive_level']:.2%} "
+        f"(paper 31.62%), system-level {shares['system_level']:.2%} (paper 68.38%)"
+    )
+    save_exhibit("table1_rasrf", table)
+
+    assert shares["drive_level"] == pytest.approx(0.3162, abs=0.08)
+    largest = max(rows, key=lambda r: r["share"])
+    assert largest["cause"] == "Storage drive failure"

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Scenario: the on-device prediction agent.
+
+The paper's deployment pushes the trained model to consumer machines
+("Microsecond prediction can be achieved for the model deployed on the
+client side", §IV Fig 20). This example plays that role: it trains MFPA
+centrally, packages it as a :class:`ClientPredictor`, then replays one
+machine's raw daily telemetry through the agent — including the day the
+agent would have popped a "back up your data now" notification.
+
+Run:  python examples/client_agent.py
+"""
+
+import time
+
+from repro.core import MFPA, MFPAConfig
+from repro.core.client import ClientPredictor
+from repro.telemetry import FleetConfig, VendorMix, simulate_fleet
+from repro.telemetry.dataset import B_COLUMNS, W_COLUMNS
+from repro.telemetry.smart import SMART_COLUMNS
+
+TRAIN_END = 240
+HORIZON = 360
+
+
+def raw_readings(model, serial):
+    """What the on-device collector would emit, day by day."""
+    rows = model.dataset_.drive_rows(serial)
+    for i in range(rows["day"].size):
+        reading = {"firmware": rows["firmware"][i]}
+        for column in (*SMART_COLUMNS, *W_COLUMNS, *B_COLUMNS):
+            reading[column] = float(rows[column][i])
+        yield int(rows["day"][i]), reading
+
+
+def main() -> None:
+    print("training MFPA centrally ...")
+    fleet = simulate_fleet(
+        FleetConfig(
+            mix=VendorMix({"I": 400}),
+            horizon_days=HORIZON,
+            failure_boost=25.0,
+            seed=7,
+        )
+    )
+    model = MFPA(MFPAConfig(feature_group_name="SFWB"))
+    model.fit(fleet, train_end_day=TRAIN_END)
+
+    print("packaging the model for client deployment ...")
+    agent = ClientPredictor.from_model(model)
+
+    # Replay one machine that fails during the deployment period.
+    serial = next(
+        s for s, d in model.failure_times_.items() if d >= TRAIN_END
+    )
+    meta = model.dataset_.drives[serial]
+    print(f"\nreplaying drive S/N {serial} "
+          f"(will fail on day {meta.failure_day}, {meta.archetype}):\n")
+
+    first_alarm = None
+    latencies = []
+    for day, reading in raw_readings(model, serial):
+        started = time.perf_counter()
+        alarmed, probability = agent.alarm(serial, day, reading)
+        latencies.append(time.perf_counter() - started)
+        if alarmed and first_alarm is None:
+            first_alarm = day
+            print(f"  day {day:3d}: p(fail)={probability:.3f}  "
+                  f"*** ALARM: back up your data and contact support ***")
+        elif day % 30 == 0 or probability > 0.3:
+            print(f"  day {day:3d}: p(fail)={probability:.3f}")
+
+    print(f"\nper-reading latency: median "
+          f"{sorted(latencies)[len(latencies) // 2] * 1e3:.2f} ms "
+          f"(the paper targets client-grade latency)")
+    if first_alarm is None:
+        print("the agent never alarmed — this failure was missed.")
+    else:
+        print(f"warning lead time: {meta.failure_day - first_alarm} days "
+              f"before the actual failure.")
+
+
+if __name__ == "__main__":
+    main()

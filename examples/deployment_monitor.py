@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Scenario: operating MFPA in production — monthly scoring and retraining.
+
+The paper's deployment story (§IV-(5), Fig 20): train on history, push
+the model to clients, score the fleet continuously, and iterate the
+model every ~2 months because FPR drifts upward. This example plays a
+12-month operation forward, month by month, comparing a *frozen* model
+against one retrained every two months, and prints the alarm volumes an
+after-sales team would see.
+
+Run:  python examples/deployment_monitor.py
+"""
+
+from repro.analysis.temporal import rolling_monthly_evaluation
+from repro.core import MFPA, MFPAConfig
+from repro.reporting import render_table
+from repro.telemetry import FleetConfig, VendorMix, simulate_fleet
+
+INITIAL_TRAIN_END = 240
+HORIZON = 600
+MONTH = 30
+RETRAIN_EVERY_MONTHS = 2
+
+
+def main() -> None:
+    print("simulating an 18-month, 600-drive vendor-I fleet ...")
+    fleet = simulate_fleet(
+        FleetConfig(
+            mix=VendorMix({"I": 600}),
+            horizon_days=HORIZON,
+            failure_boost=20.0,
+            seed=99,
+        )
+    )
+    print(f"  {len(fleet.tickets)} trouble tickets\n")
+
+    print("training the initial model on the first 8 months ...")
+    frozen = MFPA(MFPAConfig(feature_group_name="SFWB"))
+    frozen.fit(fleet, train_end_day=INITIAL_TRAIN_END)
+
+    n_months = (HORIZON - INITIAL_TRAIN_END) // MONTH
+    frozen_rows = rolling_monthly_evaluation(
+        frozen, INITIAL_TRAIN_END, n_months=n_months, month_days=MONTH
+    )
+
+    print("operating a retrained-every-2-months model ...")
+    refreshed_rows = []
+    current = frozen
+    for month in range(n_months):
+        start = INITIAL_TRAIN_END + month * MONTH
+        if month > 0 and month % RETRAIN_EVERY_MONTHS == 0:
+            current = MFPA(MFPAConfig(feature_group_name="SFWB"))
+            current.fit(fleet, train_end_day=start)
+            print(f"  month {month + 1}: model iterated (trained through day {start})")
+        refreshed_rows.extend(
+            rolling_monthly_evaluation(current, start, n_months=1, month_days=MONTH)
+        )
+
+    rows = []
+    for frozen_row, refreshed_row in zip(frozen_rows, refreshed_rows):
+        rows.append(
+            [
+                frozen_row["month"],
+                frozen_row["tpr"],
+                frozen_row["fpr"],
+                refreshed_row["tpr"],
+                refreshed_row["fpr"],
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["Month", "Frozen TPR", "Frozen FPR", "Refreshed TPR", "Refreshed FPR"],
+            rows,
+            title="Frozen vs periodically-iterated model (paper: iterate every 2-3 months)",
+        )
+    )
+
+    frozen_fpr = [r["fpr"] for r in frozen_rows if r["n_healthy"] > 0]
+    refreshed_fpr = [r["fpr"] for r in refreshed_rows if r["n_healthy"] > 0]
+    print(
+        f"\nmean monthly FPR: frozen {sum(frozen_fpr) / len(frozen_fpr):.3%}, "
+        f"iterated {sum(refreshed_fpr) / len(refreshed_fpr):.3%}"
+    )
+    print("every avoided false alarm is one consumer not sent through a "
+          "needless drive replacement.")
+
+
+if __name__ == "__main__":
+    main()

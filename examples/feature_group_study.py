@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Scenario: which telemetry dimensions are worth collecting?
+
+A PC manufacturer deciding what to log faces a cost/benefit question:
+SMART comes for free, but shipping Windows-event and blue-screen
+collectors costs engineering and bandwidth. This example reruns the
+paper's feature-group comparison (Figs 9/13) on a synthetic fleet and
+prints the marginal value of each dimension — the quantitative case the
+paper makes for multidimensional collection.
+
+Run:  python examples/feature_group_study.py
+"""
+
+from repro.core import MFPA, MFPAConfig
+from repro.reporting import render_table
+from repro.telemetry import FleetConfig, VendorMix, simulate_fleet
+
+GROUPS = ("S", "SF", "SFW", "SFB", "SFWB")
+TRAIN_END = 300
+HORIZON = 420
+
+
+def main() -> None:
+    print("simulating a 500-drive vendor-I fleet ...")
+    fleet = simulate_fleet(
+        FleetConfig(
+            mix=VendorMix({"I": 500}),
+            horizon_days=HORIZON,
+            failure_boost=22.0,
+            seed=21,
+        )
+    )
+    print(f"  {len(fleet.tickets)} trouble tickets over {HORIZON} days\n")
+
+    rows = []
+    reports = {}
+    for group in GROUPS:
+        model = MFPA(MFPAConfig(feature_group_name=group))
+        model.fit(fleet, train_end_day=TRAIN_END)
+        report = model.evaluate(TRAIN_END, HORIZON).drive_report
+        reports[group] = report
+        rows.append([group, len(model.assembler_.columns), report.tpr, report.fpr, report.auc])
+        print(f"  {group:5s} trained: TPR {report.tpr:.2%}, FPR {report.fpr:.2%}")
+
+    print()
+    print(
+        render_table(
+            ["Group", "#features", "TPR", "FPR", "AUC"],
+            rows,
+            title="Marginal value of each telemetry dimension",
+        )
+    )
+
+    smart = reports["S"]
+    full = reports["SFWB"]
+    print(
+        f"\ncollecting W+B on top of SMART+firmware moves TPR "
+        f"{smart.tpr:.2%} -> {full.tpr:.2%} and FPR {smart.fpr:.2%} -> {full.fpr:.2%}."
+    )
+    missed_smart = (1 - smart.tpr) * 100
+    missed_full = (1 - full.tpr) * 100
+    print(
+        f"per 100 failing drives, SMART-only misses ~{missed_smart:.0f}; "
+        f"SFWB misses ~{missed_full:.0f} — each miss is a data-loss event "
+        f"for a consumer with no RAID and no backups."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Scenario: replacement logistics with remaining-useful-life estimates.
+
+A binary alarm says "this drive will fail"; the logistics team asks
+"do we ship the replacement overnight or with next week's batch?" This
+example trains the RUL countdown regressor next to the MFPA classifier
+and triages the fleet's alarmed drives into shipping buckets.
+
+Run:  python examples/rul_planner.py
+"""
+
+import numpy as np
+
+from repro.core import MFPA, MFPAConfig
+from repro.core.rul import RULConfig, RULRegressor
+from repro.reporting import render_table
+from repro.telemetry import FleetConfig, VendorMix, simulate_fleet
+
+TRAIN_END = 300
+HORIZON = 420
+
+
+def main() -> None:
+    print("simulating a 500-drive vendor-I fleet ...")
+    fleet = simulate_fleet(
+        FleetConfig(
+            mix=VendorMix({"I": 500}),
+            horizon_days=HORIZON,
+            failure_boost=22.0,
+            seed=31,
+        )
+    )
+
+    print("training the failure classifier and the RUL regressor ...")
+    classifier = MFPA(MFPAConfig(feature_group_name="SFWB"))
+    classifier.fit(fleet, train_end_day=TRAIN_END)
+    regressor = RULRegressor(RULConfig(n_estimators=40, seed=0))
+    regressor.fit(fleet, train_end_day=TRAIN_END)
+
+    evaluation = regressor.evaluate(TRAIN_END, HORIZON)
+    print(
+        f"  countdown accuracy on test failures: MAE {evaluation.mae_days:.1f} days, "
+        f"{evaluation.within_7_days:.0%} within a week, "
+        f"Spearman {evaluation.spearman:.2f}\n"
+    )
+
+    # Triage: scan the fleet at one "today", bucket the alarmed drives.
+    today = TRAIN_END + 30
+    prepared = classifier.dataset_
+    row_slices = prepared._row_slices()
+    triage = []
+    for serial in prepared.drives:
+        days = prepared.drive_rows(serial)["day"]
+        recent = np.flatnonzero((days > today - 7) & (days <= today))
+        if recent.size == 0:
+            continue
+        rows = row_slices[serial].start + recent[-1:]
+        probability = classifier.predict_proba_rows(rows)[0]
+        if probability < 0.5:
+            continue
+        countdown = regressor.predict_rows(rows)[0]
+        meta = prepared.drives[serial]
+        truth = (
+            f"fails day {meta.failure_day}" if meta.failed else "healthy (false alarm)"
+        )
+        triage.append((countdown, serial, probability, truth))
+
+    triage.sort()
+    rows = []
+    for countdown, serial, probability, truth in triage:
+        if countdown <= 7:
+            action = "overnight replacement + urgent backup"
+        elif countdown <= 21:
+            action = "next weekly batch"
+        else:
+            action = "monitor, re-score next week"
+        rows.append([serial, f"{probability:.2f}", f"{countdown:.0f}d", action, truth])
+
+    print(
+        render_table(
+            ["S/N", "p(fail)", "est. RUL", "Action", "Ground truth"],
+            rows,
+            title=f"Replacement triage on day {today}",
+        )
+    )
+    print("\nRUL turns one alarm queue into a shipping schedule — the "
+          "difference between panic and planning.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Scenario: one prediction service, four SSD vendors.
+
+A PC manufacturer ships drives from several vendors whose failure
+behaviour differs (firmware ladders, replacement rates). The paper
+trains *per-vendor* models (§IV-(4)) instead of per-drive-model ones.
+This example trains a model per vendor, cross-applies vendor I's model
+to the others, and shows why per-vendor training wins.
+
+Run:  python examples/vendor_portability.py
+"""
+
+from repro.core import MFPA, MFPAConfig
+from repro.reporting import render_table
+from repro.telemetry import FleetConfig, VendorMix, simulate_fleet
+
+TRAIN_END = 300
+HORIZON = 420
+
+# Per-vendor (count, boost, seed): boosts equalize absolute failure
+# counts at these small fleet sizes (real RRs differ by 13x; Table VI).
+FLEETS = {
+    "I": (400, 22.0, 101),
+    "II": (450, 150.0, 102),
+    "III": (420, 190.0, 103),
+    "IV": (150, 90.0, 104),
+}
+
+
+def main() -> None:
+    fleets = {}
+    for vendor, (count, boost, seed) in FLEETS.items():
+        fleets[vendor] = simulate_fleet(
+            FleetConfig(
+                mix=VendorMix({vendor: count}),
+                horizon_days=HORIZON,
+                failure_boost=boost,
+                seed=seed,
+            )
+        )
+        print(
+            f"vendor {vendor:>3}: {count} drives, "
+            f"{len(fleets[vendor].tickets)} tickets"
+        )
+
+    print("\ntraining one SFWB model per vendor ...")
+    rows = []
+    for vendor, fleet in fleets.items():
+        model = MFPA(MFPAConfig(feature_group_name="SFWB"))
+        model.fit(fleet, train_end_day=TRAIN_END)
+        result = model.evaluate(TRAIN_END, HORIZON)
+        report = result.drive_report
+        rows.append(
+            [vendor, result.n_faulty_drives, report.tpr, report.fpr, report.auc]
+        )
+    print(
+        render_table(
+            ["Vendor", "Faulty (eval)", "TPR", "FPR", "AUC"],
+            rows,
+            title="Per-vendor MFPA models (paper Fig 11: I-III strong, IV data-starved)",
+        )
+    )
+
+    # Cross-vendor transfer: score vendor II's fleet with vendor I's model.
+    print("\ncross-vendor transfer: vendor I's model applied to vendor II ...")
+    model_i = MFPA(MFPAConfig(feature_group_name="SFWB"))
+    model_i.fit(fleets["I"], train_end_day=TRAIN_END)
+    native = MFPA(MFPAConfig(feature_group_name="SFWB"))
+    native.fit(fleets["II"], train_end_day=TRAIN_END)
+
+    # Refit vendor I's trained estimator inside vendor II's pipeline
+    # state so evaluation uses II's telemetry with I's decision logic.
+    transferred = MFPA(MFPAConfig(feature_group_name="SFWB"))
+    transferred.fit(fleets["II"], train_end_day=TRAIN_END)
+    transferred.model_ = model_i.model_
+
+    native_report = native.evaluate(TRAIN_END, HORIZON).drive_report
+    transfer_report = transferred.evaluate(TRAIN_END, HORIZON).drive_report
+    print(
+        render_table(
+            ["Model", "TPR", "FPR", "AUC"],
+            [
+                ["vendor II native", native_report.tpr, native_report.fpr, native_report.auc],
+                ["vendor I transferred", transfer_report.tpr, transfer_report.fpr, transfer_report.auc],
+            ],
+            title="Native vs transferred model on vendor II",
+        )
+    )
+    print(
+        "\nper-vendor training is the paper's recommendation: firmware "
+        "encodings and failure signatures are vendor-specific, so "
+        "transferred models give up accuracy."
+    )
+
+
+if __name__ == "__main__":
+    main()

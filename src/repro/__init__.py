@@ -1,0 +1,25 @@
+"""repro — reproduction of "Multidimensional Features Helping Predict
+Failures in Production SSD-Based Consumer Storage Systems" (DATE 2023).
+
+Top-level layout:
+
+* :mod:`repro.telemetry` — synthetic CSS fleet simulator (the paper's
+  proprietary dataset substitute),
+* :mod:`repro.ml` — from-scratch ML substrate (no scikit-learn offline),
+* :mod:`repro.core` — the MFPA pipeline and its baselines,
+* :mod:`repro.analysis` — the observation studies behind each exhibit,
+* :mod:`repro.reporting` — plain-text table rendering for benchmarks.
+
+Quickstart::
+
+    from repro.telemetry import FleetConfig, VendorMix, simulate_fleet
+    from repro.core import MFPA, MFPAConfig
+
+    fleet = simulate_fleet(FleetConfig(mix=VendorMix({"I": 500}),
+                                       failure_boost=20.0, seed=1))
+    model = MFPA(MFPAConfig(feature_group_name="SFWB"))
+    model.fit(fleet, train_end_day=360)
+    print(model.evaluate(360, 540).drive_report)
+"""
+
+__version__ = "1.0.0"

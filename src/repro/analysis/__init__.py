@@ -1,0 +1,42 @@
+"""Observation studies and evaluation helpers behind the paper's exhibits.
+
+Each module regenerates the data of one table/figure from a simulated
+fleet; the benchmark suite renders them. See DESIGN.md §4 for the full
+experiment index.
+"""
+
+from repro.analysis.bathtub import failure_time_distribution
+from repro.analysis.cumulative_events import cumulative_event_trajectories
+from repro.analysis.dataset_summary import dataset_summary_rows
+from repro.analysis.discontinuity import discontinuity_profile, drive_log_timelines
+from repro.analysis.firmware_rates import firmware_failure_rates
+from repro.analysis.overhead import overhead_rows
+from repro.analysis.rasrf import rasrf_breakdown
+from repro.analysis.survival import (
+    fleet_survival,
+    kaplan_meier,
+    survival_at,
+    survival_by_firmware,
+    survival_by_vendor,
+)
+from repro.analysis.temporal import rolling_monthly_evaluation
+from repro.analysis.ticket_lag import repair_lag_distribution, theta_coverage
+
+__all__ = [
+    "cumulative_event_trajectories",
+    "fleet_survival",
+    "kaplan_meier",
+    "survival_at",
+    "survival_by_firmware",
+    "survival_by_vendor",
+    "dataset_summary_rows",
+    "discontinuity_profile",
+    "drive_log_timelines",
+    "failure_time_distribution",
+    "firmware_failure_rates",
+    "overhead_rows",
+    "rasrf_breakdown",
+    "repair_lag_distribution",
+    "theta_coverage",
+    "rolling_monthly_evaluation",
+]

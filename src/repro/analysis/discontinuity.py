@@ -1,0 +1,66 @@
+"""Fig 6 — how discontinuous consumer telemetry really is.
+
+The paper plots, for faulty drives of vendor I, the scattered log
+timestamps (e.g. F3 logged only on days (0, 11-14)) and the count of
+faulty drives per interval bucket. We reproduce both the per-drive
+timelines and a gap-length profile of the whole fleet.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.telemetry.dataset import TelemetryDataset
+
+
+def drive_log_timelines(
+    dataset: TelemetryDataset, serials: list[int] | None = None, limit: int = 5
+) -> list[dict]:
+    """Observed-day timelines for (by default) the first faulty drives."""
+    if serials is None:
+        serials = [int(s) for s in dataset.failed_serials()[:limit]]
+    timelines = []
+    for serial in serials:
+        days = dataset.drive_rows(serial)["day"]
+        gaps = np.diff(days) - 1
+        timelines.append(
+            {
+                "serial": serial,
+                "days": days.astype(int),
+                "n_records": int(days.size),
+                "max_gap": int(gaps.max()) if gaps.size else 0,
+            }
+        )
+    return timelines
+
+
+def discontinuity_profile(dataset: TelemetryDataset, faulty_only: bool = True) -> dict:
+    """Distribution of inter-record gaps across drives.
+
+    Returns bucketed gap counts (``0``, ``1-3``, ``4-9``, ``>=10``
+    missing days — the buckets MFPA's repair thresholds act on) plus the
+    share of drives having at least one long gap.
+    """
+    buckets = {"0": 0, "1-3": 0, "4-9": 0, ">=10": 0}
+    drives_with_long_gap = 0
+    n_drives = 0
+    serials = dataset.failed_serials() if faulty_only else dataset.serials
+    for serial in serials:
+        days = dataset.drive_rows(int(serial))["day"]
+        if days.size < 2:
+            continue
+        n_drives += 1
+        gaps = np.diff(days) - 1
+        buckets["0"] += int(np.sum(gaps == 0))
+        buckets["1-3"] += int(np.sum((gaps >= 1) & (gaps <= 3)))
+        buckets["4-9"] += int(np.sum((gaps >= 4) & (gaps <= 9)))
+        buckets[">=10"] += int(np.sum(gaps >= 10))
+        if np.any(gaps >= 10):
+            drives_with_long_gap += 1
+    if n_drives == 0:
+        raise ValueError("no drives with enough records")
+    return {
+        "gap_buckets": buckets,
+        "n_drives": n_drives,
+        "share_with_long_gap": drives_with_long_gap / n_drives,
+    }

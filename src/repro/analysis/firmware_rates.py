@@ -1,0 +1,63 @@
+"""Fig 3 — failure rate per firmware version.
+
+Observation #2: for every vendor the earlier the firmware version, the
+higher its failure rate. We compute, per firmware version, the fraction
+of drives on that version that failed during the study.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+def firmware_failure_rates(dataset) -> list[dict]:
+    """Return one row per firmware version with population and rate.
+
+    Rows are sorted by (vendor, version index) so each vendor's ladder
+    reads oldest-to-newest, matching Fig 3's x-axis.
+    """
+    totals: dict[str, int] = defaultdict(int)
+    failures: dict[str, int] = defaultdict(int)
+    vendor_of: dict[str, str] = {}
+    for meta in dataset.drives.values():
+        totals[meta.firmware] += 1
+        vendor_of[meta.firmware] = meta.vendor
+        if meta.failed:
+            failures[meta.firmware] += 1
+
+    def sort_key(name: str) -> tuple[str, int]:
+        vendor, _, index = name.partition("_F_")
+        return vendor, int(index)
+
+    rows = []
+    for name in sorted(totals, key=sort_key):
+        vendor, _, index = name.partition("_F_")
+        rows.append(
+            {
+                "firmware": name,
+                "vendor": vendor,
+                "version_index": int(index),
+                "n_drives": totals[name],
+                "n_failures": failures[name],
+                "failure_rate": failures[name] / totals[name],
+            }
+        )
+    return rows
+
+
+def is_monotone_decreasing_per_vendor(rows: list[dict], slack: float = 0.0) -> bool:
+    """Check Fig 3's claim: within a vendor, later firmware fails less.
+
+    ``slack`` allows small sampling noise (rate may rise by at most
+    ``slack`` between consecutive versions without failing the check).
+    """
+    by_vendor: dict[str, list[tuple[int, float]]] = defaultdict(list)
+    for row in rows:
+        by_vendor[row["vendor"]].append((row["version_index"], row["failure_rate"]))
+    for versions in by_vendor.values():
+        versions.sort()
+        rates = [rate for _, rate in versions]
+        for earlier, later in zip(rates, rates[1:]):
+            if later > earlier + slack:
+                return False
+    return True

@@ -1,0 +1,51 @@
+"""Table I — RaSRF trouble-ticket breakdown.
+
+Groups a fleet's tickets by failure level / category / cause and
+reports each cause's share, reproducing the structure (drive-level ~32%,
+system-level ~68%) the paper mines from production tickets.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.telemetry.dataset import TelemetryDataset
+from repro.telemetry.tickets import RASRF_CATEGORIES
+
+
+def rasrf_breakdown(dataset: TelemetryDataset) -> list[dict]:
+    """Return Table-I rows: one dict per cause with its observed share.
+
+    Rows follow the catalog order; causes with zero observed tickets
+    still appear (share 0.0) so the table shape is stable.
+    """
+    total = len(dataset.tickets)
+    if total == 0:
+        raise ValueError("dataset has no trouble tickets")
+    by_cause = Counter(ticket.cause for ticket in dataset.tickets)
+    level_totals = Counter(ticket.failure_level for ticket in dataset.tickets)
+
+    rows = []
+    for category in RASRF_CATEGORIES:
+        count = by_cause.get(category.cause, 0)
+        rows.append(
+            {
+                "failure_level": category.failure_level,
+                "category": category.category,
+                "cause": category.cause,
+                "count": count,
+                "share": count / total,
+                "expected_share": category.probability,
+                "level_share": level_totals[category.failure_level] / total,
+            }
+        )
+    return rows
+
+
+def level_shares(dataset: TelemetryDataset) -> dict[str, float]:
+    """Drive-level vs system-level ticket shares (the 31.62/68.38 split)."""
+    total = len(dataset.tickets)
+    if total == 0:
+        raise ValueError("dataset has no trouble tickets")
+    counts = Counter(ticket.failure_level for ticket in dataset.tickets)
+    return {level: count / total for level, count in sorted(counts.items())}

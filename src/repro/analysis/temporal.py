@@ -1,0 +1,54 @@
+"""Figs 12/16 — temporal robustness: predict for months without retraining.
+
+The paper trains MFPA once and lets it predict for five consecutive
+months; TPR stays stable while FPR creeps up after 2-3 months (feature
+drift), motivating periodic model iteration.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import MFPA, EvaluationResult
+
+
+def rolling_monthly_evaluation(
+    model: MFPA,
+    start_day: int,
+    n_months: int = 5,
+    month_days: int = 30,
+) -> list[dict]:
+    """Evaluate a fitted model over consecutive months, no retraining.
+
+    Returns one row per month with the drive-level TPR/FPR/AUC. Months
+    with no evaluable drives are reported with NaNs rather than raised.
+    """
+    rows = []
+    for month in range(n_months):
+        period_start = start_day + month * month_days
+        period_end = period_start + month_days
+        try:
+            result: EvaluationResult = model.evaluate(period_start, period_end)
+            report = result.drive_report
+            rows.append(
+                {
+                    "month": month + 1,
+                    "period": (period_start, period_end),
+                    "tpr": report.tpr,
+                    "fpr": report.fpr,
+                    "auc": report.auc,
+                    "n_faulty": result.n_faulty_drives,
+                    "n_healthy": result.n_healthy_drives,
+                }
+            )
+        except ValueError:
+            rows.append(
+                {
+                    "month": month + 1,
+                    "period": (period_start, period_end),
+                    "tpr": float("nan"),
+                    "fpr": float("nan"),
+                    "auc": float("nan"),
+                    "n_faulty": 0,
+                    "n_healthy": 0,
+                }
+            )
+    return rows

@@ -1,0 +1,193 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+simulate    simulate a fleet and save it to a directory
+train       train an MFPA model on a saved fleet and report metrics
+monitor     replay a monitored deployment over a saved fleet
+summary     print Table-VI style statistics of a saved fleet
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.dataset_summary import dataset_summary_rows
+from repro.core.deployment import simulate_operation
+from repro.core.pipeline import MFPA, MFPAConfig
+from repro.reporting import render_table
+from repro.telemetry.fleet import FleetConfig, VendorMix, simulate_fleet
+from repro.telemetry.io import load_dataset, save_dataset
+from repro.telemetry.models import VENDORS
+
+
+def _add_simulate(subparsers) -> None:
+    parser = subparsers.add_parser("simulate", help="simulate a fleet and save it")
+    parser.add_argument("output", help="directory to write the dataset to")
+    parser.add_argument(
+        "--vendor",
+        action="append",
+        metavar="VENDOR=COUNT",
+        help="per-vendor drive count, e.g. --vendor I=500 (repeatable); "
+        "default: proportional 2000-drive fleet",
+    )
+    parser.add_argument("--horizon-days", type=int, default=540)
+    parser.add_argument("--failure-boost", type=float, default=20.0)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_train(subparsers) -> None:
+    parser = subparsers.add_parser("train", help="train MFPA on a saved fleet")
+    parser.add_argument("dataset", help="directory written by `simulate`")
+    parser.add_argument("--feature-group", default="SFWB")
+    parser.add_argument("--train-end-day", type=int, default=360)
+    parser.add_argument("--eval-end-day", type=int, default=480)
+    parser.add_argument("--theta", type=int, default=7)
+    parser.add_argument("--positive-window", type=int, default=14)
+    parser.add_argument("--lookahead", type=int, default=0)
+    parser.add_argument("--feature-selection", action="store_true")
+
+
+def _add_monitor(subparsers) -> None:
+    parser = subparsers.add_parser("monitor", help="replay a monitored deployment")
+    parser.add_argument("dataset")
+    parser.add_argument("--start-day", type=int, default=300)
+    parser.add_argument("--end-day", type=int, default=540)
+    parser.add_argument("--window-days", type=int, default=30)
+    parser.add_argument("--alarm-threshold", type=float, default=0.5)
+
+
+def _add_summary(subparsers) -> None:
+    parser = subparsers.add_parser("summary", help="Table-VI stats of a saved fleet")
+    parser.add_argument("dataset")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SSD failure prediction in consumer storage systems (DATE 2023 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_simulate(subparsers)
+    _add_train(subparsers)
+    _add_monitor(subparsers)
+    _add_summary(subparsers)
+    return parser
+
+
+def _parse_mix(entries: list[str] | None) -> VendorMix:
+    if not entries:
+        return VendorMix.proportional(2000)
+    counts: dict[str, int] = {}
+    for entry in entries:
+        vendor, _, count = entry.partition("=")
+        if vendor not in VENDORS or not count.isdigit():
+            raise SystemExit(f"invalid --vendor spec {entry!r}; expected e.g. I=500")
+        counts[vendor] = int(count)
+    return VendorMix(counts)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = FleetConfig(
+        mix=_parse_mix(args.vendor),
+        horizon_days=args.horizon_days,
+        failure_boost=args.failure_boost,
+        seed=args.seed,
+    )
+    dataset = simulate_fleet(config)
+    path = save_dataset(dataset, args.output)
+    print(
+        f"simulated {dataset.n_drives} drives / {dataset.n_records} records "
+        f"/ {len(dataset.tickets)} tickets -> {path}"
+    )
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset)
+    config = MFPAConfig(
+        feature_group_name=args.feature_group,
+        theta=args.theta,
+        positive_window=args.positive_window,
+        lookahead=args.lookahead,
+        feature_selection=args.feature_selection,
+    )
+    model = MFPA(config)
+    model.fit(dataset, train_end_day=args.train_end_day)
+    result = model.evaluate(args.train_end_day, args.eval_end_day)
+    print(
+        render_table(
+            ["Level", "TPR", "FPR", "ACC", "PDR", "AUC"],
+            [
+                ["drive", *[getattr(result.drive_report, k) for k in ("tpr", "fpr", "accuracy", "pdr", "auc")]],
+                ["record", *[getattr(result.record_report, k) for k in ("tpr", "fpr", "accuracy", "pdr", "auc")]],
+            ],
+            title=(
+                f"MFPA {args.feature_group}: trained through day {args.train_end_day}, "
+                f"evaluated days {args.train_end_day}-{args.eval_end_day}"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset)
+    summary = simulate_operation(
+        dataset,
+        start_day=args.start_day,
+        end_day=args.end_day,
+        window_days=args.window_days,
+        alarm_threshold=args.alarm_threshold,
+    )
+    print(
+        render_table(
+            ["Window", "Alarms", "Scored", "Retrained"],
+            [
+                [f"{w.start_day}-{w.end_day}", len(w.alarms), w.n_drives_scored, w.retrained]
+                for w in summary.windows
+            ],
+            title="Monitored operation",
+        )
+    )
+    print(
+        f"\nalarms: {summary.n_alarms} ({summary.true_alarms} true, "
+        f"{summary.false_alarms} false); precision {summary.precision:.2%}, "
+        f"recall {summary.recall:.2%}, median lead time "
+        f"{summary.median_lead_time:.0f} days"
+    )
+    return 0
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset)
+    rows = dataset_summary_rows(dataset)
+    print(
+        render_table(
+            ["Manu.", "Total", "Sum_failure", "Sum_RR", "Paper RR"],
+            [
+                [r["vendor"], r["total"], r["sum_failure"], r["sum_rr"], r["paper_rr"]]
+                for r in rows
+            ],
+            title="Dataset summary (Table VI)",
+        )
+    )
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "train": _cmd_train,
+    "monitor": _cmd_monitor,
+    "summary": _cmd_summary,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,122 @@
+"""MFPA — the paper's Multidimensional-based Failure Prediction Approach.
+
+The pipeline stages map one-to-one onto §III-C of the paper:
+
+1. :mod:`repro.core.preprocess` — optimization of discontinuous data
+   (gap dropping / mean filling) and accumulation of W/B counts.
+2. :mod:`repro.core.labeling` — identification of the eventual failure
+   time from trouble tickets with the θ threshold.
+3. :mod:`repro.core.splitting` — timepoint-based sample segmentation and
+   time-series-based cross-validation.
+4. :mod:`repro.core.pipeline` — multi-algorithm training with
+   hyperparameter grid search; :mod:`repro.core.selection` adds the
+   sequential forward feature selection.
+5. :mod:`repro.core.features` — the SFWB feature group sets (Table V).
+
+:mod:`repro.core.baselines` implements the comparators: the vendor
+SMART-threshold detector and the prior-work model recipes of Fig 18.
+"""
+
+from repro.core.baselines import (
+    SOTA_RECIPES,
+    BaselineRecipe,
+    SmartThresholdDetector,
+)
+from repro.core.client import ClientPredictor
+from repro.core.deployment import (
+    Alarm,
+    FleetMonitor,
+    OperationSummary,
+    RetrainPolicy,
+    simulate_operation,
+)
+from repro.core.derived import DEFAULT_DERIVE_COLUMNS, add_derived_features
+from repro.core.drift import (
+    FeatureDrift,
+    drifted_columns,
+    feature_drift_report,
+    population_stability_index,
+)
+from repro.core.explain import (
+    AlarmExplanation,
+    FeatureImportance,
+    explain_alarm,
+    permutation_importance,
+)
+from repro.core.features import (
+    FEATURE_GROUPS,
+    FeatureAssembler,
+    FeatureGroup,
+    feature_group,
+)
+from repro.core.labeling import (
+    FailureTimeIdentifier,
+    SampleSet,
+    build_samples,
+)
+from repro.core.pipeline import MFPA, MFPAConfig, EvaluationResult
+from repro.core.preprocess import (
+    PreprocessReport,
+    accumulate_events,
+    encode_firmware,
+    preprocess,
+    repair_discontinuity,
+)
+from repro.core.selection import SequentialForwardSelector, youden_score
+from repro.core.splitting import TimepointSplit, TimeSeriesCrossValidator
+from repro.core.thresholding import (
+    CostModel,
+    ThresholdChoice,
+    tune_threshold_cost,
+    tune_threshold_fpr_budget,
+    tune_threshold_youden,
+)
+from repro.core.transfer import TransferredMFPA, TransferResult
+
+__all__ = [
+    "Alarm",
+    "AlarmExplanation",
+    "ClientPredictor",
+    "CostModel",
+    "DEFAULT_DERIVE_COLUMNS",
+    "FEATURE_GROUPS",
+    "BaselineRecipe",
+    "EvaluationResult",
+    "FeatureDrift",
+    "FeatureImportance",
+    "FleetMonitor",
+    "OperationSummary",
+    "RetrainPolicy",
+    "ThresholdChoice",
+    "TransferResult",
+    "TransferredMFPA",
+    "FailureTimeIdentifier",
+    "FeatureAssembler",
+    "FeatureGroup",
+    "MFPA",
+    "MFPAConfig",
+    "PreprocessReport",
+    "SOTA_RECIPES",
+    "SampleSet",
+    "SequentialForwardSelector",
+    "SmartThresholdDetector",
+    "TimeSeriesCrossValidator",
+    "TimepointSplit",
+    "accumulate_events",
+    "add_derived_features",
+    "build_samples",
+    "encode_firmware",
+    "feature_group",
+    "population_stability_index",
+    "preprocess",
+    "repair_discontinuity",
+    "drifted_columns",
+    "explain_alarm",
+    "feature_drift_report",
+    "permutation_importance",
+    "simulate_operation",
+    "tune_threshold_cost",
+    "tune_threshold_fpr_budget",
+    "tune_threshold_youden",
+    "youden_score",
+]

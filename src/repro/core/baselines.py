@@ -1,0 +1,157 @@
+"""Baselines and prior-work comparators (§II, Fig 18).
+
+Three families:
+
+* the **vendor threshold detector** — the SMART-threshold alarm every
+  disk vendor ships (the paper cites 3-10% TPR at ~0.1% FPR);
+* the **SMART-only ML model** — MFPA restricted to feature group S
+  (already expressible through :class:`MFPAConfig`);
+* **state-of-the-art recipes** approximating the four cited SSD failure
+  predictors [19]-[22], each reduced to its feature diet + algorithm
+  choice so the Fig 18 comparison is apples-to-apples on our substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.features import CUM_B_COLUMNS, CUM_W_COLUMNS
+from repro.ml.base import BaseClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.gbdt import GradientBoostingClassifier
+from repro.ml.naive_bayes import GaussianNaiveBayes
+from repro.ml.tree import DecisionTreeClassifier
+from repro.telemetry.dataset import TelemetryDataset
+from repro.telemetry.smart import SMART_COLUMNS
+
+
+class SmartThresholdDetector:
+    """Static SMART-threshold alarm (the industry default, §II).
+
+    Flags a record when any monitored attribute crosses its vendor
+    threshold. Thresholds are deliberately conservative — vendors
+    prioritize a near-zero false-alarm rate, which is why the paper
+    reports only 3-10% TPR for this detector.
+    """
+
+    #: (column, threshold, direction): flag when value >= / <= threshold.
+    DEFAULT_RULES: tuple[tuple[str, float, str], ...] = (
+        ("s1_critical_warning", 1.0, "ge"),
+        ("s3_available_spare", 8.0, "le"),
+        ("s5_percentage_used", 100.0, "ge"),
+        ("s14_media_errors", 60.0, "ge"),
+    )
+
+    def __init__(self, rules: tuple[tuple[str, float, str], ...] | None = None):
+        self.rules = rules or self.DEFAULT_RULES
+        for _, _, direction in self.rules:
+            if direction not in ("ge", "le"):
+                raise ValueError(f"invalid rule direction {direction!r}")
+
+    def predict_rows(self, columns: dict[str, np.ndarray], row_indices: np.ndarray) -> np.ndarray:
+        """Return 0/1 alarms for the given dataset rows."""
+        row_indices = np.asarray(row_indices)
+        alarm = np.zeros(row_indices.size, dtype=bool)
+        for column, threshold, direction in self.rules:
+            values = columns[column][row_indices]
+            if direction == "ge":
+                alarm |= values >= threshold
+            else:
+                alarm |= values <= threshold
+        return alarm.astype(int)
+
+    def evaluate_drives(
+        self,
+        dataset: TelemetryDataset,
+        failure_times: dict[int, int],
+        start_day: int,
+        end_day: int,
+        positive_window: int = 14,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Drive-level ``(y_true, y_pred)`` over an evaluation period."""
+        truths: list[int] = []
+        alarms: list[int] = []
+        row_slices = dataset._row_slices()
+        for serial in dataset.drives:
+            days = dataset.drive_rows(serial)["day"]
+            if serial in failure_times:
+                failure_time = failure_times[serial]
+                if not start_day <= failure_time < end_day:
+                    continue
+                in_window = (days > failure_time - positive_window) & (
+                    days <= failure_time
+                )
+                truth = 1
+            else:
+                in_window = (days >= start_day) & (days < end_day)
+                truth = 0
+            if not np.any(in_window):
+                continue
+            rows = row_slices[serial].start + np.flatnonzero(in_window)
+            truths.append(truth)
+            alarms.append(int(self.predict_rows(dataset.columns, rows).max()))
+        return np.asarray(truths), np.asarray(alarms)
+
+
+@dataclass(frozen=True)
+class BaselineRecipe:
+    """One prior-work comparator: a feature diet plus an algorithm."""
+
+    name: str
+    citation: str
+    columns: tuple[str, ...]
+    make_estimator: Callable[[], BaseClassifier] = field(repr=False)
+    history_length: int = 1
+
+
+#: Error-log columns: what Jacob et al. (SC'19) could see in data-center
+#: SSD telemetry (drive error counters, no SMART health gauges).
+_ERROR_LOG_COLUMNS: tuple[str, ...] = (
+    "s13_unsafe_shutdowns",
+    "s14_media_errors",
+    "s15_error_log_entries",
+)
+
+SOTA_RECIPES: tuple[BaselineRecipe, ...] = (
+    BaselineRecipe(
+        name="ErrorLog-RF",
+        citation="Jacob et al., 'SSD failures in the field', SC 2019 [19]",
+        columns=_ERROR_LOG_COLUMNS,
+        make_estimator=lambda: RandomForestClassifier(
+            n_estimators=40, max_depth=10, seed=1
+        ),
+    ),
+    BaselineRecipe(
+        name="Transfer-GBDT",
+        citation="Ji et al., minority-disk transfer learning, TPDS 2020 [20]",
+        columns=SMART_COLUMNS,
+        make_estimator=lambda: GradientBoostingClassifier(
+            n_estimators=60, max_depth=3, seed=1
+        ),
+    ),
+    BaselineRecipe(
+        name="Interpretable-Tree",
+        citation="Chakraborttii et al., interpretable SSD prediction, SoCC 2020 [21]",
+        columns=SMART_COLUMNS,
+        make_estimator=lambda: DecisionTreeClassifier(
+            max_depth=6, min_samples_leaf=5, seed=1
+        ),
+    ),
+    BaselineRecipe(
+        name="Lifespan-NB",
+        citation="Pinciroli et al., SSD/HDD lifespan models, TDSC 2021 [22]",
+        columns=(*SMART_COLUMNS[:5], "s12_power_on_hours", "s14_media_errors"),
+        make_estimator=lambda: GaussianNaiveBayes(),
+    ),
+)
+
+#: MFPA itself, expressed in the same recipe form for Fig 18.
+MFPA_RECIPE = BaselineRecipe(
+    name="MFPA-SFWB",
+    citation="this paper",
+    columns=(*SMART_COLUMNS, "firmware_code", *CUM_W_COLUMNS, *CUM_B_COLUMNS),
+    make_estimator=lambda: RandomForestClassifier(n_estimators=40, max_depth=12, seed=1),
+)

@@ -1,0 +1,278 @@
+"""Operating MFPA as a fleet-monitoring service.
+
+The paper's deployment story (§IV): the model is trained on history,
+pushed to clients, scores incoming telemetry continuously, and is
+re-iterated every ~2 months because feature drift pushes the FPR up.
+This module packages that loop:
+
+* :class:`FleetMonitor` scores a fleet window by window, raises
+  deduplicated per-drive :class:`Alarm`\\ s, and retrains itself on the
+  accumulated history per its :class:`RetrainPolicy`;
+* :func:`simulate_operation` replays a whole study horizon through a
+  monitor and summarizes the operational metrics a storage team cares
+  about — alarm precision and failure lead time (how many days of
+  warning users get to back up their data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.pipeline import MFPA, MFPAConfig
+from repro.telemetry.dataset import TelemetryDataset
+
+
+@dataclass(frozen=True)
+class Alarm:
+    """One raised prediction: this drive is about to fail."""
+
+    serial: int
+    day: int
+    probability: float
+
+
+@dataclass(frozen=True)
+class RetrainPolicy:
+    """When the monitor refreshes its model.
+
+    Parameters
+    ----------
+    interval_days:
+        Retrain after this many days of operation (paper: ~60).
+    min_new_failures:
+        Skip a scheduled retrain unless at least this many new labeled
+        failures arrived — retraining on an unchanged failure set only
+        reshuffles noise.
+    """
+
+    interval_days: int = 60
+    min_new_failures: int = 1
+
+    def __post_init__(self) -> None:
+        if self.interval_days < 1:
+            raise ValueError("interval_days must be positive")
+        if self.min_new_failures < 0:
+            raise ValueError("min_new_failures must be non-negative")
+
+
+@dataclass
+class MonitoringWindow:
+    """What happened during one scored window."""
+
+    start_day: int
+    end_day: int
+    alarms: list[Alarm]
+    n_drives_scored: int
+    retrained: bool
+
+
+@dataclass
+class OperationSummary:
+    """Aggregate operational metrics over a full monitored horizon."""
+
+    windows: list[MonitoringWindow]
+    true_alarms: int
+    false_alarms: int
+    missed_failures: int
+    lead_times: list[int] = field(default_factory=list)
+
+    @property
+    def n_alarms(self) -> int:
+        return self.true_alarms + self.false_alarms
+
+    @property
+    def precision(self) -> float:
+        if self.n_alarms == 0:
+            return float("nan")
+        return self.true_alarms / self.n_alarms
+
+    @property
+    def recall(self) -> float:
+        caught = self.true_alarms
+        total = caught + self.missed_failures
+        if total == 0:
+            return float("nan")
+        return caught / total
+
+    @property
+    def median_lead_time(self) -> float:
+        if not self.lead_times:
+            return float("nan")
+        return float(np.median(self.lead_times))
+
+
+class FleetMonitor:
+    """Windowed scoring loop with alarm deduplication and retraining.
+
+    The monitor sees the same :class:`TelemetryDataset` the offline
+    pipeline does but only *uses* records before the current day — the
+    windowing discipline enforces that no future data leaks into either
+    scoring or retraining.
+    """
+
+    def __init__(
+        self,
+        config: MFPAConfig | None = None,
+        policy: RetrainPolicy | None = None,
+        alarm_threshold: float | None = None,
+    ):
+        self.config = config or MFPAConfig()
+        self.policy = policy or RetrainPolicy()
+        self.alarm_threshold = (
+            self.config.decision_threshold if alarm_threshold is None else alarm_threshold
+        )
+        if not 0 < self.alarm_threshold < 1:
+            raise ValueError("alarm_threshold must be in (0, 1)")
+        self._alarmed: set[int] = set()
+        self._last_trained_day: int | None = None
+        self._failures_at_training = 0
+
+    # ------------------------------------------------------------------
+    def start(self, dataset: TelemetryDataset, train_end_day: int) -> None:
+        """Train the initial model on history before ``train_end_day``."""
+        self.dataset = dataset
+        self.model = MFPA(self.config)
+        self.model.fit(dataset, train_end_day=train_end_day)
+        self._last_trained_day = train_end_day
+        self._failures_at_training = sum(
+            1 for day in self.model.failure_times_.values() if day < train_end_day
+        )
+
+    def _check_started(self) -> None:
+        if self._last_trained_day is None:
+            raise RuntimeError("FleetMonitor.start() must be called first")
+
+    def _maybe_retrain(self, day: int) -> bool:
+        if day - self._last_trained_day < self.policy.interval_days:
+            return False
+        known_failures = sum(
+            1 for failure_day in self.model.failure_times_.values() if failure_day < day
+        )
+        if known_failures - self._failures_at_training < self.policy.min_new_failures:
+            return False
+        self.model = MFPA(self.config)
+        self.model.fit(self.dataset, train_end_day=day)
+        self._last_trained_day = day
+        self._failures_at_training = known_failures
+        return True
+
+    def score_window(self, start_day: int, end_day: int) -> MonitoringWindow:
+        """Score every drive's records in ``[start_day, end_day)``.
+
+        Raises at most one alarm per drive over the monitor's lifetime
+        (an alarmed drive is assumed pulled for backup/replacement).
+        Retraining, when due, happens *before* scoring using only data
+        prior to ``start_day``.
+        """
+        self._check_started()
+        if end_day <= start_day:
+            raise ValueError("end_day must exceed start_day")
+        retrained = self._maybe_retrain(start_day)
+
+        prepared = self.model.dataset_
+        row_slices = prepared._row_slices()
+        scored_serials: list[int] = []
+        scored_days: list[np.ndarray] = []
+        scored_indices: list[np.ndarray] = []
+        for serial in prepared.drives:
+            if serial in self._alarmed:
+                continue
+            rows = prepared.drive_rows(serial)
+            days = rows["day"]
+            in_window = (days >= start_day) & (days < end_day)
+            if not np.any(in_window):
+                continue
+            base = row_slices[serial].start
+            scored_serials.append(int(serial))
+            scored_days.append(days[in_window])
+            scored_indices.append(base + np.flatnonzero(in_window))
+
+        alarms: list[Alarm] = []
+        n_scored = len(scored_serials)
+        if n_scored:
+            # One batched prediction pass across every scored drive.
+            counts = np.array([indices.size for indices in scored_indices])
+            all_probabilities = self.model.predict_proba_rows(
+                np.concatenate(scored_indices)
+            )
+            per_drive = np.split(all_probabilities, np.cumsum(counts)[:-1])
+            for serial, days, probabilities in zip(
+                scored_serials, scored_days, per_drive
+            ):
+                # Alarm at the *first* threshold crossing: in a live
+                # deployment the user is notified the day the score
+                # crosses, and every day earlier is warning lead time.
+                crossings = np.flatnonzero(probabilities >= self.alarm_threshold)
+                if crossings.size:
+                    first = int(crossings[0])
+                    alarms.append(
+                        Alarm(
+                            serial=serial,
+                            day=int(days[first]),
+                            probability=float(probabilities[first]),
+                        )
+                    )
+                    self._alarmed.add(serial)
+        return MonitoringWindow(
+            start_day=start_day,
+            end_day=end_day,
+            alarms=alarms,
+            n_drives_scored=n_scored,
+            retrained=retrained,
+        )
+
+
+def simulate_operation(
+    dataset: TelemetryDataset,
+    config: MFPAConfig | None = None,
+    policy: RetrainPolicy | None = None,
+    start_day: int = 240,
+    end_day: int = 540,
+    window_days: int = 30,
+    alarm_threshold: float | None = None,
+) -> OperationSummary:
+    """Replay a monitored operation and grade it against ground truth.
+
+    An alarm is *true* if the drive actually fails within the study and
+    the alarm precedes (or coincides with) the failure; its lead time
+    is ``failure_day - alarm_day``. A failure in the monitored period
+    with no preceding alarm is *missed*.
+    """
+    monitor = FleetMonitor(config=config, policy=policy, alarm_threshold=alarm_threshold)
+    monitor.start(dataset, train_end_day=start_day)
+
+    windows = []
+    for window_start in range(start_day, end_day, window_days):
+        windows.append(
+            monitor.score_window(window_start, min(window_start + window_days, end_day))
+        )
+
+    all_alarms = [alarm for window in windows for alarm in window.alarms]
+    true_alarms = 0
+    false_alarms = 0
+    lead_times = []
+    alarmed_serials = set()
+    for alarm in all_alarms:
+        meta = dataset.drives.get(alarm.serial)
+        alarmed_serials.add(alarm.serial)
+        if meta is not None and meta.failed and meta.failure_day >= alarm.day:
+            true_alarms += 1
+            lead_times.append(int(meta.failure_day - alarm.day))
+        else:
+            false_alarms += 1
+    missed = sum(
+        1
+        for meta in dataset.drives.values()
+        if meta.failed
+        and start_day <= meta.failure_day < end_day
+        and meta.serial not in alarmed_serials
+    )
+    return OperationSummary(
+        windows=windows,
+        true_alarms=true_alarms,
+        false_alarms=false_alarms,
+        missed_failures=missed,
+        lead_times=lead_times,
+    )

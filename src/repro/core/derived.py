@@ -1,0 +1,108 @@
+"""Derived time-series features: deltas and rolling means.
+
+The SMART-prediction literature ("Making disk failure predictions
+SMARTer!", Sidi et al. FAST 2020 [11]) augments raw attributes with
+*change* features: day-over-day deltas and short rolling statistics.
+On CSS data they have a second benefit this library diagnosed
+empirically: cumulative counters (power-on hours, data written) grow
+with fleet age, so their raw values drift out of the training
+distribution within months (see ``core.drift``), while their deltas
+are stationary. The ablation bench quantifies the effect.
+
+Columns are added per drive, respecting the (serial, day)-sorted
+invariant:
+
+* ``d1_<col>``  — difference from the drive's previous record (0 for a
+  drive's first record),
+* ``rm<w>_<col>`` — trailing rolling mean over the drive's last ``w``
+  records (shorter at the start).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.telemetry.dataset import TelemetryDataset
+
+#: Default columns to derive from: the monotone usage/error counters.
+DEFAULT_DERIVE_COLUMNS: tuple[str, ...] = (
+    "s5_percentage_used",
+    "s6_data_units_read",
+    "s7_data_units_written",
+    "s8_host_read_commands",
+    "s9_host_write_commands",
+    "s10_controller_busy_time",
+    "s11_power_cycles",
+    "s12_power_on_hours",
+    "s13_unsafe_shutdowns",
+    "s14_media_errors",
+    "s15_error_log_entries",
+)
+
+
+def _grouped_diff(values: np.ndarray, group_starts: np.ndarray) -> np.ndarray:
+    """First difference restarting (at 0) on each group boundary."""
+    diff = np.empty_like(values, dtype=float)
+    diff[0] = 0.0
+    diff[1:] = values[1:] - values[:-1]
+    diff[group_starts] = 0.0
+    return diff
+
+
+def _grouped_rolling_mean(
+    values: np.ndarray, group_starts: np.ndarray, window: int
+) -> np.ndarray:
+    """Trailing rolling mean within groups (partial windows at starts)."""
+    n = values.size
+    group_id = np.cumsum(group_starts)
+    position = np.arange(n) - np.maximum.accumulate(
+        np.where(group_starts, np.arange(n), 0)
+    )
+    cumulative = np.cumsum(values)
+    result = np.empty(n, dtype=float)
+    window_len = np.minimum(position + 1, window)
+    start_index = np.arange(n) - window_len + 1
+    # Sum over [start, i] = cumsum[i] - cumsum[start-1].
+    left = np.where(start_index > 0, cumulative[np.maximum(start_index - 1, 0)], 0.0)
+    result = (cumulative - left) / window_len
+    # Guard: windows never cross group boundaries because position
+    # resets to 0 at each start, bounding window_len by in-group length.
+    del group_id
+    return result
+
+
+def add_derived_features(
+    dataset: TelemetryDataset,
+    columns: tuple[str, ...] = DEFAULT_DERIVE_COLUMNS,
+    rolling_window: int = 7,
+) -> tuple[TelemetryDataset, tuple[str, ...]]:
+    """Return a dataset with delta/rolling-mean columns, plus their names.
+
+    Apply *after* :func:`repro.core.preprocess.preprocess` (deltas over
+    repaired, gap-filled rows are well defined).
+    """
+    if rolling_window < 2:
+        raise ValueError("rolling_window must be at least 2")
+    missing = [c for c in columns if c not in dataset.columns]
+    if missing:
+        raise KeyError(f"dataset is missing columns {missing}")
+
+    serial = dataset.columns["serial"]
+    group_starts = np.concatenate([[True], serial[1:] != serial[:-1]])
+
+    new_columns = dict(dataset.columns)
+    added: list[str] = []
+    for column in columns:
+        values = dataset.columns[column].astype(float)
+        delta_name = f"d1_{column}"
+        new_columns[delta_name] = _grouped_diff(values, group_starts)
+        added.append(delta_name)
+        mean_name = f"rm{rolling_window}_{column}"
+        new_columns[mean_name] = _grouped_rolling_mean(
+            new_columns[delta_name], group_starts, rolling_window
+        )
+        added.append(mean_name)
+    return (
+        TelemetryDataset(new_columns, dataset.drives, dataset.tickets),
+        tuple(added),
+    )

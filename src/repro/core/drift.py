@@ -1,0 +1,120 @@
+"""Feature-drift measurement: why models need iteration (Figs 12/16).
+
+The paper observes FPR creeping up after 2-3 months and attributes it
+to "historical changes of some feature values that MFPA has learned in
+the past". This module quantifies that with the population stability
+index (PSI) — the standard model-monitoring statistic — computed per
+feature between the training-era healthy population and a later window.
+PSI > 0.1 is conventionally "drifting", > 0.25 "severe"; a deployment
+can retrain on drift instead of on a fixed calendar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pipeline import MFPA
+
+
+def population_stability_index(
+    expected: np.ndarray, actual: np.ndarray, n_bins: int = 10
+) -> float:
+    """PSI between a reference sample and a current sample.
+
+    Bins are the reference sample's quantiles, so a stationary feature
+    scores ~0 regardless of its marginal shape. Empty-bin counts are
+    floored to keep the statistic finite.
+    """
+    expected = np.asarray(expected, dtype=float)
+    actual = np.asarray(actual, dtype=float)
+    if expected.size == 0 or actual.size == 0:
+        raise ValueError("both samples must be non-empty")
+    if n_bins < 2:
+        raise ValueError("n_bins must be at least 2")
+
+    quantiles = np.linspace(0, 100, n_bins + 1)
+    edges = np.percentile(expected, quantiles)
+    edges[0], edges[-1] = -np.inf, np.inf
+    # Collapse duplicate edges (constant-ish features).
+    edges = np.unique(edges)
+    if edges.size < 3:
+        return 0.0
+
+    expected_counts, _ = np.histogram(expected, bins=edges)
+    actual_counts, _ = np.histogram(actual, bins=edges)
+    expected_share = np.maximum(expected_counts / expected.size, 1e-6)
+    actual_share = np.maximum(actual_counts / actual.size, 1e-6)
+    return float(np.sum((actual_share - expected_share) * np.log(actual_share / expected_share)))
+
+
+@dataclass(frozen=True)
+class FeatureDrift:
+    """One feature's drift measurement."""
+
+    column: str
+    psi: float
+
+    @property
+    def severity(self) -> str:
+        if self.psi < 0.1:
+            return "stable"
+        if self.psi < 0.25:
+            return "drifting"
+        return "severe"
+
+
+def feature_drift_report(
+    model: MFPA,
+    reference_window: tuple[int, int],
+    current_window: tuple[int, int],
+    healthy_only: bool = True,
+    max_rows: int = 20000,
+    seed: int = 0,
+) -> list[FeatureDrift]:
+    """Per-feature PSI between two time windows of the prepared fleet.
+
+    ``healthy_only`` restricts both samples to never-failed drives so
+    genuine drift is not confounded with failure signatures. Returns
+    features sorted by descending PSI.
+    """
+    prepared = model.dataset_
+    day = prepared.columns["day"]
+    serial = prepared.columns["serial"]
+    rng = np.random.default_rng(seed)
+
+    def window_rows(window: tuple[int, int]) -> np.ndarray:
+        start, end = window
+        if end <= start:
+            raise ValueError("window end must exceed start")
+        mask = (day >= start) & (day < end)
+        if healthy_only:
+            faulty = np.fromiter(model.failure_times_, dtype=np.int64)
+            mask &= ~np.isin(serial, faulty)
+        rows = np.flatnonzero(mask)
+        if rows.size == 0:
+            raise ValueError(f"no rows in window {window}")
+        if rows.size > max_rows:
+            rows = rng.choice(rows, size=max_rows, replace=False)
+        return rows
+
+    reference_X = model.assembler_.assemble(
+        prepared.columns, window_rows(reference_window)
+    )
+    current_X = model.assembler_.assemble(prepared.columns, window_rows(current_window))
+
+    report = [
+        FeatureDrift(
+            column=column,
+            psi=population_stability_index(reference_X[:, i], current_X[:, i]),
+        )
+        for i, column in enumerate(model.assembler_.columns)
+    ]
+    report.sort(key=lambda drift: drift.psi, reverse=True)
+    return report
+
+
+def drifted_columns(report: list[FeatureDrift], threshold: float = 0.1) -> list[str]:
+    """Columns whose PSI exceeds the drift threshold."""
+    return [drift.column for drift in report if drift.psi > threshold]

@@ -1,0 +1,93 @@
+"""Stage 3 of MFPA: time-series-aware segmentation and CV (§III-C(3), Fig 8).
+
+Random train/test splits let a model peek at the future: training rows
+can postdate test rows, inflating offline scores that collapse in
+deployment. MFPA replaces both the train/test split and the k-fold CV
+with chronological versions:
+
+* **Timepoint-based segmentation** (Fig 8a): inside the study time
+  window TW, everything before the learning-window boundary LW is
+  training data, everything after is test data.
+* **Time-series cross-validation** (Fig 8b): the training rows are cut
+  into ``2k`` chronological subsets; iteration ``i`` trains on subsets
+  ``i .. i+k-1`` and validates on subset ``i+k``, so validation data is
+  always strictly newer than training data.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.labeling import SampleSet
+
+
+class TimepointSplit:
+    """Chronological train/test segmentation (Fig 8a-(2)).
+
+    Parameters
+    ----------
+    split_day:
+        Records with ``day < split_day`` form the training set (the
+        learning window LW); the rest form the test set.
+    """
+
+    def __init__(self, split_day: int):
+        self.split_day = split_day
+
+    def split(self, samples: SampleSet) -> tuple[SampleSet, SampleSet]:
+        """Return ``(train, test)`` sample sets."""
+        train_mask = samples.days < self.split_day
+        train = samples.subset(np.flatnonzero(train_mask))
+        test = samples.subset(np.flatnonzero(~train_mask))
+        return train, test
+
+    @staticmethod
+    def random_split(
+        samples: SampleSet, train_fraction: float = 0.9, seed: int = 0
+    ) -> tuple[SampleSet, SampleSet]:
+        """The naive shuffled split of Fig 8a-(1) — kept as the ablation
+        strawman; it leaks future records into training."""
+        if not 0 < train_fraction < 1:
+            raise ValueError("train_fraction must be in (0, 1)")
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(samples.n_samples)
+        cut = int(round(train_fraction * samples.n_samples))
+        return samples.subset(order[:cut]), samples.subset(order[cut:])
+
+
+class TimeSeriesCrossValidator:
+    """Forward-chaining CV over chronologically sorted rows (Fig 8b-(2)).
+
+    The rows are divided into ``2k`` chronological subsets; fold ``i``
+    trains on the ``k`` consecutive subsets starting at ``i`` and
+    validates on subset ``i + k``. Rows must already be in chronological
+    order — :meth:`SampleSet.sorted_by_day` provides it; passing raw
+    arrays assumes the caller sorted them.
+    """
+
+    def __init__(self, k: int = 3):
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.k = k
+
+    @property
+    def n_splits(self) -> int:
+        return self.k
+
+    def split(
+        self, X: np.ndarray, y: np.ndarray | None = None
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_indices, validation_indices)`` per fold."""
+        n_samples = np.asarray(X).shape[0]
+        n_subsets = 2 * self.k
+        if n_samples < n_subsets:
+            raise ValueError(
+                f"need at least {n_subsets} rows for k={self.k}, got {n_samples}"
+            )
+        subsets = np.array_split(np.arange(n_samples), n_subsets)
+        for i in range(self.k):
+            train = np.concatenate(subsets[i : i + self.k])
+            validation = subsets[i + self.k]
+            yield train, validation

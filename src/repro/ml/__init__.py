@@ -1,0 +1,68 @@
+"""From-scratch machine-learning substrate used by the MFPA pipeline.
+
+The offline reproduction environment has no scikit-learn, so this package
+implements the estimators the paper evaluates (Bayes, SVM, RF, GBDT,
+CNN_LSTM), plus the preprocessing and model-selection utilities MFPA
+depends on. The public API deliberately mirrors the familiar
+``fit`` / ``predict`` / ``predict_proba`` conventions so the pipeline code
+reads like any other ML codebase.
+"""
+
+from repro.ml.base import BaseClassifier, clone
+from repro.ml.calibration import PlattCalibrator, reliability_curve
+from repro.ml.encoding import LabelEncoder, MinMaxScaler, StandardScaler
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.gbdt import GradientBoostingClassifier
+from repro.ml.ensemble import VotingClassifier
+from repro.ml.isolation_forest import IsolationForest
+from repro.ml.logistic import LogisticRegression
+from repro.ml.metrics import (
+    ClassificationReport,
+    accuracy,
+    auc_score,
+    classification_report,
+    confusion_matrix,
+    false_positive_rate,
+    positive_detection_rate,
+    roc_curve,
+    true_positive_rate,
+)
+from repro.ml.model_selection import GridSearchCV, ParameterGrid
+from repro.ml.naive_bayes import GaussianNaiveBayes
+from repro.ml.nn.cnn_lstm import CNNLSTMClassifier
+from repro.ml.nn.lstm_classifier import LSTMClassifier
+from repro.ml.resampling import RandomUnderSampler
+from repro.ml.svm import LinearSVM
+from repro.ml.tree import DecisionTreeClassifier
+
+__all__ = [
+    "BaseClassifier",
+    "CNNLSTMClassifier",
+    "ClassificationReport",
+    "DecisionTreeClassifier",
+    "GaussianNaiveBayes",
+    "GradientBoostingClassifier",
+    "GridSearchCV",
+    "IsolationForest",
+    "LSTMClassifier",
+    "LabelEncoder",
+    "LinearSVM",
+    "LogisticRegression",
+    "MinMaxScaler",
+    "ParameterGrid",
+    "PlattCalibrator",
+    "RandomForestClassifier",
+    "RandomUnderSampler",
+    "StandardScaler",
+    "VotingClassifier",
+    "accuracy",
+    "auc_score",
+    "classification_report",
+    "clone",
+    "confusion_matrix",
+    "false_positive_rate",
+    "positive_detection_rate",
+    "reliability_curve",
+    "roc_curve",
+    "true_positive_rate",
+]

@@ -1,0 +1,125 @@
+"""Probability calibration (Platt scaling) and reliability measurement.
+
+SVM margins and small neural networks output poorly calibrated
+probabilities; drive-level alarm thresholds are only meaningful when
+``p = 0.9`` actually means ~90%. :class:`PlattCalibrator` fits the
+classic sigmoid ``p = 1 / (1 + exp(a * s + b))`` to held-out scores,
+and :func:`reliability_curve` measures calibration quality before and
+after.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class PlattCalibrator:
+    """Sigmoid recalibration of classifier scores (Platt 1999).
+
+    Fits ``a, b`` by Newton-descended logistic regression on one score
+    feature, with Platt's label smoothing to avoid saturated targets.
+    """
+
+    def __init__(self, max_iter: int = 100, tolerance: float = 1e-10):
+        if max_iter < 1:
+            raise ValueError("max_iter must be at least 1")
+        self.max_iter = max_iter
+        self.tolerance = tolerance
+
+    def fit(self, scores: np.ndarray, y_true: np.ndarray) -> "PlattCalibrator":
+        scores = np.asarray(scores, dtype=float)
+        y_true = np.asarray(y_true)
+        if scores.shape != y_true.shape:
+            raise ValueError("scores and labels must align")
+        positives = y_true == 1
+        n_positive = int(positives.sum())
+        n_negative = y_true.size - n_positive
+        if n_positive == 0 or n_negative == 0:
+            raise ValueError("calibration needs both classes")
+
+        # Platt's smoothed targets.
+        target_positive = (n_positive + 1.0) / (n_positive + 2.0)
+        target_negative = 1.0 / (n_negative + 2.0)
+        targets = np.where(positives, target_positive, target_negative)
+
+        a, b = 0.0, float(np.log((n_negative + 1.0) / (n_positive + 1.0)))
+        for _ in range(self.max_iter):
+            logits = a * scores + b
+            # Model predicts P(y=1) = 1 / (1 + exp(logit)).
+            probabilities = 1.0 / (1.0 + np.exp(np.clip(logits, -500, 500)))
+            gradient_weight = probabilities - targets
+            grad_a = float(np.sum(gradient_weight * -scores))
+            grad_b = float(np.sum(-gradient_weight))
+            hessian_weight = probabilities * (1 - probabilities)
+            h_aa = float(np.sum(hessian_weight * scores**2)) + 1e-12
+            h_ab = float(np.sum(hessian_weight * scores))
+            h_bb = float(np.sum(hessian_weight)) + 1e-12
+            determinant = h_aa * h_bb - h_ab**2
+            if abs(determinant) < 1e-20:
+                break
+            delta_a = (h_bb * grad_a - h_ab * grad_b) / determinant
+            delta_b = (h_aa * grad_b - h_ab * grad_a) / determinant
+            a -= delta_a
+            b -= delta_b
+            if abs(delta_a) < self.tolerance and abs(delta_b) < self.tolerance:
+                break
+        self.a_ = a
+        self.b_ = b
+        return self
+
+    def transform(self, scores: np.ndarray) -> np.ndarray:
+        """Map raw scores to calibrated probabilities."""
+        if not hasattr(self, "a_"):
+            raise RuntimeError("PlattCalibrator is not fitted yet")
+        logits = self.a_ * np.asarray(scores, dtype=float) + self.b_
+        return 1.0 / (1.0 + np.exp(np.clip(logits, -500, 500)))
+
+    def fit_transform(self, scores: np.ndarray, y_true: np.ndarray) -> np.ndarray:
+        return self.fit(scores, y_true).transform(scores)
+
+
+def reliability_curve(
+    y_true: np.ndarray, probabilities: np.ndarray, n_bins: int = 10
+) -> dict[str, np.ndarray]:
+    """Binned predicted-vs-observed frequencies plus Brier score/ECE.
+
+    Returns ``bin_centers``, ``mean_predicted``, ``fraction_positive``,
+    ``bin_counts`` (NaN-padded for empty bins), ``brier`` and ``ece``
+    (expected calibration error, bin-count weighted).
+    """
+    y_true = np.asarray(y_true)
+    probabilities = np.asarray(probabilities, dtype=float)
+    if y_true.shape != probabilities.shape:
+        raise ValueError("inputs must align")
+    if n_bins < 2:
+        raise ValueError("n_bins must be at least 2")
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    indices = np.clip(np.digitize(probabilities, edges) - 1, 0, n_bins - 1)
+
+    mean_predicted = np.full(n_bins, np.nan)
+    fraction_positive = np.full(n_bins, np.nan)
+    bin_counts = np.zeros(n_bins, dtype=int)
+    for bin_index in range(n_bins):
+        members = indices == bin_index
+        bin_counts[bin_index] = int(members.sum())
+        if bin_counts[bin_index]:
+            mean_predicted[bin_index] = probabilities[members].mean()
+            fraction_positive[bin_index] = (y_true[members] == 1).mean()
+
+    brier = float(np.mean((probabilities - (y_true == 1)) ** 2))
+    occupied = bin_counts > 0
+    ece = float(
+        np.sum(
+            bin_counts[occupied]
+            * np.abs(mean_predicted[occupied] - fraction_positive[occupied])
+        )
+        / max(1, bin_counts.sum())
+    )
+    return {
+        "bin_centers": (edges[:-1] + edges[1:]) / 2,
+        "mean_predicted": mean_predicted,
+        "fraction_positive": fraction_positive,
+        "bin_counts": bin_counts,
+        "brier": brier,
+        "ece": ece,
+    }

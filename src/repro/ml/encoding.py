@@ -1,0 +1,92 @@
+"""Feature encoding and scaling.
+
+The paper label-encodes the (string-valued) firmware version and feeds
+numeric SMART/event features to the models; SVM and the neural network
+additionally need standardized inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+class LabelEncoder:
+    """Map arbitrary hashable labels to consecutive integers.
+
+    Used for firmware-version strings (paper §III-C(1)). Encoding order
+    is the sorted order of the classes seen in ``fit``, which makes the
+    encoding deterministic across runs.
+    """
+
+    def fit(self, values: Iterable) -> "LabelEncoder":
+        self.classes_ = sorted(set(values), key=str)
+        self._index = {value: i for i, value in enumerate(self.classes_)}
+        return self
+
+    def transform(self, values: Iterable) -> np.ndarray:
+        if not hasattr(self, "classes_"):
+            raise RuntimeError("LabelEncoder is not fitted yet")
+        try:
+            return np.array([self._index[value] for value in values], dtype=int)
+        except KeyError as error:
+            raise ValueError(f"unseen label {error.args[0]!r}") from error
+
+    def fit_transform(self, values: Sequence) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+    def inverse_transform(self, codes: Iterable[int]) -> list:
+        if not hasattr(self, "classes_"):
+            raise RuntimeError("LabelEncoder is not fitted yet")
+        return [self.classes_[int(code)] for code in codes]
+
+
+class StandardScaler:
+    """Zero-mean / unit-variance scaling, NaN-safe for constant columns."""
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = np.asarray(X, dtype=float)
+        self.mean_ = X.mean(axis=0)
+        scale = X.std(axis=0)
+        # A (near-)constant column has ~zero variance; dividing by 1
+        # leaves it at ~0 after centering instead of amplifying float
+        # rounding noise into O(1) values. The threshold is relative to
+        # the column magnitude so large constants are caught too.
+        threshold = 1e-10 * np.maximum(np.abs(self.mean_), 1.0)
+        self.scale_ = np.where(scale <= threshold, 1.0, scale)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "mean_"):
+            raise RuntimeError("StandardScaler is not fitted yet")
+        X = np.asarray(X, dtype=float)
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "mean_"):
+            raise RuntimeError("StandardScaler is not fitted yet")
+        return np.asarray(X, dtype=float) * self.scale_ + self.mean_
+
+
+class MinMaxScaler:
+    """Scale each feature to ``[0, 1]``, NaN-safe for constant columns."""
+
+    def fit(self, X: np.ndarray) -> "MinMaxScaler":
+        X = np.asarray(X, dtype=float)
+        self.min_ = X.min(axis=0)
+        data_range = X.max(axis=0) - self.min_
+        self.range_ = np.where(data_range == 0, 1.0, data_range)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "min_"):
+            raise RuntimeError("MinMaxScaler is not fitted yet")
+        X = np.asarray(X, dtype=float)
+        return (X - self.min_) / self.range_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)

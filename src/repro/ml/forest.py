@@ -1,0 +1,161 @@
+"""Random forest classifier — the paper's best-performing algorithm.
+
+Bootstrap-sampled CART trees with per-node feature subsampling, averaged
+class probabilities. The paper finds tree ensembles degrade most
+gracefully on the discontinuous CSS telemetry (§IV-(3)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseClassifier, check_X, check_X_y
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+class RandomForestClassifier(BaseClassifier):
+    """Bagged ensemble of decorrelated CART trees.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of trees.
+    max_depth, min_samples_split, min_samples_leaf, max_features:
+        Passed to every member tree. ``max_features="sqrt"`` is the
+        standard forest default.
+    bootstrap:
+        Draw each tree's training set with replacement when True.
+    class_weight:
+        ``None``, ``"balanced"``, or a label -> weight dict; passed to
+        every member tree (cost-sensitive forests, cf. CSLE [24]).
+    seed:
+        Master seed; each tree derives its own stream.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features="sqrt",
+        bootstrap: bool = True,
+        class_weight=None,
+        seed: int = 0,
+    ):
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be at least 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.class_weight = class_weight
+        self.seed = seed
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        X, y = check_X_y(X, y)
+        if X.ndim != 2:
+            raise ValueError("RandomForestClassifier expects 2-D input")
+        self.classes_ = np.unique(y)
+        self.n_features_ = X.shape[1]
+        rng = np.random.default_rng(self.seed)
+        n_samples = X.shape[0]
+
+        self.trees_ = []
+        for index in range(self.n_estimators):
+            if self.bootstrap:
+                sample = rng.integers(0, n_samples, size=n_samples)
+            else:
+                sample = np.arange(n_samples)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                class_weight=self.class_weight,
+                seed=int(rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(X[sample], y[sample])
+            self.trees_.append(tree)
+
+        self.feature_importances_ = np.mean(
+            [tree.feature_importances_ for tree in self.trees_], axis=0
+        )
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        X = check_X(X, self.n_features_)
+        # Trees may have seen different class subsets in their bootstrap;
+        # align every tree's output onto the forest's class list.
+        aggregate = np.zeros((X.shape[0], self.classes_.size))
+        class_position = {label: i for i, label in enumerate(self.classes_)}
+        for tree in self.trees_:
+            probabilities = tree.predict_proba(X)
+            columns = [class_position[label] for label in tree.classes_]
+            aggregate[:, columns] += probabilities
+        aggregate /= len(self.trees_)
+        return aggregate
+
+
+class RandomForestRegressor:
+    """Bagged ensemble of CART regression trees.
+
+    Used by the remaining-useful-life extension
+    (:mod:`repro.core.rul`); mirrors the classifier's configuration.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features="sqrt",
+        bootstrap: bool = True,
+        seed: int = 0,
+    ):
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be at least 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.seed = seed
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2 or X.shape[0] != y.shape[0] or X.shape[0] == 0:
+            raise ValueError("invalid shapes for RandomForestRegressor")
+        if not (np.all(np.isfinite(X)) and np.all(np.isfinite(y))):
+            raise ValueError("inputs contain NaN or infinite values")
+        self.n_features_ = X.shape[1]
+        rng = np.random.default_rng(self.seed)
+        n_samples = X.shape[0]
+        self.trees_ = []
+        for _ in range(self.n_estimators):
+            if self.bootstrap:
+                sample = rng.integers(0, n_samples, size=n_samples)
+            else:
+                sample = np.arange(n_samples)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                seed=int(rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(X[sample], y[sample])
+            self.trees_.append(tree)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "trees_"):
+            raise RuntimeError("RandomForestRegressor is not fitted yet")
+        X = check_X(X, self.n_features_)
+        return np.mean([tree.predict(X) for tree in self.trees_], axis=0)

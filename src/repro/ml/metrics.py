@@ -1,0 +1,198 @@
+"""Classification metrics used throughout the paper's evaluation.
+
+The paper reports ACC, TPR, FPR, AUC and introduces PDR (positive
+detection rate, the fraction of all samples flagged positive). All
+functions treat label ``1`` as the positive (faulty) class unless told
+otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray, positive_label: int = 1
+) -> tuple[int, int, int, int]:
+    """Return ``(tp, fp, fn, tn)`` counts for a binary problem."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"y_true and y_pred have different shapes: {y_true.shape} vs {y_pred.shape}"
+        )
+    actual_positive = y_true == positive_label
+    predicted_positive = y_pred == positive_label
+    tp = int(np.sum(actual_positive & predicted_positive))
+    fp = int(np.sum(~actual_positive & predicted_positive))
+    fn = int(np.sum(actual_positive & ~predicted_positive))
+    tn = int(np.sum(~actual_positive & ~predicted_positive))
+    return tp, fp, fn, tn
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """ACC = (TP + TN) / all."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.size == 0:
+        raise ValueError("cannot compute accuracy of zero samples")
+    return float(np.mean(y_true == y_pred))
+
+
+def true_positive_rate(
+    y_true: np.ndarray, y_pred: np.ndarray, positive_label: int = 1
+) -> float:
+    """TPR (recall) = TP / (TP + FN). Returns NaN if there are no positives."""
+    tp, _, fn, _ = confusion_matrix(y_true, y_pred, positive_label)
+    if tp + fn == 0:
+        return float("nan")
+    return tp / (tp + fn)
+
+
+def false_positive_rate(
+    y_true: np.ndarray, y_pred: np.ndarray, positive_label: int = 1
+) -> float:
+    """FPR = FP / (FP + TN). Returns NaN if there are no negatives."""
+    _, fp, _, tn = confusion_matrix(y_true, y_pred, positive_label)
+    if fp + tn == 0:
+        return float("nan")
+    return fp / (fp + tn)
+
+
+def positive_detection_rate(
+    y_true: np.ndarray, y_pred: np.ndarray, positive_label: int = 1
+) -> float:
+    """PDR = (TP + FP) / all — the fraction of the fleet flagged positive.
+
+    Introduced by the paper to quantify how much data migration a
+    deployment would trigger.
+    """
+    tp, fp, fn, tn = confusion_matrix(y_true, y_pred, positive_label)
+    total = tp + fp + fn + tn
+    if total == 0:
+        raise ValueError("cannot compute PDR of zero samples")
+    return (tp + fp) / total
+
+
+def precision(y_true: np.ndarray, y_pred: np.ndarray, positive_label: int = 1) -> float:
+    """Precision = TP / (TP + FP). Returns NaN if nothing was flagged."""
+    tp, fp, _, _ = confusion_matrix(y_true, y_pred, positive_label)
+    if tp + fp == 0:
+        return float("nan")
+    return tp / (tp + fp)
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray, positive_label: int = 1) -> float:
+    """Harmonic mean of precision and TPR."""
+    p = precision(y_true, y_pred, positive_label)
+    r = true_positive_rate(y_true, y_pred, positive_label)
+    if np.isnan(p) or np.isnan(r) or p + r == 0:
+        return float("nan")
+    return 2 * p * r / (p + r)
+
+
+def roc_curve(
+    y_true: np.ndarray, y_score: np.ndarray, positive_label: int = 1
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return ``(fpr, tpr, thresholds)`` sweeping the decision threshold.
+
+    Thresholds are the distinct scores in decreasing order; the curve is
+    anchored at (0, 0) with an initial ``+inf`` threshold.
+    """
+    y_true = np.asarray(y_true)
+    y_score = np.asarray(y_score, dtype=float)
+    if y_true.shape != y_score.shape:
+        raise ValueError("y_true and y_score must have the same shape")
+    positives = y_true == positive_label
+    n_positive = int(np.sum(positives))
+    n_negative = positives.size - n_positive
+    if n_positive == 0 or n_negative == 0:
+        raise ValueError("ROC requires at least one positive and one negative sample")
+
+    order = np.argsort(-y_score, kind="stable")
+    sorted_scores = y_score[order]
+    sorted_positives = positives[order]
+
+    # Cut only where the score changes, so tied scores share a point.
+    distinct = np.where(np.diff(sorted_scores))[0]
+    cut_indices = np.concatenate([distinct, [sorted_scores.size - 1]])
+
+    cumulative_tp = np.cumsum(sorted_positives)
+    cumulative_fp = np.cumsum(~sorted_positives)
+    tpr = np.concatenate([[0.0], cumulative_tp[cut_indices] / n_positive])
+    fpr = np.concatenate([[0.0], cumulative_fp[cut_indices] / n_negative])
+    thresholds = np.concatenate([[np.inf], sorted_scores[cut_indices]])
+    return fpr, tpr, thresholds
+
+
+def auc_score(y_true: np.ndarray, y_score: np.ndarray, positive_label: int = 1) -> float:
+    """Area under the ROC curve via the trapezoid rule."""
+    fpr, tpr, _ = roc_curve(y_true, y_score, positive_label)
+    return float(np.trapezoid(tpr, fpr))
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """The metric bundle the paper reports for every experiment."""
+
+    tp: int
+    fp: int
+    fn: int
+    tn: int
+    accuracy: float
+    tpr: float
+    fpr: float
+    pdr: float
+    auc: float
+
+    @property
+    def n_samples(self) -> int:
+        return self.tp + self.fp + self.fn + self.tn
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "ACC": self.accuracy,
+            "TPR": self.tpr,
+            "FPR": self.fpr,
+            "PDR": self.pdr,
+            "AUC": self.auc,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"ACC={self.accuracy:.4f} TPR={self.tpr:.4f} "
+            f"FPR={self.fpr:.4f} PDR={self.pdr:.4f} AUC={self.auc:.4f}"
+        )
+
+
+def classification_report(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    y_score: np.ndarray | None = None,
+    positive_label: int = 1,
+) -> ClassificationReport:
+    """Compute the full paper-style metric bundle.
+
+    ``y_score`` (probability of the positive class) is needed for AUC;
+    without it the hard predictions are used as a degenerate score.
+    """
+    tp, fp, fn, tn = confusion_matrix(y_true, y_pred, positive_label)
+    if y_score is None:
+        y_score = (np.asarray(y_pred) == positive_label).astype(float)
+    try:
+        auc = auc_score(y_true, y_score, positive_label)
+    except ValueError:
+        auc = float("nan")
+    return ClassificationReport(
+        tp=tp,
+        fp=fp,
+        fn=fn,
+        tn=tn,
+        accuracy=accuracy(y_true, y_pred),
+        tpr=true_positive_rate(y_true, y_pred, positive_label),
+        fpr=false_positive_rate(y_true, y_pred, positive_label),
+        pdr=positive_detection_rate(y_true, y_pred, positive_label),
+        auc=auc,
+    )

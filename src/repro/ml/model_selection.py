@@ -1,0 +1,164 @@
+"""Hyperparameter search and generic cross-validation splitters.
+
+The paper tunes each algorithm with grid search combined with its
+time-series cross-validation (§III-C(4)). The splitter is pluggable so
+the same grid search runs with either the naive k-fold here or
+:class:`repro.core.splitting.TimeSeriesCrossValidator`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.ml.base import BaseClassifier, clone
+from repro.ml.metrics import accuracy
+
+Splitter = Callable[[np.ndarray, np.ndarray], Iterable[tuple[np.ndarray, np.ndarray]]]
+
+
+class ParameterGrid:
+    """Iterate over the cartesian product of a parameter grid dict."""
+
+    def __init__(self, grid: Mapping[str, Sequence]):
+        if not grid:
+            raise ValueError("parameter grid must not be empty")
+        for name, values in grid.items():
+            if len(values) == 0:
+                raise ValueError(f"parameter {name!r} has no candidate values")
+        self.grid = dict(grid)
+
+    def __iter__(self) -> Iterator[dict]:
+        names = sorted(self.grid)
+        for combination in itertools.product(*(self.grid[name] for name in names)):
+            yield dict(zip(names, combination))
+
+    def __len__(self) -> int:
+        product = 1
+        for values in self.grid.values():
+            product *= len(values)
+        return product
+
+
+class KFold:
+    """Plain (non-temporal) k-fold splitter — the paper's strawman.
+
+    Shuffling mixes future and past records, which is exactly the leakage
+    the time-series CV of Fig. 8(b) avoids; the ablation benches compare
+    the two.
+    """
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True, seed: int = 0):
+        if n_splits < 2:
+            raise ValueError("n_splits must be at least 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.seed = seed
+
+    def split(
+        self, X: np.ndarray, y: np.ndarray | None = None
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n_samples = np.asarray(X).shape[0]
+        if n_samples < self.n_splits:
+            raise ValueError(f"cannot split {n_samples} samples into {self.n_splits} folds")
+        indices = np.arange(n_samples)
+        if self.shuffle:
+            np.random.default_rng(self.seed).shuffle(indices)
+        folds = np.array_split(indices, self.n_splits)
+        for held_out in range(self.n_splits):
+            validation = folds[held_out]
+            training = np.concatenate(
+                [folds[i] for i in range(self.n_splits) if i != held_out]
+            )
+            yield training, validation
+
+
+def cross_val_score(
+    estimator: BaseClassifier,
+    X: np.ndarray,
+    y: np.ndarray,
+    splitter,
+    scoring: Callable[[np.ndarray, np.ndarray], float] = accuracy,
+) -> np.ndarray:
+    """Score a fresh clone of ``estimator`` on every CV fold."""
+    X = np.asarray(X)
+    y = np.asarray(y)
+    scores = []
+    for train_indices, validation_indices in splitter.split(X, y):
+        model = clone(estimator)
+        model.fit(X[train_indices], y[train_indices])
+        predictions = model.predict(X[validation_indices])
+        scores.append(scoring(y[validation_indices], predictions))
+    return np.asarray(scores)
+
+
+class GridSearchCV:
+    """Exhaustive hyperparameter search over a CV splitter.
+
+    Parameters
+    ----------
+    estimator:
+        Prototype estimator; cloned for every (candidate, fold) pair.
+    param_grid:
+        Mapping of parameter name to candidate values.
+    splitter:
+        Object with ``split(X, y)`` yielding (train, validation) index
+        pairs — e.g. :class:`KFold` or the MFPA time-series CV.
+    scoring:
+        ``scoring(y_true, y_pred) -> float``; higher is better.
+    refit:
+        When True, refit the best candidate on all data after the search.
+    """
+
+    def __init__(
+        self,
+        estimator: BaseClassifier,
+        param_grid: Mapping[str, Sequence],
+        splitter,
+        scoring: Callable[[np.ndarray, np.ndarray], float] = accuracy,
+        refit: bool = True,
+    ):
+        self.estimator = estimator
+        self.param_grid = ParameterGrid(param_grid)
+        self.splitter = splitter
+        self.scoring = scoring
+        self.refit = refit
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GridSearchCV":
+        X = np.asarray(X)
+        y = np.asarray(y)
+        self.results_: list[dict] = []
+        best_score = -np.inf
+        best_params: dict = {}
+        for params in self.param_grid:
+            candidate = clone(self.estimator).set_params(**params)
+            fold_scores = cross_val_score(candidate, X, y, self.splitter, self.scoring)
+            mean_score = float(np.mean(fold_scores))
+            self.results_.append(
+                {
+                    "params": params,
+                    "mean_score": mean_score,
+                    "fold_scores": fold_scores.tolist(),
+                }
+            )
+            if mean_score > best_score:
+                best_score = mean_score
+                best_params = params
+        self.best_score_ = best_score
+        self.best_params_ = best_params
+        if self.refit:
+            self.best_estimator_ = clone(self.estimator).set_params(**best_params)
+            self.best_estimator_.fit(X, y)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "best_estimator_"):
+            raise RuntimeError("GridSearchCV is not fitted (or refit=False)")
+        return self.best_estimator_.predict(X)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "best_estimator_"):
+            raise RuntimeError("GridSearchCV is not fitted (or refit=False)")
+        return self.best_estimator_.predict_proba(X)

@@ -1,0 +1,13 @@
+"""Minimal neural-network toolkit for the CNN_LSTM failure predictor.
+
+Implements exactly the pieces the paper's deep model needs — 1-D
+convolution, LSTM, dense layers, Adam — with explicit forward/backward
+passes in numpy.
+"""
+
+from repro.ml.nn.cnn_lstm import CNNLSTMClassifier
+from repro.ml.nn.layers import LSTM, Conv1D, Dense
+from repro.ml.nn.lstm_classifier import LSTMClassifier
+from repro.ml.nn.optimizers import SGD, Adam
+
+__all__ = ["Adam", "CNNLSTMClassifier", "Conv1D", "Dense", "LSTM", "LSTMClassifier", "SGD"]

@@ -1,0 +1,206 @@
+"""Layers with explicit forward/backward passes.
+
+Every layer exposes ``params`` / ``grads`` (parallel lists of arrays) so
+an optimizer can update them in place, plus ``forward(x)`` and
+``backward(grad_output)`` where the backward pass consumes the cached
+activations of the most recent forward pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -60, 60)))
+
+
+class Layer:
+    """Base layer; parameter-free layers inherit the empty lists."""
+
+    params: list[np.ndarray]
+    grads: list[np.ndarray]
+
+    def __init__(self):
+        self.params = []
+        self.grads = []
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class Dense(Layer):
+    """Fully connected layer: ``y = x @ W + b``."""
+
+    def __init__(self, n_in: int, n_out: int, rng: np.random.Generator):
+        super().__init__()
+        limit = np.sqrt(6.0 / (n_in + n_out))
+        self.W = rng.uniform(-limit, limit, size=(n_in, n_out))
+        self.b = np.zeros(n_out)
+        self.params = [self.W, self.b]
+        self.grads = [np.zeros_like(self.W), np.zeros_like(self.b)]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return x @ self.W + self.b
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        self.grads[0][...] = self._x.T @ grad_output
+        self.grads[1][...] = grad_output.sum(axis=0)
+        return grad_output @ self.W.T
+
+
+class ReLU(Layer):
+    """Elementwise rectifier."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output * self._mask
+
+
+class Conv1D(Layer):
+    """1-D convolution along the time axis with 'same' zero padding.
+
+    Input/output shape: ``(batch, time, channels)``. Implemented by
+    unfolding time windows and contracting with einsum, which keeps both
+    passes fully vectorized.
+    """
+
+    def __init__(
+        self, n_in: int, n_out: int, kernel_size: int, rng: np.random.Generator
+    ):
+        super().__init__()
+        if kernel_size < 1 or kernel_size % 2 == 0:
+            raise ValueError("kernel_size must be a positive odd number")
+        self.kernel_size = kernel_size
+        limit = np.sqrt(6.0 / (n_in * kernel_size + n_out))
+        self.W = rng.uniform(-limit, limit, size=(kernel_size, n_in, n_out))
+        self.b = np.zeros(n_out)
+        self.params = [self.W, self.b]
+        self.grads = [np.zeros_like(self.W), np.zeros_like(self.b)]
+
+    def _unfold(self, x: np.ndarray) -> np.ndarray:
+        """Return windows of shape (batch, time, kernel, channels)."""
+        pad = self.kernel_size // 2
+        padded = np.pad(x, ((0, 0), (pad, pad), (0, 0)))
+        batch, padded_time, channels = padded.shape
+        time = x.shape[1]
+        strides = padded.strides
+        return np.lib.stride_tricks.as_strided(
+            padded,
+            shape=(batch, time, self.kernel_size, channels),
+            strides=(strides[0], strides[1], strides[1], strides[2]),
+            writeable=False,
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        windows = self._unfold(x)
+        self._windows = windows
+        return np.einsum("btkc,kco->bto", windows, self.W) + self.b
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        self.grads[0][...] = np.einsum("btkc,bto->kco", self._windows, grad_output)
+        self.grads[1][...] = grad_output.sum(axis=(0, 1))
+        # Gradient w.r.t. input: scatter each window contribution back.
+        pad = self.kernel_size // 2
+        grad_windows = np.einsum("bto,kco->btkc", grad_output, self.W)
+        batch, time, channels = self._x.shape
+        grad_padded = np.zeros((batch, time + 2 * pad, channels))
+        for k in range(self.kernel_size):
+            grad_padded[:, k : k + time] += grad_windows[:, :, k]
+        return grad_padded[:, pad : pad + time]
+
+
+class LSTM(Layer):
+    """Single-layer LSTM returning the full hidden sequence.
+
+    Input ``(batch, time, n_in)`` -> output ``(batch, time, n_hidden)``.
+    Backward is full BPTT over the cached gate activations.
+    """
+
+    def __init__(self, n_in: int, n_hidden: int, rng: np.random.Generator):
+        super().__init__()
+        self.n_hidden = n_hidden
+        limit = np.sqrt(6.0 / (n_in + n_hidden))
+        self.Wx = rng.uniform(-limit, limit, size=(n_in, 4 * n_hidden))
+        self.Wh = rng.uniform(-limit, limit, size=(n_hidden, 4 * n_hidden))
+        self.b = np.zeros(4 * n_hidden)
+        # Positive forget-gate bias: standard trick for stable training.
+        self.b[n_hidden : 2 * n_hidden] = 1.0
+        self.params = [self.Wx, self.Wh, self.b]
+        self.grads = [np.zeros_like(p) for p in self.params]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        batch, time, _ = x.shape
+        H = self.n_hidden
+        h = np.zeros((batch, H))
+        c = np.zeros((batch, H))
+        self._cache = []
+        self._x = x
+        outputs = np.zeros((batch, time, H))
+        for t in range(time):
+            z = x[:, t] @ self.Wx + h @ self.Wh + self.b
+            i = _sigmoid(z[:, :H])
+            f = _sigmoid(z[:, H : 2 * H])
+            g = np.tanh(z[:, 2 * H : 3 * H])
+            o = _sigmoid(z[:, 3 * H :])
+            c_new = f * c + i * g
+            tanh_c = np.tanh(c_new)
+            h_new = o * tanh_c
+            self._cache.append((h, c, i, f, g, o, tanh_c))
+            h, c = h_new, c_new
+            outputs[:, t] = h
+        return outputs
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        batch, time, _ = self._x.shape
+        H = self.n_hidden
+        for grad in self.grads:
+            grad[...] = 0.0
+        grad_x = np.zeros_like(self._x)
+        grad_h_next = np.zeros((batch, H))
+        grad_c_next = np.zeros((batch, H))
+        for t in reversed(range(time)):
+            h_prev, c_prev, i, f, g, o, tanh_c = self._cache[t]
+            grad_h = grad_output[:, t] + grad_h_next
+            grad_o = grad_h * tanh_c
+            grad_c = grad_h * o * (1 - tanh_c**2) + grad_c_next
+            grad_i = grad_c * g
+            grad_f = grad_c * c_prev
+            grad_g = grad_c * i
+            grad_c_next = grad_c * f
+            grad_z = np.concatenate(
+                [
+                    grad_i * i * (1 - i),
+                    grad_f * f * (1 - f),
+                    grad_g * (1 - g**2),
+                    grad_o * o * (1 - o),
+                ],
+                axis=1,
+            )
+            self.grads[0] += self._x[:, t].T @ grad_z
+            self.grads[1] += h_prev.T @ grad_z
+            self.grads[2] += grad_z.sum(axis=0)
+            grad_x[:, t] = grad_z @ self.Wx.T
+            grad_h_next = grad_z @ self.Wh.T
+        return grad_x
+
+
+class LastTimestep(Layer):
+    """Select the final timestep: ``(batch, time, f) -> (batch, f)``."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x[:, -1]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = np.zeros(self._shape)
+        grad[:, -1] = grad_output
+        return grad

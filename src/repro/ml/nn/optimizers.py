@@ -1,0 +1,71 @@
+"""Gradient-descent optimizers for the neural layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class SGD:
+    """Plain mini-batch SGD with optional momentum."""
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.0):
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0 <= momentum < 1:
+            raise ValueError("momentum must be in [0, 1)")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        for param, grad in zip(params, grads):
+            key = id(param)
+            velocity = self._velocity.get(key)
+            if velocity is None:
+                velocity = np.zeros_like(param)
+                self._velocity[key] = velocity
+            velocity *= self.momentum
+            velocity -= self.learning_rate * grad
+            param += velocity
+
+
+class Adam:
+    """Adam optimizer (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ):
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._m: dict[int, np.ndarray] = {}
+        self._v: dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        self._t += 1
+        correction1 = 1 - self.beta1**self._t
+        correction2 = 1 - self.beta2**self._t
+        for param, grad in zip(params, grads):
+            key = id(param)
+            if key not in self._m:
+                self._m[key] = np.zeros_like(param)
+                self._v[key] = np.zeros_like(param)
+            m = self._m[key]
+            v = self._v[key]
+            m *= self.beta1
+            m += (1 - self.beta1) * grad
+            v *= self.beta2
+            v += (1 - self.beta2) * grad**2
+            param -= (
+                self.learning_rate
+                * (m / correction1)
+                / (np.sqrt(v / correction2) + self.epsilon)
+            )

@@ -1,0 +1,69 @@
+"""Class-imbalance resampling.
+
+The failure-prediction dataset is heavily imbalanced (replacement rates
+are 0.05%-0.68%, Table VI). The paper balances classes with the
+RandomUnderSampler algorithm at ratios like 3:1 or 5:1
+(negative:positive, §III-C(3)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RandomUnderSampler:
+    """Randomly drop majority-class samples down to a target ratio.
+
+    Parameters
+    ----------
+    ratio:
+        Desired number of majority samples per minority sample. ``1.0``
+        yields a fully balanced set; the paper uses 3.0 or 5.0.
+    seed:
+        Seed for the subsampling RNG.
+    """
+
+    def __init__(self, ratio: float = 3.0, seed: int = 0):
+        if ratio <= 0:
+            raise ValueError(f"ratio must be positive, got {ratio}")
+        self.ratio = ratio
+        self.seed = seed
+
+    def fit_resample(
+        self, X: np.ndarray, y: np.ndarray, *extras: np.ndarray
+    ) -> tuple[np.ndarray, ...]:
+        """Return resampled ``(X, y, *extras)``.
+
+        ``extras`` are additional per-sample arrays (serial numbers,
+        timestamps) that must stay aligned with the kept rows. Rows keep
+        their original relative order so time-series structure survives.
+        """
+        X = np.asarray(X)
+        y = np.asarray(y)
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y have different lengths")
+        for extra in extras:
+            if np.asarray(extra).shape[0] != y.shape[0]:
+                raise ValueError("extra arrays must align with y")
+
+        labels, counts = np.unique(y, return_counts=True)
+        if labels.size < 2:
+            # Nothing to balance.
+            return (X, y, *extras)
+        minority_label = labels[np.argmin(counts)]
+        minority_count = int(counts.min())
+        target_majority = int(round(self.ratio * minority_count))
+
+        rng = np.random.default_rng(self.seed)
+        keep = np.zeros(y.shape[0], dtype=bool)
+        keep[y == minority_label] = True
+        for label in labels:
+            if label == minority_label:
+                continue
+            indices = np.flatnonzero(y == label)
+            if indices.size > target_majority:
+                indices = rng.choice(indices, size=target_majority, replace=False)
+            keep[indices] = True
+
+        kept = np.flatnonzero(keep)
+        return (X[kept], y[kept], *[np.asarray(extra)[kept] for extra in extras])

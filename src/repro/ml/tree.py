@@ -1,0 +1,425 @@
+"""CART decision trees (classification and regression).
+
+These trees power :class:`repro.ml.forest.RandomForestClassifier` and
+:class:`repro.ml.gbdt.GradientBoostingClassifier`. Split search is
+vectorized per feature (sort once, evaluate every cut with prefix sums),
+which keeps fleet-scale training tractable in pure numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseClassifier, check_X, check_X_y
+
+_NO_SPLIT = -1
+
+
+class _Tree:
+    """Flat array representation of a grown binary tree.
+
+    ``feature[i] == _NO_SPLIT`` marks a leaf; ``value[i]`` holds either a
+    class-probability vector (classification) or a scalar prediction
+    (regression).
+    """
+
+    def __init__(self, n_outputs: int):
+        self.feature: list[int] = []
+        self.threshold: list[float] = []
+        self.left: list[int] = []
+        self.right: list[int] = []
+        self.value: list[np.ndarray] = []
+        self.n_outputs = n_outputs
+
+    def add_node(self, value: np.ndarray) -> int:
+        self.feature.append(_NO_SPLIT)
+        self.threshold.append(0.0)
+        self.left.append(_NO_SPLIT)
+        self.right.append(_NO_SPLIT)
+        self.value.append(value)
+        return len(self.feature) - 1
+
+    def make_split(self, node: int, feature: int, threshold: float, left: int, right: int) -> None:
+        self.feature[node] = feature
+        self.threshold[node] = threshold
+        self.left[node] = left
+        self.right[node] = right
+
+    def finalize(self) -> None:
+        """Convert list storage to arrays for fast vectorized prediction."""
+        self.feature_arr = np.asarray(self.feature, dtype=np.int64)
+        self.threshold_arr = np.asarray(self.threshold, dtype=float)
+        self.left_arr = np.asarray(self.left, dtype=np.int64)
+        self.right_arr = np.asarray(self.right, dtype=np.int64)
+        self.value_arr = np.stack(self.value)
+
+    def predict_value(self, X: np.ndarray) -> np.ndarray:
+        """Route every row to its leaf and return the leaf values."""
+        nodes = np.zeros(X.shape[0], dtype=np.int64)
+        active = self.feature_arr[nodes] != _NO_SPLIT
+        while np.any(active):
+            indices = np.flatnonzero(active)
+            current = nodes[indices]
+            go_left = (
+                X[indices, self.feature_arr[current]] <= self.threshold_arr[current]
+            )
+            nodes[indices] = np.where(
+                go_left, self.left_arr[current], self.right_arr[current]
+            )
+            active[indices] = self.feature_arr[nodes[indices]] != _NO_SPLIT
+        return self.value_arr[nodes]
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.feature)
+
+    @property
+    def n_leaves(self) -> int:
+        return int(np.sum(np.asarray(self.feature) == _NO_SPLIT))
+
+    def depth(self) -> int:
+        """Maximum root-to-leaf depth (root = 0)."""
+        depths = {0: 0}
+        maximum = 0
+        for node in range(self.n_nodes):
+            depth = depths[node]
+            maximum = max(maximum, depth)
+            if self.feature[node] != _NO_SPLIT:
+                depths[self.left[node]] = depth + 1
+                depths[self.right[node]] = depth + 1
+        return maximum
+
+
+def _best_split_classification(
+    X: np.ndarray,
+    y_codes: np.ndarray,
+    sample_indices: np.ndarray,
+    feature_indices: np.ndarray,
+    n_classes: int,
+    min_samples_leaf: int,
+    sample_weight: np.ndarray | None = None,
+) -> tuple[int, float, float]:
+    """Find the (weighted-)gini-optimal (feature, threshold) for a node.
+
+    Returns ``(feature, threshold, impurity_decrease)`` with feature -1
+    when no valid split exists. ``sample_weight`` makes the impurity
+    cost-sensitive while the ``min_samples_leaf`` floor stays on raw
+    sample counts.
+    """
+    node_y = y_codes[sample_indices]
+    n = node_y.size
+    weights = (
+        np.ones(n) if sample_weight is None else sample_weight[sample_indices]
+    )
+    one_hot = np.zeros((n, n_classes))
+    one_hot[np.arange(n), node_y] = weights
+    counts = one_hot.sum(axis=0)
+    total_mass = counts.sum()
+    parent_impurity = 1.0 - np.sum((counts / total_mass) ** 2)
+
+    best_feature, best_threshold, best_gain = _NO_SPLIT, 0.0, 0.0
+    for feature in feature_indices:
+        values = X[sample_indices, feature]
+        order = np.argsort(values, kind="stable")
+        sorted_values = values[order]
+        # Prefix class masses for every "first k rows go left" cut.
+        left_counts = np.cumsum(one_hot[order], axis=0)[:-1]
+        left_mass = left_counts.sum(axis=1)
+        right_mass = total_mass - left_mass
+        k = np.arange(1, n)
+        valid = sorted_values[:-1] < sorted_values[1:]
+        valid &= (k >= min_samples_leaf) & (n - k >= min_samples_leaf)
+        valid &= (left_mass > 0) & (right_mass > 0)
+        if not np.any(valid):
+            continue
+        right_counts = counts[None, :] - left_counts
+        with np.errstate(divide="ignore", invalid="ignore"):
+            left_impurity = 1.0 - np.sum(
+                (left_counts / left_mass[:, None]) ** 2, axis=1
+            )
+            right_impurity = 1.0 - np.sum(
+                (right_counts / right_mass[:, None]) ** 2, axis=1
+            )
+        weighted = (left_mass * left_impurity + right_mass * right_impurity) / total_mass
+        gain = np.where(valid, parent_impurity - weighted, -np.inf)
+        best_index = int(np.argmax(gain))
+        if gain[best_index] > best_gain:
+            best_gain = float(gain[best_index])
+            best_feature = int(feature)
+            best_threshold = float(
+                (sorted_values[best_index] + sorted_values[best_index + 1]) / 2.0
+            )
+    return best_feature, best_threshold, best_gain
+
+
+def _best_split_regression(
+    X: np.ndarray,
+    y: np.ndarray,
+    sample_indices: np.ndarray,
+    feature_indices: np.ndarray,
+    min_samples_leaf: int,
+) -> tuple[int, float, float]:
+    """Variance-reduction split search for regression trees."""
+    node_y = y[sample_indices]
+    n = node_y.size
+    total = node_y.sum()
+    parent_sse = float(np.sum((node_y - total / n) ** 2))
+
+    best_feature, best_threshold, best_gain = _NO_SPLIT, 0.0, 1e-12
+    for feature in feature_indices:
+        values = X[sample_indices, feature]
+        order = np.argsort(values, kind="stable")
+        sorted_values = values[order]
+        sorted_y = node_y[order]
+        k = np.arange(1, n)
+        valid = sorted_values[:-1] < sorted_values[1:]
+        valid &= (k >= min_samples_leaf) & (n - k >= min_samples_leaf)
+        if not np.any(valid):
+            continue
+        left_sum = np.cumsum(sorted_y)[:-1]
+        right_sum = total - left_sum
+        # SSE decrease == sum_left^2/n_left + sum_right^2/n_right - sum^2/n
+        score = left_sum**2 / k + right_sum**2 / (n - k)
+        gain = np.where(valid, score - total**2 / n, -np.inf)
+        best_index = int(np.argmax(gain))
+        if gain[best_index] > best_gain:
+            best_gain = float(gain[best_index])
+            best_feature = int(feature)
+            best_threshold = float(
+                (sorted_values[best_index] + sorted_values[best_index + 1]) / 2.0
+            )
+    if best_feature == _NO_SPLIT:
+        return _NO_SPLIT, 0.0, 0.0
+    return best_feature, best_threshold, min(best_gain, parent_sse)
+
+
+def _resolve_max_features(max_features, n_features: int) -> int:
+    """Translate a max_features spec into a concrete count."""
+    if max_features is None:
+        return n_features
+    if max_features == "sqrt":
+        return max(1, int(np.sqrt(n_features)))
+    if max_features == "log2":
+        return max(1, int(np.log2(n_features))) if n_features > 1 else 1
+    if isinstance(max_features, float) and 0 < max_features <= 1:
+        return max(1, int(max_features * n_features))
+    if isinstance(max_features, int) and max_features >= 1:
+        return min(max_features, n_features)
+    raise ValueError(f"invalid max_features: {max_features!r}")
+
+
+class DecisionTreeClassifier(BaseClassifier):
+    """CART classification tree with gini impurity.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth; ``None`` grows until leaves are pure or too
+        small.
+    min_samples_split / min_samples_leaf:
+        Standard CART stopping rules.
+    max_features:
+        Features considered per split: ``None`` (all), ``"sqrt"``,
+        ``"log2"``, an int, or a float fraction. Randomized per node when
+        fewer than all — this is what de-correlates forest members.
+    class_weight:
+        ``None`` (all samples weigh 1), ``"balanced"`` (inverse class
+        frequency), or a label -> weight dict. Weights enter the gini
+        criterion and the leaf probabilities, making the tree
+        cost-sensitive (cf. CSLE, DATE 2022 [24]).
+    seed:
+        RNG seed for feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features=None,
+        class_weight=None,
+        seed: int = 0,
+    ):
+        if max_depth is not None and max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be at least 2")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be at least 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.class_weight = class_weight
+        self.seed = seed
+
+    def _sample_weights(self, y: np.ndarray, y_codes: np.ndarray) -> np.ndarray | None:
+        if self.class_weight is None:
+            return None
+        if self.class_weight == "balanced":
+            counts = np.bincount(y_codes).astype(float)
+            per_class = y.shape[0] / (counts.size * counts)
+            return per_class[y_codes]
+        if isinstance(self.class_weight, dict):
+            try:
+                per_class = np.array(
+                    [float(self.class_weight[label]) for label in self.classes_]
+                )
+            except KeyError as error:
+                raise ValueError(
+                    f"class_weight is missing label {error.args[0]!r}"
+                ) from error
+            if np.any(per_class <= 0):
+                raise ValueError("class weights must be positive")
+            return per_class[y_codes]
+        raise ValueError(f"invalid class_weight: {self.class_weight!r}")
+
+    def fit(
+        self, X: np.ndarray, y: np.ndarray, sample_weight: np.ndarray | None = None
+    ) -> "DecisionTreeClassifier":
+        X, y = check_X_y(X, y)
+        if X.ndim != 2:
+            raise ValueError("DecisionTreeClassifier expects 2-D input")
+        self.classes_, y_codes = np.unique(y, return_inverse=True)
+        n_classes = self.classes_.size
+        n_features = X.shape[1]
+        self.n_features_ = n_features
+        n_candidate_features = _resolve_max_features(self.max_features, n_features)
+        rng = np.random.default_rng(self.seed)
+
+        if sample_weight is None:
+            sample_weight = self._sample_weights(y, y_codes)
+        if sample_weight is not None and np.ptp(sample_weight) == 0:
+            # Uniform weights are exactly the unweighted problem; taking
+            # the unweighted path keeps the grown tree bit-identical
+            # instead of letting float rescaling flip split tie-breaks.
+            sample_weight = None
+
+        tree = _Tree(n_outputs=n_classes)
+        self.feature_importances_ = np.zeros(n_features)
+        total_samples = X.shape[0]
+
+        def leaf_value(indices: np.ndarray) -> np.ndarray:
+            if sample_weight is None:
+                counts = np.bincount(
+                    y_codes[indices], minlength=n_classes
+                ).astype(float)
+            else:
+                counts = np.bincount(
+                    y_codes[indices],
+                    weights=sample_weight[indices],
+                    minlength=n_classes,
+                )
+            return counts / counts.sum()
+
+        # Iterative depth-first growth avoids recursion limits on deep trees.
+        root = tree.add_node(leaf_value(np.arange(total_samples)))
+        stack = [(root, np.arange(total_samples), 0)]
+        while stack:
+            node, indices, depth = stack.pop()
+            if (
+                indices.size < self.min_samples_split
+                or (self.max_depth is not None and depth >= self.max_depth)
+                or np.unique(y_codes[indices]).size == 1
+            ):
+                continue
+            if n_candidate_features < n_features:
+                candidates = rng.choice(n_features, size=n_candidate_features, replace=False)
+            else:
+                candidates = np.arange(n_features)
+            feature, threshold, gain = _best_split_classification(
+                X,
+                y_codes,
+                indices,
+                candidates,
+                n_classes,
+                self.min_samples_leaf,
+                sample_weight,
+            )
+            if feature == _NO_SPLIT or gain <= 0:
+                continue
+            go_left = X[indices, feature] <= threshold
+            left_indices = indices[go_left]
+            right_indices = indices[~go_left]
+            left = tree.add_node(leaf_value(left_indices))
+            right = tree.add_node(leaf_value(right_indices))
+            tree.make_split(node, feature, threshold, left, right)
+            self.feature_importances_[feature] += gain * indices.size / total_samples
+            stack.append((left, left_indices, depth + 1))
+            stack.append((right, right_indices, depth + 1))
+
+        total_importance = self.feature_importances_.sum()
+        if total_importance > 0:
+            self.feature_importances_ /= total_importance
+        tree.finalize()
+        self.tree_ = tree
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        X = check_X(X, self.n_features_)
+        return self.tree_.predict_value(X)
+
+
+class DecisionTreeRegressor:
+    """CART regression tree (mean-squared-error criterion) for GBDT."""
+
+    def __init__(
+        self,
+        max_depth: int | None = 3,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features=None,
+        seed: int = 0,
+    ):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.shape[0] != y.shape[0] or X.ndim != 2:
+            raise ValueError("invalid shapes for regression tree")
+        n_features = X.shape[1]
+        self.n_features_ = n_features
+        n_candidate_features = _resolve_max_features(self.max_features, n_features)
+        rng = np.random.default_rng(self.seed)
+
+        tree = _Tree(n_outputs=1)
+        root = tree.add_node(np.array([y.mean()]))
+        stack = [(root, np.arange(X.shape[0]), 0)]
+        while stack:
+            node, indices, depth = stack.pop()
+            if (
+                indices.size < self.min_samples_split
+                or (self.max_depth is not None and depth >= self.max_depth)
+                or np.ptp(y[indices]) == 0
+            ):
+                continue
+            if n_candidate_features < n_features:
+                candidates = rng.choice(n_features, size=n_candidate_features, replace=False)
+            else:
+                candidates = np.arange(n_features)
+            feature, threshold, gain = _best_split_regression(
+                X, y, indices, candidates, self.min_samples_leaf
+            )
+            if feature == _NO_SPLIT or gain <= 0:
+                continue
+            go_left = X[indices, feature] <= threshold
+            left_indices = indices[go_left]
+            right_indices = indices[~go_left]
+            left = tree.add_node(np.array([y[left_indices].mean()]))
+            right = tree.add_node(np.array([y[right_indices].mean()]))
+            tree.make_split(node, feature, threshold, left, right)
+            stack.append((left, left_indices, depth + 1))
+            stack.append((right, right_indices, depth + 1))
+        tree.finalize()
+        self.tree_ = tree
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        return self.tree_.predict_value(X)[:, 0]

@@ -1,0 +1,6 @@
+"""Plain-text rendering of experiment tables and series."""
+
+from repro.reporting.model_card import generate_model_card
+from repro.reporting.tables import render_series, render_table
+
+__all__ = ["generate_model_card", "render_series", "render_table"]

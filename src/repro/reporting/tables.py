@@ -1,0 +1,59 @@
+"""ASCII table / series rendering shared by examples and benchmarks.
+
+Every benchmark prints its reproduced table or figure through these so
+the output of ``pytest benchmarks/ --benchmark-only`` doubles as the
+EXPERIMENTS.md evidence.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "NaN"
+        if abs(value) >= 1000 or (0 < abs(value) < 0.001):
+            return f"{value:.3e}"
+        return f"{value:.4f}".rstrip("0").rstrip(".") or "0"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Render a fixed-width ASCII table."""
+    formatted = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in formatted)) if formatted else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * width for width in widths)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(separator)
+    for row in formatted:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str, xs: Sequence, ys: Sequence[float], width: int = 40, title: str = ""
+) -> str:
+    """Render an x/y series as a labeled horizontal bar chart."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    finite = [y for y in ys if y == y]
+    peak = max(finite) if finite else 1.0
+    scale = width / peak if peak > 0 else 0.0
+    lines = [title or name]
+    label_width = max((len(str(x)) for x in xs), default=1)
+    for x, y in zip(xs, ys):
+        if y != y:
+            bar, shown = "", "NaN"
+        else:
+            bar = "#" * max(0, int(round(y * scale)))
+            shown = _format_cell(float(y))
+        lines.append(f"{str(x).rjust(label_width)} | {bar} {shown}")
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Synthetic consumer-storage-system (CSS) telemetry substrate.
+
+The paper's dataset — SMART logs, Windows event logs, blue-screen logs
+and after-sales trouble tickets from ~2.3 million consumer SSDs — is
+proprietary. This package generates a statistically faithful synthetic
+equivalent: per-drive SMART trajectories driven by a bathtub lifetime
+model, firmware-version failure-rate ladders, system-level event bursts
+preceding failures, irregular user boot behaviour (data discontinuity),
+and trouble tickets with a failure-to-repair lag. See DESIGN.md §2 for
+the substitution rationale.
+"""
+
+from repro.telemetry.bsod import BSOD_CODES, BsodCatalog
+from repro.telemetry.collection import UsageModel, UsagePattern
+from repro.telemetry.dataset import TelemetryDataset
+from repro.telemetry.drive import DriveHistory, DriveSimulator
+from repro.telemetry.firmware import FirmwareLadder, FirmwareVersion
+from repro.telemetry.fleet import FleetConfig, VendorMix, simulate_fleet
+from repro.telemetry.lifetime import BathtubLifetimeModel
+from repro.telemetry.models import (
+    DRIVE_MODELS,
+    VENDORS,
+    DriveModel,
+    Vendor,
+    drive_models_for_vendor,
+)
+from repro.telemetry.smart import SMART_ATTRIBUTES, SmartAttribute, SmartSimulator
+from repro.telemetry.tickets import RASRF_CATEGORIES, TicketGenerator, TroubleTicket
+from repro.telemetry.windows_events import WINDOWS_EVENTS, WindowsEventCatalog
+
+__all__ = [
+    "BSOD_CODES",
+    "BathtubLifetimeModel",
+    "BsodCatalog",
+    "DRIVE_MODELS",
+    "DriveHistory",
+    "DriveModel",
+    "DriveSimulator",
+    "FirmwareLadder",
+    "FirmwareVersion",
+    "FleetConfig",
+    "RASRF_CATEGORIES",
+    "SMART_ATTRIBUTES",
+    "SmartAttribute",
+    "SmartSimulator",
+    "TelemetryDataset",
+    "TicketGenerator",
+    "TroubleTicket",
+    "UsageModel",
+    "UsagePattern",
+    "VENDORS",
+    "Vendor",
+    "VendorMix",
+    "WINDOWS_EVENTS",
+    "WindowsEventCatalog",
+    "drive_models_for_vendor",
+    "simulate_fleet",
+]

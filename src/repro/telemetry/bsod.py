@@ -1,0 +1,63 @@
+"""BlueScreenofDeath (B) stop-code catalog — Table IV of the paper.
+
+Table IV prints 22 stop codes while Table V counts the B group as 23
+features; we add 0x7B INACCESSIBLE_BOOT_DEVICE (the canonical
+storage-failure stop code, almost certainly the entry lost to the
+table's formatting) and document the substitution here. The paper's
+feature selection highlights B_50 (PAGE_FAULT_IN_NONPAGED_AREA) and
+B_7A (KERNEL_DATA_INPAGE_ERROR) — both directly storage-backed — so
+those carry the strongest failure gains.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.events import EventCatalog, EventType
+
+
+def _bsod(code: str, name: str, background: float, gain: float) -> EventType:
+    return EventType(
+        event_id=f"B_{code[2:].upper()}",
+        description=name,
+        column=f"b{code[2:].lower()}_{name.lower()[:24]}",
+        background_rate=background,
+        failure_gain=gain,
+    )
+
+
+BSOD_CODES: tuple[EventType, ...] = (
+    _bsod("0x23", "FAT_FILE_SYSTEM", 0.0004, 0.30),
+    _bsod("0x24", "NTFS_FILE_SYSTEM", 0.0006, 0.55),
+    _bsod("0x48", "CANCEL_STATE_IN_COMPLETED_IRP", 0.0003, 0.05),
+    _bsod("0x50", "PAGE_FAULT_IN_NONPAGED_AREA", 0.0012, 1.2),
+    _bsod("0x6B", "PROCESS1_INITIALIZATION_FAILED", 0.0003, 0.25),
+    _bsod("0x77", "KERNEL_STACK_INPAGE_ERROR", 0.0004, 0.70),
+    _bsod("0x7A", "KERNEL_DATA_INPAGE_ERROR", 0.0008, 1.1),
+    _bsod("0x7B", "INACCESSIBLE_BOOT_DEVICE", 0.0003, 0.80),
+    _bsod("0x80", "NMI_HARDWARE_FAILURE", 0.0004, 0.20),
+    _bsod("0x9B", "UDFS_FILE_SYSTEM", 0.0002, 0.10),
+    _bsod("0xC7", "TIMER_OR_DPC_INVALID", 0.0003, 0.02),
+    _bsod("0xDA", "SYSTEM_PTE_MISUSE", 0.0002, 0.02),
+    _bsod("0xE4", "WORKER_INVALID", 0.0003, 0.02),
+    _bsod("0xFC", "ATTEMPTED_EXECUTE_OF_NOEXECUTE_MEMORY", 0.0005, 0.03),
+    _bsod("0x10C", "FSRTL_EXTRA_CREATE_PARAMETER_VIOLATION", 0.0002, 0.05),
+    _bsod("0x12C", "EXFAT_FILE_SYSTEM", 0.0003, 0.25),
+    _bsod("0x135", "REGISTRY_FILTER_DRIVER_EXCEPTION", 0.0002, 0.05),
+    _bsod("0x13B", "PASSIVE_INTERRUPT_ERROR", 0.0002, 0.02),
+    _bsod("0x157", "KERNEL_THREAD_PRIORITY_FLOOR_VIOLATION", 0.0002, 0.01),
+    _bsod("0x17E", "MICROCODE_REVISION_MISMATCH", 0.0003, 0.01),
+    _bsod("0x189", "BAD_OBJECT_HEADER", 0.0002, 0.08),
+    _bsod("0x1DB", "IPI_WATCHDOG_TIMEOUT", 0.0002, 0.03),
+    _bsod("0xC00", "STATUS_CANNOT_LOAD", 0.0004, 0.30),
+)
+
+
+class BsodCatalog(EventCatalog):
+    """Catalog of the Table-IV blue-screen stop codes."""
+
+    def __init__(self):
+        super().__init__(BSOD_CODES)
+
+
+#: Convenience column names for the two codes the paper highlights.
+B_50_COLUMN = BSOD_CODES[3].column
+B_7A_COLUMN = BSOD_CODES[6].column

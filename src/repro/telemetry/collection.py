@@ -1,0 +1,116 @@
+"""Irregular user behaviour -> discontinuous telemetry collection.
+
+Challenge (2) of the paper: consumer machines are not on 24/7, so logs
+arrive only on days the user boots, leaving gaps of arbitrary length
+(Fig 6 shows faulty drives with log timestamps like (0, 11-14)). We
+model each drive's owner with a boot probability, a weekly rhythm, and
+occasional long vacations, then emit usage hours for every powered day.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class UsagePattern:
+    """One user's boot behaviour.
+
+    Parameters
+    ----------
+    boot_probability:
+        Baseline daily probability the machine is powered on.
+    weekend_factor:
+        Multiplier on weekend days (office machines < 1, home > 1).
+    vacation_rate:
+        Expected number of multi-day off periods per 365 days.
+    mean_vacation_days:
+        Mean length of an off period.
+    mean_daily_hours:
+        Mean hours of use on a powered day.
+    """
+
+    boot_probability: float
+    weekend_factor: float
+    vacation_rate: float
+    mean_vacation_days: float
+    mean_daily_hours: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.boot_probability <= 1:
+            raise ValueError("boot_probability must be in (0, 1]")
+        if self.mean_daily_hours <= 0 or self.mean_daily_hours > 24:
+            raise ValueError("mean_daily_hours must be in (0, 24]")
+
+    def sample_observed_days(
+        self, horizon_days: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(observed_days, usage_hours)`` over the horizon.
+
+        Day 0 (deployment day) is always observed — the machine was
+        powered on when the drive entered service.
+        """
+        if horizon_days < 1:
+            raise ValueError("horizon_days must be positive")
+        days = np.arange(horizon_days)
+        probability = np.full(horizon_days, self.boot_probability)
+        weekend = (days % 7) >= 5
+        probability[weekend] = np.clip(
+            probability[weekend] * self.weekend_factor, 0.0, 1.0
+        )
+
+        # Vacations: contiguous stretches with the machine off.
+        n_vacations = rng.poisson(self.vacation_rate * horizon_days / 365.0)
+        for _ in range(n_vacations):
+            start = int(rng.integers(0, horizon_days))
+            length = max(2, int(rng.exponential(self.mean_vacation_days)))
+            probability[start : start + length] = 0.0
+
+        powered = rng.random(horizon_days) < probability
+        powered[0] = True
+        observed_days = days[powered]
+        hours = np.clip(
+            rng.gamma(3.0, self.mean_daily_hours / 3.0, size=observed_days.size),
+            0.25,
+            24.0,
+        )
+        return observed_days, hours
+
+
+class UsageModel:
+    """Population distribution over :class:`UsagePattern`.
+
+    Heterogeneous by design: heavy daily users, sporadic users, and
+    office machines that sleep on weekends all coexist in CSS.
+    """
+
+    def __init__(
+        self,
+        mean_boot_probability: float = 0.62,
+        vacation_rate: float = 2.0,
+        mean_vacation_days: float = 9.0,
+    ):
+        if not 0 < mean_boot_probability <= 1:
+            raise ValueError("mean_boot_probability must be in (0, 1]")
+        self.mean_boot_probability = mean_boot_probability
+        self.vacation_rate = vacation_rate
+        self.mean_vacation_days = mean_vacation_days
+
+    def sample_pattern(self, rng: np.random.Generator) -> UsagePattern:
+        """Draw one user's pattern."""
+        # Beta keeps probabilities in (0, 1) with the requested mean.
+        concentration = 6.0
+        alpha = self.mean_boot_probability * concentration
+        beta = (1.0 - self.mean_boot_probability) * concentration
+        boot_probability = float(np.clip(rng.beta(alpha, beta), 0.05, 1.0))
+        weekend_factor = float(rng.uniform(0.4, 1.4))
+        mean_daily_hours = float(rng.uniform(2.0, 12.0))
+        return UsagePattern(
+            boot_probability=boot_probability,
+            weekend_factor=weekend_factor,
+            vacation_rate=self.vacation_rate,
+            mean_vacation_days=self.mean_vacation_days,
+            mean_daily_hours=mean_daily_hours,
+        )

@@ -1,0 +1,265 @@
+"""Columnar telemetry dataset assembled from drive histories.
+
+Holds the paper's log schema — ``S/N, model, timestamp, interface,
+capacity, S{1..16}, F, W{1..9}, B{1..23}`` — as a dict of parallel numpy
+arrays sorted by (serial, day), plus the per-drive metadata table and
+the RaSRF ticket list. Rows are per *observed* day, so the discontinuity
+of consumer telemetry is directly visible in the ``day`` column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.telemetry.bsod import BSOD_CODES
+from repro.telemetry.drive import DriveHistory
+from repro.telemetry.smart import SMART_COLUMNS
+from repro.telemetry.tickets import TroubleTicket
+from repro.telemetry.windows_events import WINDOWS_EVENTS
+
+W_COLUMNS: tuple[str, ...] = tuple(event.column for event in WINDOWS_EVENTS)
+B_COLUMNS: tuple[str, ...] = tuple(event.column for event in BSOD_CODES)
+
+
+@dataclass
+class DriveMeta:
+    """Per-drive metadata (the dataset's drive dimension table)."""
+
+    serial: int
+    vendor: str
+    model_id: str
+    capacity_gb: int
+    firmware: str
+    archetype: str
+    failure_day: int | None
+
+    @property
+    def failed(self) -> bool:
+        return self.failure_day is not None
+
+
+class TelemetryDataset:
+    """Columnar store of daily telemetry records.
+
+    Attributes
+    ----------
+    columns:
+        Dict of column name -> 1-D array, all of equal length, sorted by
+        ``(serial, day)``. Numeric telemetry columns are float64;
+        ``serial`` and ``day`` are int64; ``firmware`` / ``vendor`` /
+        ``model`` are object arrays of strings.
+    drives:
+        serial -> :class:`DriveMeta`.
+    tickets:
+        RaSRF trouble tickets of the failed drives.
+    """
+
+    def __init__(
+        self,
+        columns: dict[str, np.ndarray],
+        drives: dict[int, DriveMeta],
+        tickets: list[TroubleTicket],
+    ):
+        lengths = {name: values.shape[0] for name, values in columns.items()}
+        if len(set(lengths.values())) > 1:
+            raise ValueError(f"ragged columns: {lengths}")
+        self.columns = columns
+        self.drives = drives
+        self.tickets = tickets
+        self._serial_order: dict[int, slice] | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_drives(
+        cls, histories: list[DriveHistory], tickets: list[TroubleTicket]
+    ) -> "TelemetryDataset":
+        """Assemble the columnar store from simulated histories."""
+        if not histories:
+            raise ValueError("cannot build a dataset from zero drives")
+        serials, days, firmware, vendors, models = [], [], [], [], []
+        telemetry: dict[str, list[np.ndarray]] = {
+            column: [] for column in (*SMART_COLUMNS, *W_COLUMNS, *B_COLUMNS)
+        }
+        metas: dict[int, DriveMeta] = {}
+        for drive in sorted(histories, key=lambda d: d.serial):
+            n = drive.n_records
+            serials.append(np.full(n, drive.serial, dtype=np.int64))
+            days.append(drive.observed_days.astype(np.int64))
+            firmware.append(np.full(n, drive.firmware.name, dtype=object))
+            vendors.append(np.full(n, drive.model.vendor, dtype=object))
+            models.append(np.full(n, drive.model.model_id, dtype=object))
+            for column in SMART_COLUMNS:
+                telemetry[column].append(drive.smart[column])
+            for column in W_COLUMNS:
+                telemetry[column].append(drive.w_daily[column])
+            for column in B_COLUMNS:
+                telemetry[column].append(drive.b_daily[column])
+            metas[drive.serial] = DriveMeta(
+                serial=drive.serial,
+                vendor=drive.model.vendor,
+                model_id=drive.model.model_id,
+                capacity_gb=drive.model.capacity_gb,
+                firmware=drive.firmware.name,
+                archetype=drive.archetype,
+                failure_day=drive.failure_day,
+            )
+
+        columns: dict[str, np.ndarray] = {
+            "serial": np.concatenate(serials),
+            "day": np.concatenate(days),
+            "firmware": np.concatenate(firmware),
+            "vendor": np.concatenate(vendors),
+            "model": np.concatenate(models),
+        }
+        for column, chunks in telemetry.items():
+            columns[column] = np.concatenate(chunks).astype(np.float64)
+        return cls(columns, metas, tickets)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_records(self) -> int:
+        return int(self.columns["serial"].shape[0])
+
+    @property
+    def n_drives(self) -> int:
+        return len(self.drives)
+
+    @property
+    def serials(self) -> np.ndarray:
+        return np.fromiter(self.drives.keys(), dtype=np.int64, count=len(self.drives))
+
+    def failed_serials(self) -> np.ndarray:
+        return np.array(
+            [serial for serial, meta in self.drives.items() if meta.failed],
+            dtype=np.int64,
+        )
+
+    def healthy_serials(self) -> np.ndarray:
+        return np.array(
+            [serial for serial, meta in self.drives.items() if not meta.failed],
+            dtype=np.int64,
+        )
+
+    # ------------------------------------------------------------------
+    # Slicing
+    # ------------------------------------------------------------------
+    def _row_slices(self) -> dict[int, slice]:
+        """serial -> contiguous row slice (rows are sorted by serial)."""
+        if self._serial_order is None:
+            serial_column = self.columns["serial"]
+            boundaries = np.flatnonzero(np.diff(serial_column)) + 1
+            starts = np.concatenate([[0], boundaries])
+            ends = np.concatenate([boundaries, [serial_column.size]])
+            self._serial_order = {
+                int(serial_column[start]): slice(int(start), int(end))
+                for start, end in zip(starts, ends)
+            }
+        return self._serial_order
+
+    def drive_rows(self, serial: int) -> dict[str, np.ndarray]:
+        """All telemetry rows of one drive, as column views."""
+        row_slice = self._row_slices().get(int(serial))
+        if row_slice is None:
+            raise KeyError(f"unknown serial {serial}")
+        return {name: values[row_slice] for name, values in self.columns.items()}
+
+    def select_rows(self, mask: np.ndarray) -> "TelemetryDataset":
+        """Row-filtered copy (drive metadata restricted to present serials)."""
+        mask = np.asarray(mask)
+        if mask.shape[0] != self.n_records:
+            raise ValueError("mask length mismatch")
+        columns = {name: values[mask] for name, values in self.columns.items()}
+        present = set(np.unique(columns["serial"]).tolist())
+        drives = {s: m for s, m in self.drives.items() if s in present}
+        tickets = [t for t in self.tickets if t.serial in present]
+        return TelemetryDataset(columns, drives, tickets)
+
+    def filter_vendor(self, vendor: str) -> "TelemetryDataset":
+        """Restrict to one vendor's drives."""
+        return self.select_rows(self.columns["vendor"] == vendor)
+
+    def filter_days(self, start: int, end: int) -> "TelemetryDataset":
+        """Restrict to records with ``start <= day < end``."""
+        day = self.columns["day"]
+        return self.select_rows((day >= start) & (day < end))
+
+    def relabel_serials(self, offset: int) -> "TelemetryDataset":
+        """Copy with every serial shifted by ``offset`` (for merging)."""
+        if offset == 0:
+            return self
+        columns = dict(self.columns)
+        columns["serial"] = self.columns["serial"] + offset
+        drives = {}
+        for serial, meta in self.drives.items():
+            drives[serial + offset] = DriveMeta(
+                serial=meta.serial + offset,
+                vendor=meta.vendor,
+                model_id=meta.model_id,
+                capacity_gb=meta.capacity_gb,
+                firmware=meta.firmware,
+                archetype=meta.archetype,
+                failure_day=meta.failure_day,
+            )
+        tickets = [
+            type(t)(
+                serial=t.serial + offset,
+                initial_maintenance_time=t.initial_maintenance_time,
+                failure_level=t.failure_level,
+                category=t.category,
+                cause=t.cause,
+            )
+            for t in self.tickets
+        ]
+        return TelemetryDataset(columns, drives, tickets)
+
+    @staticmethod
+    def concat(datasets: list["TelemetryDataset"]) -> "TelemetryDataset":
+        """Merge fleets into one dataset (serials must not collide).
+
+        Use :meth:`relabel_serials` first when merging independently
+        simulated fleets, whose serials both start at 1.
+        """
+        if not datasets:
+            raise ValueError("nothing to concatenate")
+        all_serials: set[int] = set()
+        for dataset in datasets:
+            serials = set(int(s) for s in dataset.serials)
+            if all_serials & serials:
+                raise ValueError(
+                    "serial collision between fleets; use relabel_serials()"
+                )
+            all_serials |= serials
+        names = set(datasets[0].columns)
+        for dataset in datasets[1:]:
+            if set(dataset.columns) != names:
+                raise ValueError("datasets have different column schemas")
+        columns = {
+            name: np.concatenate([d.columns[name] for d in datasets])
+            for name in datasets[0].columns
+        }
+        order = np.lexsort((columns["day"], columns["serial"]))
+        columns = {name: values[order] for name, values in columns.items()}
+        drives = {s: m for d in datasets for s, m in d.drives.items()}
+        tickets = [t for d in datasets for t in d.tickets]
+        return TelemetryDataset(columns, drives, tickets)
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Per-vendor totals and replacement rates (the Table-VI rows)."""
+        result: dict[str, dict[str, float]] = {}
+        for meta in self.drives.values():
+            entry = result.setdefault(
+                meta.vendor, {"total": 0, "failures": 0}
+            )
+            entry["total"] += 1
+            entry["failures"] += int(meta.failed)
+        for entry in result.values():
+            entry["replacement_rate"] = (
+                entry["failures"] / entry["total"] if entry["total"] else float("nan")
+            )
+        return result

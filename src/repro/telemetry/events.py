@@ -1,0 +1,78 @@
+"""Shared machinery for system-level log event streams (W and B).
+
+Observations #3/#4: Windows events and blue-screen stop codes occur
+rarely on healthy machines but burst in the weeks before an SSD failure
+(Figs 4-5 plot the diverging cumulative counts). Each event type has a
+healthy background rate and a degradation response gain; system-level
+failure archetypes amplify the response (their early signal lives here
+rather than in SMART).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class EventType:
+    """One loggable event (a Windows event ID or a BSOD stop code)."""
+
+    event_id: str
+    description: str
+    column: str
+    background_rate: float
+    """Expected occurrences per powered-on day on a healthy machine."""
+    failure_gain: float
+    """Peak extra daily rate as the degradation ramp approaches 1.
+    Zero for event types unrelated to storage failures (noise that the
+    feature-selection stage should learn to discard)."""
+
+
+class EventCatalog:
+    """A family of event types with a shared daily sampling procedure."""
+
+    def __init__(self, events: tuple[EventType, ...]):
+        if not events:
+            raise ValueError("catalog must contain at least one event type")
+        self.events = events
+        self.columns = tuple(event.column for event in events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def by_id(self, event_id: str) -> EventType:
+        for event in self.events:
+            if event.event_id == event_id:
+                return event
+        raise KeyError(event_id)
+
+    def sample_daily_counts(
+        self,
+        degradation: np.ndarray,
+        event_gain: float,
+        rng: np.random.Generator,
+    ) -> dict[str, np.ndarray]:
+        """Sample per-day counts for every event type.
+
+        Parameters
+        ----------
+        degradation:
+            Ramp level in [0, 1] on each observed day (0 for healthy).
+        event_gain:
+            Archetype multiplier: ~1.0-1.6 for system-level failures,
+            ~0.3 for drive-level failures, 0.0 for healthy drives.
+        """
+        degradation = np.asarray(degradation, dtype=float)
+        n = degradation.size
+        counts: dict[str, np.ndarray] = {}
+        for event in self.events:
+            rate = event.background_rate + event_gain * event.failure_gain * degradation**2
+            counts[event.column] = rng.poisson(rate, size=n).astype(float)
+        return counts
+
+    def cumulative(self, daily_counts: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Accumulate daily counts — the form MFPA feeds to models
+        (§III-C(1): daily counts are too sparse to show trends)."""
+        return {column: np.cumsum(values) for column, values in daily_counts.items()}

@@ -1,0 +1,123 @@
+"""Bathtub-curve lifetime model for SSD failures.
+
+Observation #1 / Fig 2: failure counts vs power-on time follow the
+classic bathtub — elevated infant mortality, a stable useful-life
+plateau, then wear-out growth. We model the hazard as a Weibull mixture:
+
+    h(t) = w_infant * weibull(k<1) + w_useful * const + w_wear * weibull(k>1)
+
+scaled so that the survival over the study horizon matches a target
+failure probability (the vendor replacement rate times any experiment
+boost), and further scaled per drive by its firmware hazard multiplier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class BathtubLifetimeModel:
+    """Samples failure days over a finite study horizon.
+
+    Parameters
+    ----------
+    horizon_days:
+        Length of the study window.
+    target_failure_probability:
+        Desired probability that a baseline drive (hazard multiplier 1)
+        fails within the horizon.
+    infant_weight / wear_weight:
+        Mixture weights of the infant-mortality and wear-out components;
+        the remainder is the constant useful-life hazard.
+    infant_shape / wear_shape:
+        Weibull shapes (<1 decreasing hazard, >1 increasing hazard).
+    infant_scale_days / wear_scale_days:
+        Weibull scales in days.
+    """
+
+    horizon_days: int = 540
+    target_failure_probability: float = 0.05
+    infant_weight: float = 0.30
+    wear_weight: float = 0.35
+    infant_shape: float = 0.5
+    infant_scale_days: float = 60.0
+    wear_shape: float = 3.0
+    wear_scale_days: float = 700.0
+
+    def __post_init__(self) -> None:
+        if self.horizon_days < 1:
+            raise ValueError("horizon_days must be positive")
+        if not 0 < self.target_failure_probability < 1:
+            raise ValueError("target_failure_probability must be in (0, 1)")
+        if self.infant_weight < 0 or self.wear_weight < 0:
+            raise ValueError("mixture weights must be non-negative")
+        if self.infant_weight + self.wear_weight > 1:
+            raise ValueError("infant_weight + wear_weight must not exceed 1")
+        self._calibrate()
+
+    def _raw_hazard(self, days: np.ndarray) -> np.ndarray:
+        """Unnormalized hazard shape h0(t)."""
+        days = np.maximum(np.asarray(days, dtype=float), 0.5)
+        infant = (
+            (self.infant_shape / self.infant_scale_days)
+            * (days / self.infant_scale_days) ** (self.infant_shape - 1.0)
+        )
+        wear = (
+            (self.wear_shape / self.wear_scale_days)
+            * (days / self.wear_scale_days) ** (self.wear_shape - 1.0)
+        )
+        useful_weight = 1.0 - self.infant_weight - self.wear_weight
+        constant = 1.0 / self.horizon_days
+        return (
+            self.infant_weight * infant
+            + useful_weight * constant
+            + self.wear_weight * wear
+        )
+
+    def _calibrate(self) -> None:
+        """Scale the hazard so survival over the horizon hits the target."""
+        days = np.arange(1, self.horizon_days + 1)
+        cumulative = np.cumsum(self._raw_hazard(days))
+        total = cumulative[-1]
+        # Survival = exp(-scale * total) == 1 - target
+        self._scale = -np.log(1.0 - self.target_failure_probability) / total
+        self._daily_hazard = self._scale * self._raw_hazard(days)
+        self._cumulative_hazard = np.cumsum(self._daily_hazard)
+
+    def hazard(self, day: int | np.ndarray, multiplier: float = 1.0) -> np.ndarray:
+        """Calibrated daily failure hazard at the given day(s)."""
+        return multiplier * self._scale * self._raw_hazard(day)
+
+    def failure_probability(self, multiplier: float = 1.0) -> float:
+        """Probability of failing within the horizon for a given multiplier."""
+        return float(1.0 - np.exp(-multiplier * self._cumulative_hazard[-1]))
+
+    def sample_failure_day(
+        self, rng: np.random.Generator, multiplier: float = 1.0
+    ) -> int | None:
+        """Sample a failure day in [1, horizon], or None if it survives.
+
+        Uses inverse-transform sampling on the discrete cumulative
+        hazard: failure day = first day where H(t) exceeds the sampled
+        exponential threshold.
+        """
+        if multiplier <= 0:
+            raise ValueError("multiplier must be positive")
+        threshold = rng.exponential(1.0)
+        cumulative = multiplier * self._cumulative_hazard
+        if threshold >= cumulative[-1]:
+            return None
+        return int(np.searchsorted(cumulative, threshold, side="right") + 1)
+
+    def sample_failure_days(
+        self, rng: np.random.Generator, multipliers: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized variant: returns -1 for survivors."""
+        multipliers = np.asarray(multipliers, dtype=float)
+        thresholds = rng.exponential(1.0, size=multipliers.shape)
+        scaled = thresholds / multipliers
+        days = np.searchsorted(self._cumulative_hazard, scaled, side="right") + 1
+        return np.where(scaled >= self._cumulative_hazard[-1], -1, days)

@@ -1,0 +1,110 @@
+"""Drive-model catalog: 12 consumer M.2 NVMe models from 4 vendors.
+
+Mirrors Table VI of the paper: all models are M.2-2280, NVMe 1.x, 3D TLC
+NAND, capacities 128 GB - 1 TB, 32-96 layers. Per-vendor fleet share and
+replacement rate follow the paper's reported totals:
+
+    vendor I:   270,325 drives, RR 0.0068
+    vendor II: 1,001,278 drives, RR 0.0007
+    vendor III:  908,037 drives, RR 0.0005
+    vendor IV:   152,405 drives, RR 0.0011
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Vendor:
+    """One SSD manufacturer in the study (anonymized I-IV like the paper)."""
+
+    name: str
+    fleet_share: float
+    """Fraction of the 2.33M-drive population belonging to this vendor."""
+    replacement_rate: float
+    """Two-year replacement rate from Table VI."""
+    drive_level_share: float
+    """Fraction of this vendor's failures that are drive-level (strong
+    SMART signature); the rest are system-level (strong W/B signature).
+    Fleet-wide the paper reports 31.62% drive-level."""
+    n_firmware_versions: int
+    """Number of firmware versions observed in the field (Fig 3)."""
+
+
+# Fleet shares derived from Table VI counts (total 2,332,045 drives).
+VENDORS: dict[str, Vendor] = {
+    "I": Vendor(
+        name="I",
+        fleet_share=270_325 / 2_332_045,
+        replacement_rate=0.0068,
+        drive_level_share=0.32,
+        n_firmware_versions=5,
+    ),
+    "II": Vendor(
+        name="II",
+        fleet_share=1_001_278 / 2_332_045,
+        replacement_rate=0.0007,
+        drive_level_share=0.30,
+        n_firmware_versions=3,
+    ),
+    "III": Vendor(
+        name="III",
+        fleet_share=908_037 / 2_332_045,
+        replacement_rate=0.0005,
+        drive_level_share=0.33,
+        n_firmware_versions=2,
+    ),
+    "IV": Vendor(
+        name="IV",
+        fleet_share=152_405 / 2_332_045,
+        replacement_rate=0.0011,
+        drive_level_share=0.31,
+        n_firmware_versions=2,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class DriveModel:
+    """One drive model (vendor + capacity + NAND generation)."""
+
+    model_id: str
+    vendor: str
+    capacity_gb: int
+    nand_layers: int
+    form_factor: str = "M.2-2280"
+    protocol: str = "NVMe1.x"
+    flash_tech: str = "3D TLC"
+    interface: str = "PCIe 3.0x4"
+
+    def __post_init__(self) -> None:
+        if self.vendor not in VENDORS:
+            raise ValueError(f"unknown vendor {self.vendor!r}")
+        if self.capacity_gb <= 0:
+            raise ValueError("capacity_gb must be positive")
+
+
+# 12 models across the four vendors (counts per vendor chosen to sum to
+# 12; capacities and layer counts span the ranges Table VI reports).
+DRIVE_MODELS: tuple[DriveModel, ...] = (
+    DriveModel("I-A128", "I", 128, 32),
+    DriveModel("I-B256", "I", 256, 64),
+    DriveModel("I-C512", "I", 512, 64),
+    DriveModel("II-A256", "II", 256, 64),
+    DriveModel("II-B512", "II", 512, 64),
+    DriveModel("II-C512", "II", 512, 96),
+    DriveModel("II-D1024", "II", 1024, 96),
+    DriveModel("III-A256", "III", 256, 64),
+    DriveModel("III-B512", "III", 512, 96),
+    DriveModel("III-C1024", "III", 1024, 96),
+    DriveModel("IV-A128", "IV", 128, 32),
+    DriveModel("IV-B512", "IV", 512, 64),
+)
+
+
+def drive_models_for_vendor(vendor: str) -> tuple[DriveModel, ...]:
+    """Return the catalog entries belonging to one vendor."""
+    if vendor not in VENDORS:
+        raise ValueError(f"unknown vendor {vendor!r}; known: {sorted(VENDORS)}")
+    return tuple(model for model in DRIVE_MODELS if model.vendor == vendor)

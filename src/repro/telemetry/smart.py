@@ -1,0 +1,193 @@
+"""SMART attribute catalog and per-drive trajectory simulation.
+
+Table II of the paper lists the 16 attributes consumer M.2 NVMe vendors
+expose (the NVMe SMART/health log plus capacity). The simulator evolves
+each attribute day by day from three ingredients:
+
+* cumulative usage counters (reads/writes/hours) driven by the drive's
+  daily usage hours,
+* healthy background noise (temperature wiggle, rare benign error-log
+  blips that give SMART-only predictors their false positives), and
+* a pre-failure degradation ramp ``level`` in [0, 1] that bends the
+  error-related attributes upward in the weeks before failure. How hard
+  each attribute responds is the drive's failure *archetype*: drive-level
+  failures have a strong SMART signature, system-level failures a weak
+  one (their signal lives in the W/B event streams instead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SmartAttribute:
+    """Catalog entry for one SMART attribute (Table II)."""
+
+    smart_id: int
+    name: str
+    column: str
+    cumulative: bool
+    """True for monotonically increasing usage counters."""
+    failure_relevant: bool
+    """Whether the attribute responds to degradation at all. The paper's
+    feature selection finds e.g. Available Spare Threshold uninformative."""
+
+
+SMART_ATTRIBUTES: tuple[SmartAttribute, ...] = (
+    SmartAttribute(1, "Critical Warning", "s1_critical_warning", False, True),
+    SmartAttribute(2, "Composite Temperature", "s2_temperature", False, True),
+    SmartAttribute(3, "Available Spare", "s3_available_spare", False, True),
+    SmartAttribute(4, "Available Spare Threshold", "s4_spare_threshold", False, False),
+    SmartAttribute(5, "Percentage Used", "s5_percentage_used", True, True),
+    SmartAttribute(6, "Data Units Read", "s6_data_units_read", True, False),
+    SmartAttribute(7, "Data Units Written", "s7_data_units_written", True, False),
+    SmartAttribute(8, "Host Read Commands", "s8_host_read_commands", True, False),
+    SmartAttribute(9, "Host Write Commands", "s9_host_write_commands", True, False),
+    SmartAttribute(10, "Controller Busy Time", "s10_controller_busy_time", True, True),
+    SmartAttribute(11, "Power Cycles", "s11_power_cycles", True, True),
+    SmartAttribute(12, "Power On Hours", "s12_power_on_hours", True, False),
+    SmartAttribute(13, "Unsafe Shutdowns", "s13_unsafe_shutdowns", True, True),
+    SmartAttribute(14, "Error Media and Data Integrity Errors", "s14_media_errors", True, True),
+    SmartAttribute(15, "Number of Error Information Log Entries", "s15_error_log_entries", True, True),
+    SmartAttribute(16, "Capacity", "s16_capacity", False, False),
+)
+
+SMART_COLUMNS: tuple[str, ...] = tuple(a.column for a in SMART_ATTRIBUTES)
+
+
+def smart_attribute_by_column(column: str) -> SmartAttribute:
+    """Look up a catalog entry by its dataset column name."""
+    for attribute in SMART_ATTRIBUTES:
+        if attribute.column == column:
+            return attribute
+    raise KeyError(column)
+
+
+@dataclass
+class SmartSimulator:
+    """Generates one drive's SMART trajectory over its observed days.
+
+    Parameters
+    ----------
+    capacity_gb:
+        Drive capacity; sets the write-wear scale and the capacity column.
+    smart_gain:
+        Archetype multiplier for the degradation response: ~1.0 for
+        drive-level failures, ~0.15-0.35 for system-level failures whose
+        SMART stays deceptively quiet, 0.0 for healthy drives.
+    benign_anomaly_rate:
+        Daily probability of a harmless error-log/temperature blip on a
+        healthy drive (the source of SMART-only false positives).
+    """
+
+    capacity_gb: int
+    smart_gain: float = 0.0
+    benign_anomaly_rate: float = 0.004
+    initial_percentage_used: float = 0.0
+
+    def simulate(
+        self,
+        observed_days: np.ndarray,
+        usage_hours: np.ndarray,
+        degradation: np.ndarray,
+        rng: np.random.Generator,
+    ) -> dict[str, np.ndarray]:
+        """Return a column -> values dict over the observed days.
+
+        ``observed_days`` are the (sorted) absolute day indices the drive
+        was powered on; ``usage_hours`` the hours used each of those
+        days; ``degradation`` the ramp level in [0, 1] on those days.
+        """
+        observed_days = np.asarray(observed_days)
+        usage_hours = np.asarray(usage_hours, dtype=float)
+        degradation = np.asarray(degradation, dtype=float)
+        if not (observed_days.shape == usage_hours.shape == degradation.shape):
+            raise ValueError("observed_days, usage_hours, degradation must align")
+        n = observed_days.size
+        if n == 0:
+            return {column: np.array([]) for column in SMART_COLUMNS}
+        if np.any(np.diff(observed_days) <= 0):
+            raise ValueError("observed_days must be strictly increasing")
+
+        gain = self.smart_gain
+        level = degradation * gain
+
+        # --- cumulative usage counters -------------------------------
+        power_on_hours = np.cumsum(usage_hours)
+        # Consumer workloads: a few GB read/written per active hour.
+        read_gb_per_hour = rng.gamma(4.0, 0.9)
+        write_gb_per_hour = rng.gamma(4.0, 0.45)
+        data_read = np.cumsum(usage_hours * read_gb_per_hour * rng.lognormal(0, 0.25, n))
+        data_written = np.cumsum(usage_hours * write_gb_per_hour * rng.lognormal(0, 0.25, n))
+        host_reads = data_read * rng.uniform(8_000, 14_000)
+        host_writes = data_written * rng.uniform(8_000, 14_000)
+        controller_busy = np.cumsum(
+            usage_hours * rng.uniform(0.5, 2.0) * (1.0 + 3.0 * level)
+        )
+
+        # One power cycle per boot; degradation adds crash-induced
+        # reboots (paper: Power Cycles needs special attention).
+        extra_cycles = rng.poisson(2.5 * level)
+        power_cycles = np.cumsum(1 + extra_cycles)
+
+        # Unsafe shutdowns: rare when healthy, bursty when degrading.
+        unsafe = rng.poisson(0.004 + 3.0 * level**2)
+        unsafe_shutdowns = np.cumsum(unsafe)
+
+        # --- error counters ------------------------------------------
+        benign_blip = rng.random(n) < self.benign_anomaly_rate
+        media_error_rate = 6.0 * level**2
+        media_errors = np.cumsum(rng.poisson(media_error_rate) + (benign_blip & (rng.random(n) < 0.25)))
+        error_log_rate = 0.01 + 10.0 * level**1.5
+        error_log = np.cumsum(rng.poisson(error_log_rate) + benign_blip * rng.poisson(1.5, n))
+
+        # --- health gauges -------------------------------------------
+        # Percentage used grows with written volume (TBW budget ~ 300
+        # cycles of capacity for consumer TLC) plus degradation wear.
+        tbw_budget_gb = self.capacity_gb * rng.uniform(250, 400)
+        percentage_used = np.clip(
+            self.initial_percentage_used
+            + 100.0 * data_written / tbw_budget_gb
+            + np.cumsum(2.0 * level**2),
+            0.0,
+            255.0,
+        )
+        available_spare = np.clip(
+            100.0
+            - 0.5 * percentage_used / 10.0
+            - np.cumsum(8.0 * level**2 * rng.random(n)),
+            0.0,
+            100.0,
+        )
+        # Critical warning flips once spare is critically low or the
+        # degradation ramp is nearly complete on a drive-level failure.
+        critical = ((available_spare < 15.0) | (level > 0.75)).astype(float)
+
+        temperature = (
+            310.0
+            + rng.normal(0, 2.0, n)
+            + 6.0 * level
+            + benign_blip * rng.uniform(5, 12, n)
+        )
+
+        return {
+            "s1_critical_warning": critical,
+            "s2_temperature": temperature,
+            "s3_available_spare": available_spare,
+            "s4_spare_threshold": np.full(n, 10.0),
+            "s5_percentage_used": percentage_used,
+            "s6_data_units_read": data_read,
+            "s7_data_units_written": data_written,
+            "s8_host_read_commands": host_reads,
+            "s9_host_write_commands": host_writes,
+            "s10_controller_busy_time": controller_busy,
+            "s11_power_cycles": power_cycles.astype(float),
+            "s12_power_on_hours": power_on_hours,
+            "s13_unsafe_shutdowns": unsafe_shutdowns.astype(float),
+            "s14_media_errors": media_errors.astype(float),
+            "s15_error_log_entries": error_log.astype(float),
+            "s16_capacity": np.full(n, float(self.capacity_gb)),
+        }

@@ -1,0 +1,101 @@
+"""Dataset integrity validation.
+
+Telemetry ingested from real collectors (or edited by hand) can violate
+the invariants the pipeline assumes. :func:`validate_dataset` checks
+them all and returns human-readable violations instead of letting a
+broken assumption surface as a numpy error deep inside training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.telemetry.dataset import TelemetryDataset
+from repro.telemetry.smart import SMART_COLUMNS
+
+#: SMART counters that must be non-decreasing within a drive's history.
+_MONOTONE_COLUMNS = (
+    "s6_data_units_read",
+    "s7_data_units_written",
+    "s11_power_cycles",
+    "s12_power_on_hours",
+    "s13_unsafe_shutdowns",
+    "s14_media_errors",
+    "s15_error_log_entries",
+)
+
+
+def validate_dataset(dataset: TelemetryDataset, check_monotone: bool = True) -> list[str]:
+    """Return a list of invariant violations (empty = dataset is sound).
+
+    Checks:
+
+    * rows sorted by (serial, day) with unique (serial, day) pairs,
+    * every row's serial has drive metadata and vice versa,
+    * failed drives have no records after their failure day,
+    * every ticket references a failed drive and IMT >= failure day,
+    * numeric telemetry is finite,
+    * (optional) cumulative SMART counters never decrease.
+    """
+    violations: list[str] = []
+    serial = dataset.columns["serial"]
+    day = dataset.columns["day"]
+
+    order = np.lexsort((day, serial))
+    if not np.array_equal(order, np.arange(serial.size)):
+        violations.append("rows are not sorted by (serial, day)")
+
+    same = (serial[1:] == serial[:-1]) & (day[1:] == day[:-1])
+    if np.any(same):
+        violations.append(f"{int(same.sum())} duplicate (serial, day) rows")
+
+    row_serials = set(np.unique(serial).tolist())
+    meta_serials = set(dataset.drives)
+    for missing in sorted(row_serials - meta_serials)[:5]:
+        violations.append(f"serial {missing} has rows but no drive metadata")
+    for orphan in sorted(meta_serials - row_serials)[:5]:
+        violations.append(f"drive {orphan} has metadata but no rows")
+
+    for target, meta in dataset.drives.items():
+        if not meta.failed or target not in row_serials:
+            continue
+        days = dataset.drive_rows(target)["day"]
+        if days[-1] > meta.failure_day:
+            violations.append(
+                f"drive {target} logs after its failure day "
+                f"({int(days[-1])} > {meta.failure_day})"
+            )
+
+    failed = {s for s, m in dataset.drives.items() if m.failed}
+    for ticket in dataset.tickets:
+        if ticket.serial not in failed:
+            violations.append(f"ticket for non-failed drive {ticket.serial}")
+            continue
+        failure_day = dataset.drives[ticket.serial].failure_day
+        if ticket.initial_maintenance_time < failure_day:
+            violations.append(
+                f"ticket IMT {ticket.initial_maintenance_time} precedes "
+                f"failure day {failure_day} for drive {ticket.serial}"
+            )
+
+    for column in SMART_COLUMNS:
+        values = dataset.columns.get(column)
+        if values is None:
+            violations.append(f"missing SMART column {column}")
+            continue
+        if not np.all(np.isfinite(values)):
+            violations.append(f"non-finite values in {column}")
+
+    if check_monotone:
+        new_drive = np.concatenate([[True], serial[1:] != serial[:-1]])
+        for column in _MONOTONE_COLUMNS:
+            values = dataset.columns.get(column)
+            if values is None:
+                continue
+            decreasing = (np.diff(values) < -1e-9) & ~new_drive[1:]
+            if np.any(decreasing):
+                violations.append(
+                    f"{column} decreases within a drive at "
+                    f"{int(decreasing.sum())} rows"
+                )
+    return violations

@@ -1,0 +1,69 @@
+"""WindowsEvent (W) log catalog — Table III of the paper.
+
+Nine disk-related Windows event IDs. The paper's collected feature group
+uses five of them (Table V lists the W group as 5 features); its feature
+selection singles out W_11, W_49, W_51 and W_161 as requiring special
+attention. Background rates and failure gains below encode exactly that
+structure: the informative events respond strongly to degradation, the
+rest are near-noise.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.events import EventCatalog, EventType
+
+WINDOWS_EVENTS: tuple[EventType, ...] = (
+    EventType(
+        "W_7", "The device has a bad block", "w7_bad_block",
+        background_rate=0.0015, failure_gain=0.35,
+    ),
+    EventType(
+        "W_11", "The driver detects a controller error on Disk_i", "w11_controller_error",
+        background_rate=0.0020, failure_gain=1.1,
+    ),
+    EventType(
+        "W_15", "The Disk_i is not ready for access yet", "w15_not_ready",
+        background_rate=0.0030, failure_gain=0.08,
+    ),
+    EventType(
+        "W_49", "Configuring the page file for crash dump fails", "w49_pagefile_fail",
+        background_rate=0.0010, failure_gain=0.9,
+    ),
+    EventType(
+        "W_51", "An error is detected on device during a paging operation", "w51_paging_error",
+        background_rate=0.0025, failure_gain=1.0,
+    ),
+    EventType(
+        "W_52", "The driver detects that device has predicted it will fail", "w52_predicted_fail",
+        background_rate=0.0002, failure_gain=0.5,
+    ),
+    EventType(
+        "W_154", "IO operation at logical block address failed (hardware error)", "w154_io_hw_error",
+        background_rate=0.0008, failure_gain=0.3,
+    ),
+    EventType(
+        "W_157", "Disk has been surprisingly removed", "w157_surprise_removed",
+        background_rate=0.0012, failure_gain=0.12,
+    ),
+    EventType(
+        "W_161", "File System error during IO on database", "w161_fs_io_error",
+        background_rate=0.0018, failure_gain=1.3,
+    ),
+)
+
+
+class WindowsEventCatalog(EventCatalog):
+    """Catalog of the Table-III Windows events."""
+
+    def __init__(self):
+        super().__init__(WINDOWS_EVENTS)
+
+
+#: The five W features the paper's models consume (Table V, W group = 5).
+MODEL_W_COLUMNS: tuple[str, ...] = (
+    "w11_controller_error",
+    "w49_pagefile_fail",
+    "w51_paging_error",
+    "w52_predicted_fail",
+    "w161_fs_io_error",
+)

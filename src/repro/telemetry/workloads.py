@@ -1,0 +1,116 @@
+"""User personas: structured heterogeneity in consumer usage.
+
+The paper stresses that "the application usage habits of individual
+users vary considerably" (§II challenge 4). Instead of one amorphous
+usage distribution, this module models recognizable personas — office
+machines that sleep on weekends, always-on enthusiast rigs, barely-used
+casual laptops — and a :class:`PersonaUsageModel` that mixes them.
+Plug it into :class:`~repro.telemetry.fleet.FleetConfig` via
+``persona_weights``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.telemetry.collection import UsagePattern
+
+
+@dataclass(frozen=True)
+class Persona:
+    """One user archetype with jitter ranges for its parameters."""
+
+    name: str
+    boot_probability: tuple[float, float]
+    weekend_factor: tuple[float, float]
+    mean_daily_hours: tuple[float, float]
+    vacation_rate: float
+    mean_vacation_days: float
+
+    def sample_pattern(self, rng: np.random.Generator) -> UsagePattern:
+        return UsagePattern(
+            boot_probability=float(
+                np.clip(rng.uniform(*self.boot_probability), 0.05, 1.0)
+            ),
+            weekend_factor=float(rng.uniform(*self.weekend_factor)),
+            vacation_rate=self.vacation_rate,
+            mean_vacation_days=self.mean_vacation_days,
+            mean_daily_hours=float(rng.uniform(*self.mean_daily_hours)),
+        )
+
+
+PERSONAS: dict[str, Persona] = {
+    "office": Persona(
+        name="office",
+        boot_probability=(0.65, 0.85),
+        weekend_factor=(0.05, 0.3),
+        mean_daily_hours=(7.0, 10.0),
+        vacation_rate=3.0,
+        mean_vacation_days=8.0,
+    ),
+    "home": Persona(
+        name="home",
+        boot_probability=(0.45, 0.7),
+        weekend_factor=(1.1, 1.5),
+        mean_daily_hours=(2.5, 6.0),
+        vacation_rate=2.0,
+        mean_vacation_days=10.0,
+    ),
+    "enthusiast": Persona(
+        name="enthusiast",
+        boot_probability=(0.8, 0.98),
+        weekend_factor=(1.0, 1.4),
+        mean_daily_hours=(8.0, 14.0),
+        vacation_rate=1.0,
+        mean_vacation_days=6.0,
+    ),
+    "casual": Persona(
+        name="casual",
+        boot_probability=(0.15, 0.4),
+        weekend_factor=(0.8, 1.3),
+        mean_daily_hours=(1.0, 3.5),
+        vacation_rate=3.0,
+        mean_vacation_days=15.0,
+    ),
+}
+
+#: A plausible consumer population mix.
+DEFAULT_PERSONA_WEIGHTS: dict[str, float] = {
+    "office": 0.35,
+    "home": 0.35,
+    "enthusiast": 0.12,
+    "casual": 0.18,
+}
+
+
+class PersonaUsageModel:
+    """Drop-in replacement for :class:`UsageModel` drawing from personas.
+
+    Parameters
+    ----------
+    weights:
+        persona name -> mixing weight (normalized internally).
+    """
+
+    def __init__(self, weights: dict[str, float] | None = None):
+        weights = dict(DEFAULT_PERSONA_WEIGHTS if weights is None else weights)
+        unknown = set(weights) - set(PERSONAS)
+        if unknown:
+            raise ValueError(f"unknown personas {sorted(unknown)}; known: {sorted(PERSONAS)}")
+        if not weights:
+            raise ValueError("weights must not be empty")
+        total = sum(weights.values())
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        self.names = sorted(weights)
+        self.probabilities = np.array([weights[name] / total for name in self.names])
+
+    def sample_persona(self, rng: np.random.Generator) -> Persona:
+        index = int(rng.choice(len(self.names), p=self.probabilities))
+        return PERSONAS[self.names[index]]
+
+    def sample_pattern(self, rng: np.random.Generator) -> UsagePattern:
+        """Matches the :class:`UsageModel` interface used by the fleet."""
+        return self.sample_persona(rng).sample_pattern(rng)

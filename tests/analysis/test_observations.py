@@ -1,0 +1,162 @@
+"""Tests for the observation studies (Tables I/VI, Figs 2-6)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bathtub import bathtub_shape_summary, failure_time_distribution
+from repro.analysis.cumulative_events import (
+    cumulative_event_trajectories,
+    mean_final_cumulative,
+)
+from repro.analysis.dataset_summary import dataset_summary_rows, replacement_rate_ordering
+from repro.analysis.discontinuity import discontinuity_profile, drive_log_timelines
+from repro.analysis.firmware_rates import (
+    firmware_failure_rates,
+    is_monotone_decreasing_per_vendor,
+)
+from repro.analysis.rasrf import level_shares, rasrf_breakdown
+
+
+class TestRasrf:
+    def test_rows_cover_catalog(self, small_fleet):
+        rows = rasrf_breakdown(small_fleet)
+        assert len(rows) == 13
+        assert sum(row["share"] for row in rows) == pytest.approx(1.0)
+
+    def test_level_split_near_table1(self, small_fleet):
+        shares = level_shares(small_fleet)
+        # Expect ~32% drive-level / ~68% system-level (sampling noise).
+        assert shares["drive_level"] == pytest.approx(0.32, abs=0.12)
+        assert shares["system_level"] == pytest.approx(0.68, abs=0.12)
+
+    def test_counts_match_tickets(self, small_fleet):
+        rows = rasrf_breakdown(small_fleet)
+        assert sum(row["count"] for row in rows) == len(small_fleet.tickets)
+
+    def test_empty_tickets_raise(self, small_fleet):
+        import copy
+
+        empty = copy.copy(small_fleet)
+        empty.tickets = []
+        with pytest.raises(ValueError):
+            rasrf_breakdown(empty)
+        with pytest.raises(ValueError):
+            level_shares(empty)
+
+
+class TestBathtub:
+    def test_distribution_shapes(self, small_fleet):
+        result = failure_time_distribution(small_fleet, n_buckets=8)
+        assert result["counts"].shape == (8,)
+        assert result["edges"].shape == (9,)
+        assert result["counts"].sum() == small_fleet.failed_serials().size
+        assert result["hazard"].shape == (8,)
+
+    def test_by_day_variant(self, small_fleet):
+        result = failure_time_distribution(small_fleet, by="day")
+        assert result["counts"].sum() == small_fleet.failed_serials().size
+
+    def test_infant_mortality_visible(self, small_fleet):
+        result = failure_time_distribution(small_fleet, n_buckets=9, by="day")
+        summary = bathtub_shape_summary(result["counts"])
+        assert summary["early"] > summary["middle"]
+
+    def test_invalid_bucketing(self, small_fleet):
+        with pytest.raises(ValueError):
+            failure_time_distribution(small_fleet, by="moon_phase")
+
+    def test_shape_summary_needs_buckets(self):
+        with pytest.raises(ValueError):
+            bathtub_shape_summary(np.array([1, 2]))
+
+
+class TestFirmwareRates:
+    def test_rows_sorted_by_ladder(self, mixed_fleet):
+        rows = firmware_failure_rates(mixed_fleet)
+        names = [row["firmware"] for row in rows]
+        assert names == sorted(
+            names, key=lambda n: (n.partition("_F_")[0], int(n.partition("_F_")[2]))
+        )
+
+    def test_population_accounting(self, mixed_fleet):
+        rows = firmware_failure_rates(mixed_fleet)
+        assert sum(row["n_drives"] for row in rows) == mixed_fleet.n_drives
+
+    def test_earlier_firmware_fails_more_with_slack(self, mixed_fleet):
+        rows = firmware_failure_rates(mixed_fleet)
+        # Small fleets are noisy; allow generous slack but require the
+        # broad trend.
+        assert is_monotone_decreasing_per_vendor(rows, slack=0.15)
+
+    def test_monotonicity_checker(self):
+        rows = [
+            {"vendor": "I", "version_index": 1, "failure_rate": 0.3},
+            {"vendor": "I", "version_index": 2, "failure_rate": 0.1},
+        ]
+        assert is_monotone_decreasing_per_vendor(rows)
+        rows[1]["failure_rate"] = 0.5
+        assert not is_monotone_decreasing_per_vendor(rows)
+
+
+class TestCumulativeEvents:
+    def test_trajectories_structure(self, small_fleet):
+        result = cumulative_event_trajectories(
+            small_fleet, "w161_fs_io_error", n_faulty=3, n_healthy=3
+        )
+        assert len(result["faulty"]) == 3
+        assert len(result["healthy"]) == 3
+        for entry in result["faulty"] + result["healthy"]:
+            assert np.all(np.diff(entry["cumulative"]) >= 0)
+            assert np.all(entry["days_before_end"] <= 0)
+
+    def test_faulty_accumulate_more(self, small_fleet):
+        means = mean_final_cumulative(small_fleet, "w161_fs_io_error")
+        assert means["faulty"] > means["healthy"]
+
+    def test_bsod_b50_gap(self, small_fleet):
+        from repro.telemetry.bsod import B_50_COLUMN
+
+        means = mean_final_cumulative(small_fleet, B_50_COLUMN)
+        assert means["faulty"] > means["healthy"]
+
+    def test_unknown_column_raises(self, small_fleet):
+        with pytest.raises(KeyError):
+            cumulative_event_trajectories(small_fleet, "nope")
+
+    def test_too_few_drives_raise(self, small_fleet):
+        with pytest.raises(ValueError):
+            cumulative_event_trajectories(
+                small_fleet, "w161_fs_io_error", n_faulty=10**6
+            )
+
+
+class TestDiscontinuity:
+    def test_profile_buckets(self, small_fleet):
+        profile = discontinuity_profile(small_fleet)
+        assert set(profile["gap_buckets"]) == {"0", "1-3", "4-9", ">=10"}
+        assert profile["n_drives"] > 0
+        assert 0.0 <= profile["share_with_long_gap"] <= 1.0
+
+    def test_gaps_exist_in_consumer_data(self, small_fleet):
+        profile = discontinuity_profile(small_fleet, faulty_only=False)
+        assert profile["gap_buckets"]["1-3"] > 0
+
+    def test_timelines(self, small_fleet):
+        timelines = drive_log_timelines(small_fleet, limit=3)
+        assert len(timelines) == 3
+        for timeline in timelines:
+            assert timeline["n_records"] == timeline["days"].size
+
+
+class TestDatasetSummary:
+    def test_rows_per_vendor(self, mixed_fleet):
+        rows = dataset_summary_rows(mixed_fleet)
+        assert [row["vendor"] for row in rows] == ["I", "II", "III", "IV"]
+        for row in rows:
+            assert row["flash_tech"] == "3D TLC"
+            assert row["total"] == 60
+
+    def test_ordering_helper(self, mixed_fleet):
+        rows = dataset_summary_rows(mixed_fleet)
+        ordering = replacement_rate_ordering(rows)
+        assert ordering[0] == "I"

@@ -1,0 +1,76 @@
+"""Unit tests for Kaplan-Meier survival analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.survival import (
+    fleet_survival,
+    kaplan_meier,
+    survival_at,
+    survival_by_firmware,
+    survival_by_vendor,
+)
+
+
+class TestKaplanMeier:
+    def test_no_censoring_matches_empirical(self):
+        durations = np.array([1.0, 2.0, 3.0, 4.0])
+        observed = np.ones(4)
+        km = kaplan_meier(durations, observed)
+        np.testing.assert_allclose(km["survival"], [0.75, 0.5, 0.25, 0.0])
+
+    def test_censoring_keeps_curve_higher(self):
+        durations = np.array([1.0, 2.0, 3.0, 4.0])
+        all_observed = kaplan_meier(durations, np.ones(4))
+        half_censored = kaplan_meier(durations, np.array([1, 0, 1, 0]))
+        assert survival_at(half_censored, 3.0) > survival_at(all_observed, 3.0)
+
+    def test_survival_monotone_nonincreasing(self, rng):
+        durations = rng.exponential(100, 300)
+        observed = rng.integers(0, 2, 300)
+        if not observed.any():
+            observed[0] = 1
+        km = kaplan_meier(durations, observed)
+        assert np.all(np.diff(km["survival"]) <= 1e-12)
+        assert np.all(km["survival"] >= 0)
+        assert np.all(km["survival"] <= 1)
+
+    def test_survival_at_before_first_event(self):
+        km = kaplan_meier(np.array([10.0]), np.array([1]))
+        assert survival_at(km, 5.0) == 1.0
+        assert survival_at(km, 10.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kaplan_meier(np.array([]), np.array([]))
+        with pytest.raises(ValueError):
+            kaplan_meier(np.array([1.0]), np.array([1, 0]))
+        with pytest.raises(ValueError):
+            kaplan_meier(np.array([-1.0]), np.array([1]))
+
+
+class TestFleetSurvival:
+    def test_fleet_curve_reasonable(self, small_fleet):
+        km = fleet_survival(small_fleet)
+        # Most of the (boosted) fleet still survives the horizon.
+        assert 0.3 < km["survival"][-1] < 1.0
+
+    def test_by_firmware_ordering(self, small_fleet):
+        curves = survival_by_firmware(small_fleet)
+        # Vendor I's oldest firmware must survive worse than its newest
+        # observed version at the study midpoint.
+        names = sorted(curves)
+        if "I_F_1" in curves and len(names) > 1:
+            newest = names[-1]
+            assert survival_at(curves["I_F_1"], 180) <= survival_at(
+                curves[newest], 180
+            ) + 0.05
+
+    def test_by_vendor_matches_rr(self, mixed_fleet):
+        curves = survival_by_vendor(mixed_fleet)
+        assert "I" in curves
+        # Vendor I (highest RR) survives worst at the horizon end.
+        end_survival = {
+            vendor: survival_at(km, 300) for vendor, km in curves.items()
+        }
+        assert end_survival["I"] == min(end_survival.values())

@@ -1,0 +1,60 @@
+"""Tests for the temporal-robustness and overhead analyses (Figs 12/16, 20)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.overhead import STAGE_ORDER, overhead_rows
+from repro.analysis.temporal import rolling_monthly_evaluation
+from repro.core.pipeline import MFPA, MFPAConfig
+
+
+@pytest.fixture(scope="module")
+def fitted(small_fleet):
+    model = MFPA(MFPAConfig())
+    model.fit(small_fleet, train_end_day=240)
+    model.evaluate(240, 300)  # populate prediction stage stats
+    return model
+
+
+class TestRollingEvaluation:
+    def test_one_row_per_month(self, fitted):
+        rows = rolling_monthly_evaluation(fitted, start_day=240, n_months=4)
+        assert [row["month"] for row in rows] == [1, 2, 3, 4]
+        for row in rows:
+            assert row["period"][1] - row["period"][0] == 30
+
+    def test_months_with_failures_have_metrics(self, fitted):
+        rows = rolling_monthly_evaluation(fitted, start_day=240, n_months=4)
+        evaluated = [row for row in rows if row["n_healthy"] > 0]
+        assert evaluated, "expected at least one evaluable month"
+        for row in evaluated:
+            assert 0.0 <= row["fpr"] <= 1.0
+
+    def test_out_of_range_months_nan(self, fitted):
+        rows = rolling_monthly_evaluation(fitted, start_day=10_000, n_months=2)
+        assert all(np.isnan(row["tpr"]) for row in rows)
+
+
+class TestOverhead:
+    def test_rows_in_pipeline_order(self, fitted):
+        rows = overhead_rows(fitted)
+        stages = [row["stage"] for row in rows]
+        assert stages == [s for s in STAGE_ORDER if s in stages]
+        assert "prediction" in stages
+
+    def test_throughput_positive(self, fitted):
+        for row in overhead_rows(fitted):
+            assert row["seconds"] >= 0
+            assert row["items_per_second"] > 0
+
+    def test_unfitted_model_rejected(self):
+        with pytest.raises(ValueError):
+            overhead_rows(MFPA())
+
+    def test_feature_engineering_dominant_items(self, fitted):
+        # Fig 20: feature engineering touches the most data items.
+        rows = {row["stage"]: row for row in overhead_rows(fitted)}
+        assert (
+            rows["feature_engineering"]["n_items"]
+            >= rows["training"]["n_items"]
+        )

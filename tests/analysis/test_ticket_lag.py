@@ -1,0 +1,38 @@
+"""Unit tests for the repair-lag analysis behind the θ choice."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ticket_lag import repair_lag_distribution, theta_coverage
+
+
+class TestRepairLag:
+    def test_distribution_fields(self, small_fleet):
+        stats = repair_lag_distribution(small_fleet)
+        assert stats["n_tickets"] == len(small_fleet.tickets)
+        assert 0 <= stats["median"] <= stats["p90"] <= stats["max"]
+        assert stats["lags"].min() >= 0
+
+    def test_median_lag_small(self, small_fleet):
+        # The simulated lognormal lag puts the median within a week —
+        # the behaviour that makes θ=7 the sweet spot.
+        stats = repair_lag_distribution(small_fleet)
+        assert stats["median"] <= 7
+
+    def test_theta_coverage_monotone(self, small_fleet):
+        rows = theta_coverage(small_fleet)
+        shares = [row["share_within"] for row in rows]
+        assert all(b >= a for a, b in zip(shares, shares[1:]))
+        assert shares[-1] <= 1.0
+
+    def test_theta_7_covers_majority(self, small_fleet):
+        rows = {row["theta"]: row["share_within"] for row in theta_coverage(small_fleet)}
+        assert rows[7] >= 0.5
+
+    def test_empty_tickets_raise(self, small_fleet):
+        import copy
+
+        empty = copy.copy(small_fleet)
+        empty.tickets = []
+        with pytest.raises(ValueError):
+            repair_lag_distribution(empty)

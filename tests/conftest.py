@@ -1,0 +1,62 @@
+"""Shared fixtures: small, session-scoped synthetic fleets.
+
+Fleet simulation is the expensive part of most tests, so the fixtures
+are simulated once per session; tests must treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.preprocess import preprocess
+from repro.telemetry import FleetConfig, VendorMix, simulate_fleet
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_fleet():
+    """~200 drives of vendor I with boosted failures; 360-day horizon."""
+    config = FleetConfig(
+        mix=VendorMix({"I": 200}),
+        horizon_days=360,
+        failure_boost=25.0,
+        seed=42,
+    )
+    return simulate_fleet(config)
+
+
+@pytest.fixture(scope="session")
+def mixed_fleet():
+    """All four vendors, 60 drives each, boosted failures."""
+    config = FleetConfig(
+        mix=VendorMix.uniform(60),
+        horizon_days=360,
+        failure_boost=30.0,
+        seed=7,
+    )
+    return simulate_fleet(config)
+
+
+@pytest.fixture(scope="session")
+def prepared_fleet(small_fleet):
+    """The small fleet after the full §III-C(1) preprocessing stage."""
+    prepared, report, encoder = preprocess(small_fleet)
+    return prepared, report, encoder
+
+
+@pytest.fixture(scope="session")
+def binary_blobs():
+    """A simple separable 2-class dataset for estimator tests."""
+    generator = np.random.default_rng(0)
+    n = 300
+    X0 = generator.normal(0.0, 1.0, (n, 8))
+    X1 = generator.normal(1.5, 1.0, (n, 8))
+    X = np.vstack([X0, X1])
+    y = np.array([0] * n + [1] * n)
+    order = generator.permutation(2 * n)
+    return X[order], y[order]

@@ -1,0 +1,117 @@
+"""Unit tests for the fleet-monitoring deployment loop."""
+
+import numpy as np
+import pytest
+
+from repro.core.deployment import (
+    FleetMonitor,
+    RetrainPolicy,
+    simulate_operation,
+)
+from repro.core.pipeline import MFPAConfig
+
+
+class TestRetrainPolicy:
+    def test_defaults(self):
+        policy = RetrainPolicy()
+        assert policy.interval_days == 60
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetrainPolicy(interval_days=0)
+        with pytest.raises(ValueError):
+            RetrainPolicy(min_new_failures=-1)
+
+
+class TestFleetMonitor:
+    @pytest.fixture(scope="class")
+    def monitor(self, small_fleet):
+        monitor = FleetMonitor(policy=RetrainPolicy(interval_days=10_000))
+        monitor.start(small_fleet, train_end_day=240)
+        return monitor
+
+    def test_requires_start(self):
+        with pytest.raises(RuntimeError, match="start"):
+            FleetMonitor().score_window(0, 30)
+
+    def test_window_scores_drives(self, monitor):
+        window = monitor.score_window(240, 270)
+        assert window.n_drives_scored > 0
+        assert not window.retrained
+        for alarm in window.alarms:
+            assert alarm.probability >= monitor.alarm_threshold
+            assert 240 <= alarm.day < 270
+
+    def test_alarms_deduplicated(self, small_fleet):
+        monitor = FleetMonitor(policy=RetrainPolicy(interval_days=10_000))
+        monitor.start(small_fleet, train_end_day=240)
+        first = monitor.score_window(240, 300)
+        second = monitor.score_window(240, 300)  # same window again
+        alarmed_first = {alarm.serial for alarm in first.alarms}
+        alarmed_second = {alarm.serial for alarm in second.alarms}
+        assert not alarmed_first & alarmed_second
+
+    def test_invalid_window(self, monitor):
+        with pytest.raises(ValueError):
+            monitor.score_window(300, 300)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            FleetMonitor(alarm_threshold=1.5)
+
+    def test_retrain_fires_on_schedule(self, small_fleet):
+        monitor = FleetMonitor(
+            policy=RetrainPolicy(interval_days=30, min_new_failures=0)
+        )
+        monitor.start(small_fleet, train_end_day=200)
+        window = monitor.score_window(260, 290)
+        assert window.retrained
+        assert monitor._last_trained_day == 260
+
+    def test_retrain_skipped_without_new_failures(self, small_fleet):
+        monitor = FleetMonitor(
+            policy=RetrainPolicy(interval_days=30, min_new_failures=10_000)
+        )
+        monitor.start(small_fleet, train_end_day=200)
+        window = monitor.score_window(260, 290)
+        assert not window.retrained
+
+
+class TestSimulateOperation:
+    def test_summary_accounting(self, small_fleet):
+        summary = simulate_operation(
+            small_fleet,
+            config=MFPAConfig(),
+            start_day=240,
+            end_day=360,
+            window_days=30,
+        )
+        assert len(summary.windows) == 4
+        assert summary.n_alarms == summary.true_alarms + summary.false_alarms
+        assert 0.0 <= summary.recall <= 1.0 or np.isnan(summary.recall)
+
+    def test_catches_most_failures_with_lead_time(self, small_fleet):
+        summary = simulate_operation(
+            small_fleet, start_day=240, end_day=360, window_days=30
+        )
+        assert summary.recall >= 0.6
+        if summary.lead_times:
+            assert summary.median_lead_time >= 0
+
+    def test_higher_threshold_fewer_alarms(self, small_fleet):
+        lenient = simulate_operation(
+            small_fleet, start_day=240, end_day=360, alarm_threshold=0.3
+        )
+        strict = simulate_operation(
+            small_fleet, start_day=240, end_day=360, alarm_threshold=0.95
+        )
+        assert strict.n_alarms <= lenient.n_alarms
+
+    def test_empty_alarm_precision_nan(self):
+        from repro.core.deployment import OperationSummary
+
+        summary = OperationSummary(
+            windows=[], true_alarms=0, false_alarms=0, missed_failures=0
+        )
+        assert np.isnan(summary.precision)
+        assert np.isnan(summary.median_lead_time)

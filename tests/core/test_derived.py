@@ -1,0 +1,138 @@
+"""Unit tests for derived delta/rolling-mean features."""
+
+import numpy as np
+import pytest
+
+from repro.core.derived import (
+    DEFAULT_DERIVE_COLUMNS,
+    _grouped_diff,
+    _grouped_rolling_mean,
+    add_derived_features,
+)
+from repro.core.preprocess import preprocess
+
+
+class TestGroupedDiff:
+    def test_single_group(self):
+        values = np.array([1.0, 3.0, 6.0])
+        starts = np.array([True, False, False])
+        np.testing.assert_allclose(_grouped_diff(values, starts), [0, 2, 3])
+
+    def test_resets_at_boundaries(self):
+        values = np.array([1.0, 3.0, 100.0, 104.0])
+        starts = np.array([True, False, True, False])
+        np.testing.assert_allclose(_grouped_diff(values, starts), [0, 2, 0, 4])
+
+
+class TestGroupedRollingMean:
+    def test_full_window(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        starts = np.array([True, False, False, False])
+        result = _grouped_rolling_mean(values, starts, window=2)
+        np.testing.assert_allclose(result, [1.0, 1.5, 2.5, 3.5])
+
+    def test_partial_windows_at_group_start(self):
+        values = np.array([4.0, 8.0])
+        starts = np.array([True, False])
+        result = _grouped_rolling_mean(values, starts, window=5)
+        np.testing.assert_allclose(result, [4.0, 6.0])
+
+    def test_never_crosses_groups(self):
+        values = np.array([10.0, 10.0, 0.0, 0.0])
+        starts = np.array([True, False, True, False])
+        result = _grouped_rolling_mean(values, starts, window=3)
+        np.testing.assert_allclose(result, [10.0, 10.0, 0.0, 0.0])
+
+
+class TestAddDerivedFeatures:
+    @pytest.fixture(scope="class")
+    def derived(self, prepared_fleet):
+        prepared, _, _ = prepared_fleet
+        return add_derived_features(prepared)
+
+    def test_adds_expected_columns(self, derived):
+        dataset, added = derived
+        assert len(added) == 2 * len(DEFAULT_DERIVE_COLUMNS)
+        for name in added:
+            assert name in dataset.columns
+            assert name.startswith(("d1_", "rm7_"))
+
+    def test_delta_matches_manual_per_drive(self, derived):
+        dataset, _ = derived
+        serial = int(dataset.serials[5])
+        rows = dataset.drive_rows(serial)
+        manual = np.diff(rows["s12_power_on_hours"], prepend=rows["s12_power_on_hours"][0])
+        np.testing.assert_allclose(rows["d1_s12_power_on_hours"], manual)
+
+    def test_deltas_are_age_stationary(self, derived):
+        # The whole point: raw power-on-hours drifts with fleet age;
+        # its delta does not.
+        dataset, _ = derived
+        from repro.core.drift import population_stability_index
+
+        day = dataset.columns["day"]
+        early = (day >= 60) & (day < 180)
+        late = (day >= 240) & (day < 360)
+        raw = dataset.columns["s12_power_on_hours"]
+        delta = dataset.columns["d1_s12_power_on_hours"]
+        raw_psi = population_stability_index(raw[early], raw[late])
+        delta_psi = population_stability_index(delta[early], delta[late])
+        assert delta_psi < raw_psi / 5
+
+    def test_missing_column_raises(self, prepared_fleet):
+        prepared, _, _ = prepared_fleet
+        with pytest.raises(KeyError):
+            add_derived_features(prepared, columns=("nope",))
+
+    def test_invalid_window(self, prepared_fleet):
+        prepared, _, _ = prepared_fleet
+        with pytest.raises(ValueError):
+            add_derived_features(prepared, rolling_window=1)
+
+
+class TestPipelineIntegration:
+    def test_derived_features_in_pipeline(self, small_fleet):
+        from repro.core import MFPA, MFPAConfig
+
+        model = MFPA(MFPAConfig(derived_features=True))
+        model.fit(small_fleet, train_end_day=240)
+        assert any(c.startswith("d1_") for c in model.assembler_.columns)
+        result = model.evaluate(240, 360)
+        assert result.drive_report.tpr >= 0.7
+
+    def test_replace_mode_drops_raw_counters(self, small_fleet):
+        from repro.core import MFPA, MFPAConfig
+
+        model = MFPA(MFPAConfig(derived_features=True, derived_mode="replace"))
+        model.fit(small_fleet, train_end_day=240)
+        assert "s12_power_on_hours" not in model.assembler_.columns
+        assert "d1_s12_power_on_hours" in model.assembler_.columns
+
+    def test_invalid_derived_mode_rejected(self):
+        from repro.core import MFPAConfig
+
+        with pytest.raises(ValueError, match="derived_mode"):
+            MFPAConfig(derived_mode="sideways")
+
+    def test_replace_diet_rescues_bayes(self, small_fleet):
+        """Swapping the drifting counters for their deltas rescues
+        Gaussian NB without feature selection (diagnosed in
+        test_pipeline): appending is not enough, the raw counters
+        dominate the joint likelihood until they are removed."""
+        from repro.core import MFPA, MFPAConfig
+        from repro.ml import GaussianNaiveBayes
+
+        raw = MFPA(MFPAConfig(algorithm=GaussianNaiveBayes()))
+        raw.fit(small_fleet, train_end_day=240)
+        raw_auc = raw.evaluate(240, 360).drive_report.auc
+
+        derived = MFPA(
+            MFPAConfig(
+                algorithm=GaussianNaiveBayes(),
+                derived_features=True,
+                derived_mode="replace",
+            )
+        )
+        derived.fit(small_fleet, train_end_day=240)
+        derived_auc = derived.evaluate(240, 360).drive_report.auc
+        assert derived_auc >= raw_auc

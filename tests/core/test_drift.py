@@ -1,0 +1,97 @@
+"""Unit tests for feature-drift measurement (PSI)."""
+
+import numpy as np
+import pytest
+
+from repro.core import MFPA, MFPAConfig
+from repro.core.drift import (
+    FeatureDrift,
+    drifted_columns,
+    feature_drift_report,
+    population_stability_index,
+)
+
+
+class TestPSI:
+    def test_identical_samples_near_zero(self, rng):
+        sample = rng.normal(0, 1, 5000)
+        assert population_stability_index(sample, sample) < 1e-9
+
+    def test_same_distribution_small(self, rng):
+        a = rng.normal(0, 1, 5000)
+        b = rng.normal(0, 1, 5000)
+        assert population_stability_index(a, b) < 0.02
+
+    def test_shifted_distribution_large(self, rng):
+        a = rng.normal(0, 1, 5000)
+        b = rng.normal(2.0, 1, 5000)
+        assert population_stability_index(a, b) > 0.25
+
+    def test_scale_change_detected(self, rng):
+        a = rng.normal(0, 1, 5000)
+        b = rng.normal(0, 3, 5000)
+        assert population_stability_index(a, b) > 0.1
+
+    def test_constant_feature_scores_zero(self):
+        a = np.full(100, 7.0)
+        b = np.full(100, 7.0)
+        assert population_stability_index(a, b) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            population_stability_index(np.array([]), np.ones(3))
+        with pytest.raises(ValueError):
+            population_stability_index(np.ones(3), np.ones(3), n_bins=1)
+
+
+class TestFleetDrift:
+    @pytest.fixture(scope="class")
+    def fitted(self, small_fleet):
+        model = MFPA(MFPAConfig())
+        model.fit(small_fleet, train_end_day=240)
+        return model
+
+    def test_report_covers_features(self, fitted):
+        report = feature_drift_report(fitted, (120, 240), (240, 360))
+        assert {d.column for d in report} == set(fitted.assembler_.columns)
+        psis = [d.psi for d in report]
+        assert psis == sorted(psis, reverse=True)
+
+    def test_cumulative_counters_drift_most(self, fitted):
+        # Power-on hours / data written grow with fleet age: they are
+        # the drifting features that force model iteration (Fig 12).
+        report = feature_drift_report(fitted, (120, 240), (240, 360))
+        top5 = {d.column for d in report[:5]}
+        growing = {
+            "s12_power_on_hours",
+            "s6_data_units_read",
+            "s7_data_units_written",
+            "s8_host_read_commands",
+            "s9_host_write_commands",
+            "s11_power_cycles",
+            "s5_percentage_used",
+            "s10_controller_busy_time",
+        }
+        assert top5 & growing
+
+    def test_drift_grows_with_distance(self, fitted):
+        near = feature_drift_report(fitted, (180, 240), (240, 300))
+        far = feature_drift_report(fitted, (180, 240), (300, 360))
+        mean_near = np.mean([d.psi for d in near])
+        mean_far = np.mean([d.psi for d in far])
+        assert mean_far >= mean_near - 0.01
+
+    def test_drifted_columns_threshold(self):
+        report = [FeatureDrift("a", 0.5), FeatureDrift("b", 0.05)]
+        assert drifted_columns(report, threshold=0.1) == ["a"]
+
+    def test_severity_labels(self):
+        assert FeatureDrift("x", 0.01).severity == "stable"
+        assert FeatureDrift("x", 0.15).severity == "drifting"
+        assert FeatureDrift("x", 0.5).severity == "severe"
+
+    def test_empty_window_raises(self, fitted):
+        with pytest.raises(ValueError):
+            feature_drift_report(fitted, (120, 240), (5000, 5001))
+        with pytest.raises(ValueError):
+            feature_drift_report(fitted, (240, 120), (240, 300))

@@ -1,0 +1,94 @@
+"""Unit tests for prediction explanation (permutation importance, alarms)."""
+
+import numpy as np
+import pytest
+
+from repro.core import MFPA, MFPAConfig
+from repro.core.explain import explain_alarm, permutation_importance
+
+
+@pytest.fixture(scope="module")
+def fitted(small_fleet):
+    model = MFPA(MFPAConfig())
+    model.fit(small_fleet, train_end_day=240)
+    return model
+
+
+class TestPermutationImportance:
+    @pytest.fixture(scope="class")
+    def importances(self, fitted):
+        return permutation_importance(fitted, 240, 360, n_repeats=2, seed=0)
+
+    def test_covers_all_columns(self, fitted, importances):
+        assert {imp.column for imp in importances} == set(fitted.assembler_.columns)
+
+    def test_sorted_by_drop(self, importances):
+        drops = [imp.auc_drop for imp in importances]
+        assert drops == sorted(drops, reverse=True)
+
+    def test_informative_features_rank_high(self, importances):
+        # Some genuinely failure-related column must sit in the top 10.
+        top = {imp.column for imp in importances[:10]}
+        informative = {
+            "s14_media_errors",
+            "s15_error_log_entries",
+            "s3_available_spare",
+            "s13_unsafe_shutdowns",
+            "cum_w161_fs_io_error",
+            "cum_w11_controller_error",
+            "cum_b50_page_fault_in_nonpaged_a",
+        }
+        assert top & informative
+
+    def test_constant_feature_zero_importance(self, importances):
+        by_column = {imp.column: imp for imp in importances}
+        assert abs(by_column["s4_spare_threshold"].auc_drop) < 1e-9
+
+    def test_baseline_recorded(self, importances):
+        assert all(0.5 <= imp.baseline_auc <= 1.0 for imp in importances)
+
+    def test_invalid_repeats(self, fitted):
+        with pytest.raises(ValueError):
+            permutation_importance(fitted, 240, 360, n_repeats=0)
+
+
+class TestExplainAlarm:
+    def test_explains_faulty_drive(self, fitted):
+        # Take a faulty drive's last record — maximal degradation.
+        serial = next(
+            s for s, d in fitted.failure_times_.items() if 240 <= d < 360
+        )
+        rows = fitted.dataset_.drive_rows(serial)
+        day = int(rows["day"][-1])
+        explanation = explain_alarm(fitted, serial, day)
+        assert explanation.serial == serial
+        assert 0.0 <= explanation.probability <= 1.0
+        assert len(explanation.contributions) >= 1
+        for contribution in explanation.contributions:
+            assert contribution["column"] in fitted.assembler_.columns
+            # Extremes beyond the healthy p95/p05 band by construction.
+            assert (
+                contribution["value"] > contribution["healthy_p95"]
+                or contribution["value"] < contribution["healthy_median"]
+            )
+
+    def test_contributions_sorted_by_drop(self, fitted):
+        serial = next(
+            s for s, d in fitted.failure_times_.items() if 240 <= d < 360
+        )
+        day = int(fitted.dataset_.drive_rows(serial)["day"][-1])
+        explanation = explain_alarm(fitted, serial, day)
+        drops = [c["drop"] for c in explanation.contributions]
+        assert drops == sorted(drops, reverse=True)
+
+    def test_healthy_record_few_suspects(self, fitted):
+        healthy = int(fitted.dataset_.healthy_serials()[0])
+        rows = fitted.dataset_.drive_rows(healthy)
+        day = int(rows["day"][len(rows["day"]) // 2])
+        explanation = explain_alarm(fitted, healthy, day)
+        assert explanation.probability < 0.5
+
+    def test_unknown_day_raises(self, fitted):
+        serial = int(fitted.dataset_.serials[0])
+        with pytest.raises(ValueError, match="no record"):
+            explain_alarm(fitted, serial, 10**6)

@@ -1,0 +1,97 @@
+"""Unit tests for feature groups (Table V) and the FeatureAssembler."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import (
+    CUM_B_COLUMNS,
+    CUM_W_COLUMNS,
+    FEATURE_GROUPS,
+    FeatureAssembler,
+    feature_group,
+)
+
+
+class TestFeatureGroups:
+    def test_seven_groups(self):
+        assert set(FEATURE_GROUPS) == {"SFWB", "SFW", "SFB", "SF", "S", "W", "B"}
+
+    def test_table5_counts(self):
+        expected = {
+            "SFWB": {"SMART": 16, "Firmware": 1, "WindowsEvent": 5, "BlueScreenofDeath": 23},
+            "SFW": {"SMART": 16, "Firmware": 1, "WindowsEvent": 5, "BlueScreenofDeath": 0},
+            "SFB": {"SMART": 16, "Firmware": 1, "WindowsEvent": 0, "BlueScreenofDeath": 23},
+            "SF": {"SMART": 16, "Firmware": 1, "WindowsEvent": 0, "BlueScreenofDeath": 0},
+            "S": {"SMART": 16, "Firmware": 0, "WindowsEvent": 0, "BlueScreenofDeath": 0},
+            "W": {"SMART": 0, "Firmware": 0, "WindowsEvent": 5, "BlueScreenofDeath": 0},
+            "B": {"SMART": 0, "Firmware": 0, "WindowsEvent": 0, "BlueScreenofDeath": 23},
+        }
+        for name, counts in expected.items():
+            assert feature_group(name).counts == counts, name
+
+    def test_column_totals(self):
+        assert len(feature_group("SFWB")) == 16 + 1 + 5 + 23
+        assert len(feature_group("S")) == 16
+        assert len(feature_group("B")) == 23
+
+    def test_sfwb_is_superset(self):
+        sfwb = set(feature_group("SFWB").columns)
+        for name in ("SFW", "SFB", "SF", "S", "W", "B"):
+            assert set(feature_group(name).columns) <= sfwb
+
+    def test_unknown_group_raises(self):
+        with pytest.raises(ValueError, match="unknown feature group"):
+            feature_group("XYZ")
+
+    def test_cumulative_column_names(self):
+        assert all(c.startswith("cum_w") for c in CUM_W_COLUMNS)
+        assert all(c.startswith("cum_b") for c in CUM_B_COLUMNS)
+
+
+class TestFeatureAssembler:
+    @pytest.fixture()
+    def toy_columns(self):
+        # Two drives: serial 1 with 3 records, serial 2 with 2 records.
+        return {
+            "serial": np.array([1, 1, 1, 2, 2]),
+            "day": np.array([0, 1, 2, 0, 1]),
+            "a": np.array([10.0, 11.0, 12.0, 20.0, 21.0]),
+            "b": np.array([0.1, 0.2, 0.3, 0.4, 0.5]),
+        }
+
+    def test_snapshot_assembly(self, toy_columns):
+        assembler = FeatureAssembler(("a", "b"))
+        X = assembler.assemble(toy_columns, np.array([0, 2, 4]))
+        np.testing.assert_allclose(X, [[10.0, 0.1], [12.0, 0.3], [21.0, 0.5]])
+
+    def test_history_stacking_earlier_first(self, toy_columns):
+        assembler = FeatureAssembler(("a",), history_length=2)
+        X = assembler.assemble(toy_columns, np.array([2]))
+        np.testing.assert_allclose(X, [[11.0, 12.0]])
+
+    def test_history_clamps_at_drive_start(self, toy_columns):
+        assembler = FeatureAssembler(("a",), history_length=3)
+        # Row 3 is drive 2's first record; history must not leak drive 1.
+        X = assembler.assemble(toy_columns, np.array([3]))
+        np.testing.assert_allclose(X, [[20.0, 20.0, 20.0]])
+
+    def test_history_does_not_cross_drives(self, toy_columns):
+        assembler = FeatureAssembler(("a",), history_length=2)
+        X = assembler.assemble(toy_columns, np.array([4]))
+        np.testing.assert_allclose(X, [[20.0, 21.0]])
+
+    def test_n_features_property(self):
+        assembler = FeatureAssembler(("a", "b"), history_length=4)
+        assert assembler.n_features == 8
+
+    def test_missing_column_raises(self, toy_columns):
+        with pytest.raises(KeyError, match="missing feature columns"):
+            FeatureAssembler(("zzz",)).assemble(toy_columns, np.array([0]))
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureAssembler(())
+
+    def test_invalid_history_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureAssembler(("a",), history_length=0)

@@ -1,0 +1,98 @@
+"""Unit tests for remaining-useful-life regression."""
+
+import numpy as np
+import pytest
+
+from repro.core.rul import RULConfig, RULRegressor
+from repro.ml.forest import RandomForestRegressor
+
+
+class TestRandomForestRegressor:
+    def test_fits_smooth_function(self, rng):
+        X = rng.uniform(0, 1, (400, 2))
+        y = 3 * X[:, 0] + np.sin(4 * X[:, 1])
+        model = RandomForestRegressor(n_estimators=20, max_depth=8, seed=0).fit(X, y)
+        predictions = model.predict(X)
+        assert np.mean((predictions - y) ** 2) < 0.1
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestRegressor().predict(np.ones((2, 2)))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_estimators=0)
+        with pytest.raises(ValueError):
+            RandomForestRegressor().fit(np.ones((3, 1)), np.ones(4))
+        X = np.ones((4, 2))
+        X[0, 0] = np.nan
+        with pytest.raises(ValueError):
+            RandomForestRegressor().fit(X, np.ones(4))
+
+    def test_deterministic_by_seed(self, rng):
+        X = rng.normal(size=(100, 3))
+        y = X[:, 0]
+        a = RandomForestRegressor(n_estimators=5, seed=1).fit(X, y).predict(X)
+        b = RandomForestRegressor(n_estimators=5, seed=1).fit(X, y).predict(X)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestRULRegressor:
+    @pytest.fixture(scope="class")
+    def fitted(self, small_fleet):
+        model = RULRegressor(RULConfig(n_estimators=25, seed=0))
+        model.fit(small_fleet, train_end_day=240)
+        return model
+
+    def test_predictions_within_cap(self, fitted):
+        predictions = fitted.predict_rows(np.arange(100))
+        assert np.all(predictions >= 0)
+        assert np.all(predictions <= fitted.config.horizon_days)
+
+    def test_countdown_decreases_toward_failure(self, fitted):
+        # Average over test failures: predicted RUL in the final 3 days
+        # must be smaller than 2+ weeks out.
+        prepared = fitted.dataset_
+        near, far = [], []
+        for serial, failure_time in fitted.failure_times_.items():
+            if failure_time < 240:
+                continue
+            days = prepared.drive_rows(serial)["day"]
+            base = prepared._row_slices()[serial].start
+            near_mask = (days >= failure_time - 3) & (days <= failure_time)
+            far_mask = (days >= failure_time - 21) & (days <= failure_time - 14)
+            if near_mask.any():
+                near.extend(fitted.predict_rows(base + np.flatnonzero(near_mask)))
+            if far_mask.any():
+                far.extend(fitted.predict_rows(base + np.flatnonzero(far_mask)))
+        if not near or not far:
+            pytest.skip("not enough test failures on this seed")
+        assert np.mean(near) < np.mean(far)
+
+    def test_evaluation_metrics(self, fitted):
+        evaluation = fitted.evaluate(240, 360)
+        assert evaluation.n_records > 0
+        assert 0 <= evaluation.mae_days <= fitted.config.horizon_days
+        assert 0 <= evaluation.within_7_days <= 1
+
+    def test_healthy_records_predicted_far(self, fitted):
+        prepared = fitted.dataset_
+        healthy = int(prepared.healthy_serials()[0])
+        base = prepared._row_slices()[healthy].start
+        n = prepared.drive_rows(healthy)["day"].size
+        predictions = fitted.predict_rows(base + np.arange(n))
+        assert np.median(predictions) > fitted.config.horizon_days * 0.5
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RULRegressor().predict_rows(np.arange(3))
+
+    def test_no_failures_period_raises(self, fitted):
+        with pytest.raises(ValueError, match="no failures"):
+            fitted.evaluate(10**6, 10**6 + 1)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RULConfig(horizon_days=3)
+        with pytest.raises(ValueError):
+            RULConfig(feature_group_name="ZZZ")

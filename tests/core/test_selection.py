@@ -1,0 +1,93 @@
+"""Unit tests for sequential forward feature selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.selection import SequentialForwardSelector
+from repro.ml.model_selection import KFold
+from repro.ml.naive_bayes import GaussianNaiveBayes
+
+
+def _informative_and_noise(n=400, seed=0):
+    """Columns 0 and 1 carry the label; columns 2-4 are pure noise."""
+    generator = np.random.default_rng(seed)
+    y = generator.integers(0, 2, n)
+    X = generator.normal(0, 1, (n, 5))
+    X[:, 0] += 2.5 * y
+    X[:, 1] -= 2.0 * y
+    return X, y
+
+
+class TestSequentialForwardSelector:
+    def test_selects_informative_features_first(self):
+        X, y = _informative_and_noise()
+        selector = SequentialForwardSelector(
+            GaussianNaiveBayes(), KFold(n_splits=3, seed=0)
+        )
+        selected = selector.select(X, y)
+        assert set(selected[:2]) == {0, 1}
+
+    def test_noise_features_excluded(self):
+        X, y = _informative_and_noise()
+        selector = SequentialForwardSelector(
+            GaussianNaiveBayes(), KFold(n_splits=3, seed=0), tolerance=0.005
+        )
+        selected = selector.select(X, y)
+        assert len(selected) <= 3
+
+    def test_history_records_improvements(self):
+        X, y = _informative_and_noise()
+        selector = SequentialForwardSelector(
+            GaussianNaiveBayes(), KFold(n_splits=3, seed=0)
+        )
+        selector.select(X, y)
+        scores = [score for _, score in selector.history_]
+        assert all(b >= a for a, b in zip(scores, scores[1:]))
+        assert selector.best_score_ == scores[-1]
+
+    def test_max_features_cap(self):
+        X, y = _informative_and_noise()
+        selector = SequentialForwardSelector(
+            GaussianNaiveBayes(), KFold(n_splits=3, seed=0), max_features=1
+        )
+        assert len(selector.select(X, y)) == 1
+
+    def test_at_least_one_feature_selected(self):
+        generator = np.random.default_rng(1)
+        X = generator.normal(0, 1, (100, 3))  # nothing informative
+        y = generator.integers(0, 2, 100)
+        selector = SequentialForwardSelector(
+            GaussianNaiveBayes(), KFold(n_splits=3, seed=0)
+        )
+        assert len(selector.select(X, y)) >= 1
+
+    def test_youden_scoring(self):
+        from repro.core.selection import youden_score
+
+        X, y = _informative_and_noise()
+        selector = SequentialForwardSelector(
+            GaussianNaiveBayes(),
+            KFold(n_splits=3, seed=0),
+            scoring=youden_score,
+        )
+        selected = selector.select(X, y)
+        assert 0 in selected or 1 in selected
+
+    def test_youden_score_values(self):
+        import numpy as np
+
+        from repro.core.selection import youden_score
+
+        perfect = youden_score(np.array([1, 0]), np.array([1, 0]))
+        assert perfect == 1.0
+        # All-positive predictor gains nothing: TPR 1, FPR 1.
+        degenerate = youden_score(np.array([1, 0]), np.array([1, 1]))
+        assert degenerate == 0.0
+        # Single-class fold: NaN component treated as 0.
+        assert youden_score(np.array([1, 1]), np.array([1, 1])) == 1.0
+
+    def test_invalid_max_features(self):
+        with pytest.raises(ValueError):
+            SequentialForwardSelector(
+                GaussianNaiveBayes(), KFold(n_splits=3), max_features=0
+            )

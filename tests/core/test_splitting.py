@@ -1,0 +1,93 @@
+"""Unit tests for time-series segmentation and cross-validation (Fig 8)."""
+
+import numpy as np
+import pytest
+
+from repro.core.labeling import SampleSet
+from repro.core.splitting import TimepointSplit, TimeSeriesCrossValidator
+
+
+def _samples(days):
+    days = np.asarray(days)
+    return SampleSet(
+        row_indices=np.arange(days.size),
+        labels=np.zeros(days.size, dtype=int),
+        serials=np.arange(days.size),
+        days=days,
+    )
+
+
+class TestTimepointSplit:
+    def test_no_future_data_in_training(self):
+        samples = _samples([5, 20, 35, 50, 65, 80])
+        train, test = TimepointSplit(split_day=40).split(samples)
+        assert np.all(train.days < 40)
+        assert np.all(test.days >= 40)
+
+    def test_partition_complete(self):
+        samples = _samples(np.arange(100))
+        train, test = TimepointSplit(split_day=60).split(samples)
+        assert train.n_samples + test.n_samples == 100
+
+    def test_random_split_leaks_future(self):
+        # The strawman: shuffled split mixes eras.
+        samples = _samples(np.arange(1000))
+        train, test = TimepointSplit.random_split(samples, train_fraction=0.9, seed=0)
+        assert train.n_samples == 900
+        assert train.days.max() > test.days.min()  # leakage by construction
+
+    def test_random_split_validates_fraction(self):
+        with pytest.raises(ValueError):
+            TimepointSplit.random_split(_samples([1, 2]), train_fraction=1.5)
+
+
+class TestTimeSeriesCrossValidator:
+    def test_yields_k_folds(self):
+        cv = TimeSeriesCrossValidator(k=3)
+        folds = list(cv.split(np.arange(60).reshape(-1, 1)))
+        assert len(folds) == 3
+        assert cv.n_splits == 3
+
+    def test_validation_strictly_after_training(self):
+        cv = TimeSeriesCrossValidator(k=4)
+        X = np.arange(80).reshape(-1, 1)  # rows already chronological
+        for train, validation in cv.split(X):
+            assert train.max() < validation.min()
+
+    def test_train_is_k_consecutive_subsets(self):
+        cv = TimeSeriesCrossValidator(k=2)
+        X = np.arange(8).reshape(-1, 1)
+        folds = list(cv.split(X))
+        # 2k = 4 subsets of 2: fold 0 trains on rows 0-3, validates 4-5.
+        np.testing.assert_array_equal(folds[0][0], [0, 1, 2, 3])
+        np.testing.assert_array_equal(folds[0][1], [4, 5])
+        np.testing.assert_array_equal(folds[1][0], [2, 3, 4, 5])
+        np.testing.assert_array_equal(folds[1][1], [6, 7])
+
+    def test_folds_cover_later_half(self):
+        cv = TimeSeriesCrossValidator(k=3)
+        X = np.arange(66).reshape(-1, 1)
+        validated = np.concatenate([v for _, v in cv.split(X)])
+        # Validation subsets are k+1 .. 2k — the chronologically later part.
+        assert validated.min() >= 33 - 11
+
+    def test_too_few_rows_raise(self):
+        with pytest.raises(ValueError, match="at least"):
+            list(TimeSeriesCrossValidator(k=5).split(np.ones((7, 1))))
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            TimeSeriesCrossValidator(k=0)
+
+    def test_works_with_grid_search(self, binary_blobs):
+        from repro.ml.model_selection import GridSearchCV
+        from repro.ml.tree import DecisionTreeClassifier
+
+        X, y = binary_blobs
+        search = GridSearchCV(
+            DecisionTreeClassifier(seed=0),
+            {"max_depth": [2, 5]},
+            splitter=TimeSeriesCrossValidator(k=3),
+        )
+        search.fit(X, y)
+        assert search.best_params_["max_depth"] in (2, 5)

@@ -1,0 +1,117 @@
+"""Unit tests for cost-sensitive / budgeted threshold tuning."""
+
+import numpy as np
+import pytest
+
+from repro.core.thresholding import (
+    CostModel,
+    tune_threshold_cost,
+    tune_threshold_fpr_budget,
+    tune_threshold_youden,
+)
+
+
+@pytest.fixture()
+def separable():
+    y = np.array([0] * 50 + [1] * 50)
+    scores = np.concatenate([np.linspace(0, 0.4, 50), np.linspace(0.6, 1.0, 50)])
+    return y, scores
+
+
+@pytest.fixture()
+def overlapping():
+    generator = np.random.default_rng(0)
+    y = np.array([0] * 300 + [1] * 100)
+    scores = np.concatenate(
+        [generator.beta(2, 5, 300), generator.beta(5, 2, 100)]
+    )
+    return y, scores
+
+
+class TestYouden:
+    def test_separable_achieves_perfect_point(self, separable):
+        y, scores = separable
+        choice = tune_threshold_youden(y, scores)
+        assert choice.tpr == 1.0
+        assert choice.fpr == 0.0
+        assert 0.4 < choice.threshold <= 0.6
+        assert choice.objective_value == 1.0
+
+    def test_overlapping_better_than_extremes(self, overlapping):
+        y, scores = overlapping
+        choice = tune_threshold_youden(y, scores)
+        assert 0.2 < choice.objective_value <= 1.0
+
+
+class TestFprBudget:
+    def test_budget_respected(self, overlapping):
+        y, scores = overlapping
+        for budget in (0.01, 0.05, 0.2):
+            choice = tune_threshold_fpr_budget(y, scores, max_fpr=budget)
+            assert choice.fpr <= budget
+
+    def test_looser_budget_higher_tpr(self, overlapping):
+        y, scores = overlapping
+        strict = tune_threshold_fpr_budget(y, scores, max_fpr=0.01)
+        loose = tune_threshold_fpr_budget(y, scores, max_fpr=0.3)
+        assert loose.tpr >= strict.tpr
+
+    def test_zero_budget_feasible_on_separable(self, separable):
+        y, scores = separable
+        choice = tune_threshold_fpr_budget(y, scores, max_fpr=0.0)
+        assert choice.fpr == 0.0
+        assert choice.tpr == 1.0
+
+    def test_invalid_budget(self, separable):
+        y, scores = separable
+        with pytest.raises(ValueError):
+            tune_threshold_fpr_budget(y, scores, max_fpr=1.5)
+
+
+class TestCost:
+    def test_expensive_misses_push_threshold_down(self, overlapping):
+        y, scores = overlapping
+        miss_heavy = tune_threshold_cost(
+            y, scores, CostModel(miss_cost=10_000.0, false_alarm_cost=1.0)
+        )
+        alarm_heavy = tune_threshold_cost(
+            y, scores, CostModel(miss_cost=1.0, false_alarm_cost=10_000.0)
+        )
+        assert miss_heavy.threshold < alarm_heavy.threshold
+        assert miss_heavy.tpr >= alarm_heavy.tpr
+
+    def test_cost_value_matches_model(self, separable):
+        y, scores = separable
+        model = CostModel(miss_cost=100.0, false_alarm_cost=10.0)
+        choice = tune_threshold_cost(y, scores, model)
+        # Perfect separation -> zero cost achievable.
+        assert choice.objective_value == 0.0
+
+    def test_expected_cost_formula(self):
+        model = CostModel(miss_cost=500.0, false_alarm_cost=40.0, true_alarm_benefit=5.0)
+        assert model.expected_cost(tp=2, fp=3, fn=4, tn=100) == pytest.approx(
+            4 * 500 + 3 * 40 - 2 * 5
+        )
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(miss_cost=-1.0)
+
+
+class TestIntegrationWithMFPA:
+    def test_tuning_on_validation_scores(self, small_fleet):
+        from repro.core import MFPA, MFPAConfig
+        from repro.core.labeling import build_samples
+
+        model = MFPA(MFPAConfig())
+        model.fit(small_fleet, train_end_day=240)
+        samples = build_samples(model.dataset_, model.failure_times_)
+        in_validation = (samples.days >= 200) & (samples.days < 240)
+        rows = samples.row_indices[in_validation]
+        labels = samples.labels[in_validation]
+        if labels.sum() == 0:
+            pytest.skip("no validation positives on this seed")
+        scores = model.predict_proba_rows(rows)
+        choice = tune_threshold_fpr_budget(labels, scores, max_fpr=0.02)
+        assert 0.0 <= choice.threshold <= 1.0
+        assert choice.fpr <= 0.02

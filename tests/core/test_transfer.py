@@ -1,0 +1,85 @@
+"""Unit tests for cross-vendor transfer (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import MFPA, MFPAConfig
+from repro.core.transfer import TransferredMFPA
+from repro.telemetry import FleetConfig, VendorMix, simulate_fleet
+
+
+@pytest.fixture(scope="module")
+def source_fleet():
+    return simulate_fleet(
+        FleetConfig(
+            mix=VendorMix({"I": 400}), horizon_days=420, failure_boost=25.0, seed=51
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def target_fleet():
+    # Vendor IV with few drives: the data-starved minority vendor.
+    return simulate_fleet(
+        FleetConfig(
+            mix=VendorMix({"IV": 160}), horizon_days=420, failure_boost=90.0, seed=52
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def fitted_transfer(source_fleet, target_fleet):
+    transfer = TransferredMFPA(MFPAConfig())
+    transfer.fit(source_fleet, target_fleet, train_end_day=300, validation_days=60)
+    return transfer
+
+
+class TestTransferredMFPA:
+    def test_alpha_in_unit_interval(self, fitted_transfer):
+        assert 0.0 <= fitted_transfer.alpha <= 1.0
+
+    def test_result_records_ingredients(self, fitted_transfer):
+        result = fitted_transfer.result_
+        assert result.alpha == fitted_transfer.alpha
+
+    def test_blend_is_convex_combination(self, fitted_transfer):
+        rows = np.arange(50)
+        blended = fitted_transfer.predict_proba_rows(rows)
+        target = fitted_transfer.target_model.predict_proba_rows(rows)
+        source = fitted_transfer._source_scores(rows)
+        lower = np.minimum(target, source) - 1e-12
+        upper = np.maximum(target, source) + 1e-12
+        assert np.all(blended >= lower)
+        assert np.all(blended <= upper)
+
+    def test_evaluation_works(self, fitted_transfer):
+        result = fitted_transfer.evaluate(300, 420)
+        assert 0.0 <= result.drive_report.tpr <= 1.0
+        assert result.n_healthy_drives > 0
+
+    def test_evaluate_restores_target_scorer(self, fitted_transfer):
+        target = fitted_transfer.target_model
+        before = target.predict_proba_rows
+        fitted_transfer.evaluate(300, 420)
+        assert target.predict_proba_rows == before
+
+    def test_transfer_not_worse_than_target_alone(
+        self, fitted_transfer, target_fleet
+    ):
+        native = MFPA(MFPAConfig())
+        native.fit(target_fleet, train_end_day=300)
+        native_auc = native.evaluate(300, 420).drive_report.auc
+        blended_auc = fitted_transfer.evaluate(300, 420).drive_report.auc
+        # Transfer must be competitive (within noise) on the minority
+        # vendor; often it is strictly better.
+        assert blended_auc >= native_auc - 0.07
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            TransferredMFPA().predict_proba_rows(np.arange(3))
+
+    def test_validation_days_floor(self, source_fleet, target_fleet):
+        with pytest.raises(ValueError):
+            TransferredMFPA().fit(
+                source_fleet, target_fleet, train_end_day=300, validation_days=3
+            )

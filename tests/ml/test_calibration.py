@@ -1,0 +1,88 @@
+"""Unit tests for Platt scaling and reliability measurement."""
+
+import numpy as np
+import pytest
+
+from repro.ml.calibration import PlattCalibrator, reliability_curve
+
+
+def _miscalibrated_scores(n=2000, seed=0):
+    """Overconfident scores: true probability is sigmoid(logit/3)."""
+    generator = np.random.default_rng(seed)
+    logits = generator.normal(0, 4, n)
+    true_probability = 1 / (1 + np.exp(-logits / 3))
+    y = (generator.random(n) < true_probability).astype(int)
+    overconfident = 1 / (1 + np.exp(-logits))
+    return overconfident, y
+
+
+class TestPlattCalibrator:
+    def test_improves_calibration_error(self):
+        scores, y = _miscalibrated_scores()
+        calibrated = PlattCalibrator().fit_transform(scores, y)
+        before = reliability_curve(y, scores)["ece"]
+        after = reliability_curve(y, calibrated)["ece"]
+        assert after < before
+
+    def test_preserves_ranking(self):
+        scores, y = _miscalibrated_scores()
+        calibrated = PlattCalibrator().fit_transform(scores, y)
+        order_before = np.argsort(scores)
+        order_after = np.argsort(calibrated)
+        np.testing.assert_array_equal(order_before, order_after)
+
+    def test_outputs_are_probabilities(self):
+        scores, y = _miscalibrated_scores()
+        calibrated = PlattCalibrator().fit_transform(scores, y)
+        assert np.all(calibrated >= 0)
+        assert np.all(calibrated <= 1)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError, match="both classes"):
+            PlattCalibrator().fit(np.array([0.1, 0.9]), np.array([1, 1]))
+
+    def test_unfitted_transform_raises(self):
+        with pytest.raises(RuntimeError):
+            PlattCalibrator().transform(np.array([0.5]))
+
+    def test_misaligned_inputs(self):
+        with pytest.raises(ValueError):
+            PlattCalibrator().fit(np.ones(3), np.ones(2))
+
+    def test_well_calibrated_input_nearly_unchanged(self):
+        generator = np.random.default_rng(1)
+        probability = generator.random(5000)
+        y = (generator.random(5000) < probability).astype(int)
+        calibrated = PlattCalibrator().fit_transform(probability, y)
+        # Correlate strongly with the identity.
+        assert np.corrcoef(probability, calibrated)[0, 1] > 0.99
+
+
+class TestReliabilityCurve:
+    def test_perfect_calibration_low_ece(self):
+        generator = np.random.default_rng(2)
+        probability = generator.random(20000)
+        y = (generator.random(20000) < probability).astype(int)
+        curve = reliability_curve(y, probability)
+        assert curve["ece"] < 0.03
+
+    def test_bins_cover_counts(self):
+        generator = np.random.default_rng(3)
+        probability = generator.random(500)
+        y = generator.integers(0, 2, 500)
+        curve = reliability_curve(y, probability, n_bins=5)
+        assert curve["bin_counts"].sum() == 500
+        assert curve["bin_centers"].shape == (5,)
+
+    def test_brier_bounds(self):
+        y = np.array([1, 0, 1, 0])
+        perfect = reliability_curve(y, y.astype(float))
+        worst = reliability_curve(y, 1.0 - y.astype(float))
+        assert perfect["brier"] == 0.0
+        assert worst["brier"] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            reliability_curve(np.ones(3), np.ones(2))
+        with pytest.raises(ValueError):
+            reliability_curve(np.ones(3), np.ones(3), n_bins=1)

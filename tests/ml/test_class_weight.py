@@ -1,0 +1,103 @@
+"""Unit tests for cost-sensitive (class-weighted) trees and forests."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.metrics import false_positive_rate, true_positive_rate
+from repro.ml.tree import DecisionTreeClassifier
+
+
+def _imbalanced_overlap(n_minority=40, n_majority=800, seed=0):
+    """Overlapping classes: unweighted trees favor the majority."""
+    generator = np.random.default_rng(seed)
+    majority = generator.normal(0.0, 1.0, (n_majority, 4))
+    minority = generator.normal(1.0, 1.0, (n_minority, 4))
+    X = np.vstack([majority, minority])
+    y = np.array([0] * n_majority + [1] * n_minority)
+    order = generator.permutation(y.size)
+    return X[order], y[order]
+
+
+class TestWeightedTree:
+    def test_unweighted_equals_none(self, binary_blobs):
+        X, y = binary_blobs
+        plain = DecisionTreeClassifier(max_depth=4, seed=0).fit(X, y)
+        weighted_ones = DecisionTreeClassifier(max_depth=4, seed=0)
+        weighted_ones.fit(X, y, sample_weight=np.ones(y.size))
+        np.testing.assert_allclose(
+            plain.predict_proba(X), weighted_ones.predict_proba(X)
+        )
+
+    def test_balanced_raises_minority_recall(self):
+        X, y = _imbalanced_overlap()
+        plain = DecisionTreeClassifier(max_depth=4, seed=0).fit(X, y)
+        balanced = DecisionTreeClassifier(
+            max_depth=4, class_weight="balanced", seed=0
+        ).fit(X, y)
+        assert true_positive_rate(y, balanced.predict(X)) > true_positive_rate(
+            y, plain.predict(X)
+        )
+
+    def test_dict_weights_shift_operating_point(self):
+        X, y = _imbalanced_overlap()
+        mild = DecisionTreeClassifier(
+            max_depth=4, class_weight={0: 1.0, 1: 2.0}, seed=0
+        ).fit(X, y)
+        harsh = DecisionTreeClassifier(
+            max_depth=4, class_weight={0: 1.0, 1: 50.0}, seed=0
+        ).fit(X, y)
+        # Heavier minority weight catches more positives at more FPs.
+        assert true_positive_rate(y, harsh.predict(X)) >= true_positive_rate(
+            y, mild.predict(X)
+        )
+        assert false_positive_rate(y, harsh.predict(X)) >= false_positive_rate(
+            y, mild.predict(X)
+        )
+
+    def test_missing_label_in_dict_rejected(self):
+        X, y = _imbalanced_overlap()
+        tree = DecisionTreeClassifier(class_weight={0: 1.0})
+        with pytest.raises(ValueError, match="missing label"):
+            tree.fit(X, y)
+
+    def test_nonpositive_weight_rejected(self):
+        X, y = _imbalanced_overlap()
+        tree = DecisionTreeClassifier(class_weight={0: 1.0, 1: 0.0})
+        with pytest.raises(ValueError, match="positive"):
+            tree.fit(X, y)
+
+    def test_invalid_spec_rejected(self):
+        X, y = _imbalanced_overlap()
+        with pytest.raises(ValueError, match="invalid class_weight"):
+            DecisionTreeClassifier(class_weight="heavy").fit(X, y)
+
+    def test_leaf_probabilities_weighted(self):
+        # One feature, one split; leaf probabilities must reflect the
+        # weights, not the raw counts.
+        X = np.array([[0.0], [0.0], [0.0], [1.0]])
+        y = np.array([0, 0, 1, 1])
+        tree = DecisionTreeClassifier(
+            max_depth=1, class_weight={0: 1.0, 1: 3.0}, seed=0
+        ).fit(X, y)
+        probabilities = tree.predict_proba(np.array([[0.0]]))[0]
+        # Left leaf holds two 0s (mass 2) and one 1 (mass 3).
+        np.testing.assert_allclose(probabilities, [2 / 5, 3 / 5])
+
+
+class TestWeightedForest:
+    def test_balanced_forest_raises_recall(self):
+        X, y = _imbalanced_overlap()
+        plain = RandomForestClassifier(n_estimators=15, max_depth=4, seed=0).fit(X, y)
+        balanced = RandomForestClassifier(
+            n_estimators=15, max_depth=4, class_weight="balanced", seed=0
+        ).fit(X, y)
+        assert true_positive_rate(y, balanced.predict(X)) >= true_positive_rate(
+            y, plain.predict(X)
+        )
+
+    def test_clone_preserves_class_weight(self):
+        from repro.ml.base import clone
+
+        forest = RandomForestClassifier(class_weight={0: 1.0, 1: 9.0})
+        assert clone(forest).class_weight == {0: 1.0, 1: 9.0}

@@ -1,0 +1,77 @@
+"""Unit tests for the CNN_LSTM classifier."""
+
+import numpy as np
+import pytest
+
+from repro.ml.nn.cnn_lstm import CNNLSTMClassifier
+
+
+def _sequence_problem(n=120, time=6, features=3, seed=0):
+    """Faulty sequences trend upward over time; healthy ones are flat."""
+    generator = np.random.default_rng(seed)
+    healthy = generator.normal(0, 0.5, (n, time, features))
+    trend = np.linspace(0, 3, time)[None, :, None]
+    faulty = generator.normal(0, 0.5, (n, time, features)) + trend
+    X = np.concatenate([healthy, faulty])
+    y = np.array([0] * n + [1] * n)
+    order = generator.permutation(2 * n)
+    return X[order], y[order]
+
+
+class TestCNNLSTM:
+    def test_learns_temporal_trend(self):
+        X, y = _sequence_problem()
+        model = CNNLSTMClassifier(
+            time_steps=6, conv_channels=4, hidden_size=8, n_epochs=15, seed=0
+        )
+        model.fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_loss_history_decreases(self):
+        X, y = _sequence_problem()
+        model = CNNLSTMClassifier(
+            time_steps=6, conv_channels=4, hidden_size=8, n_epochs=10, seed=0
+        ).fit(X, y)
+        assert model.loss_history_[-1] < model.loss_history_[0]
+
+    def test_accepts_flattened_2d_input(self):
+        X, y = _sequence_problem(n=60)
+        flattened = X.reshape(X.shape[0], -1)
+        model = CNNLSTMClassifier(
+            time_steps=6, conv_channels=4, hidden_size=8, n_epochs=8, seed=0
+        ).fit(flattened, y)
+        probabilities = model.predict_proba(flattened)
+        assert probabilities.shape == (flattened.shape[0], 2)
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_indivisible_columns_rejected(self):
+        X = np.ones((10, 13))
+        y = np.array([0, 1] * 5)
+        with pytest.raises(ValueError, match="divisible"):
+            CNNLSTMClassifier(time_steps=6).fit(X, y)
+
+    def test_multiclass_rejected(self):
+        X = np.ones((9, 6, 1))
+        y = np.array([0, 1, 2] * 3)
+        with pytest.raises(ValueError, match="binary"):
+            CNNLSTMClassifier(time_steps=6).fit(X, y)
+
+    def test_deterministic_by_seed(self):
+        X, y = _sequence_problem(n=40)
+        make = lambda: CNNLSTMClassifier(
+            time_steps=6, conv_channels=3, hidden_size=4, n_epochs=3, seed=9
+        )
+        a = make().fit(X, y).predict_proba(X)
+        b = make().fit(X, y).predict_proba(X)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_time_steps(self):
+        with pytest.raises(ValueError):
+            CNNLSTMClassifier(time_steps=0)
+
+    def test_clone_compatible_params(self):
+        from repro.ml.base import clone
+
+        model = CNNLSTMClassifier(time_steps=4, hidden_size=16)
+        copy = clone(model)
+        assert copy.get_params() == model.get_params()

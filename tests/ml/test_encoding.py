@@ -1,0 +1,75 @@
+"""Unit tests for LabelEncoder / StandardScaler / MinMaxScaler."""
+
+import numpy as np
+import pytest
+
+from repro.ml.encoding import LabelEncoder, MinMaxScaler, StandardScaler
+
+
+class TestLabelEncoder:
+    def test_roundtrip(self):
+        encoder = LabelEncoder()
+        values = ["I_F_2", "I_F_1", "I_F_2", "I_F_3"]
+        codes = encoder.fit_transform(values)
+        assert encoder.inverse_transform(codes) == values
+
+    def test_deterministic_sorted_classes(self):
+        encoder = LabelEncoder().fit(["b", "a", "c", "a"])
+        assert encoder.classes_ == ["a", "b", "c"]
+        np.testing.assert_array_equal(encoder.transform(["a", "c"]), [0, 2])
+
+    def test_unseen_label_raises(self):
+        encoder = LabelEncoder().fit(["x"])
+        with pytest.raises(ValueError, match="unseen label"):
+            encoder.transform(["y"])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LabelEncoder().transform(["a"])
+        with pytest.raises(RuntimeError):
+            LabelEncoder().inverse_transform([0])
+
+    def test_handles_mixed_firmware_styles(self):
+        # Vendors name firmware with strings or numbers (Observation #2).
+        encoder = LabelEncoder().fit(["2.1.7", "AGHO1012", "2.1.7", "301"])
+        assert len(encoder.classes_) == 3
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self, rng):
+        X = rng.normal(5.0, 3.0, (500, 4))
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(Z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_column_maps_to_zero(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_array_equal(Z[:, 0], 0.0)
+        assert np.all(np.isfinite(Z))
+
+    def test_inverse_transform_roundtrip(self, rng):
+        X = rng.normal(0, 2, (50, 3))
+        scaler = StandardScaler().fit(X)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+
+class TestMinMaxScaler:
+    def test_range_zero_one(self, rng):
+        X = rng.uniform(-10, 30, (100, 3))
+        Z = MinMaxScaler().fit_transform(X)
+        assert Z.min() == pytest.approx(0.0)
+        assert Z.max() == pytest.approx(1.0)
+
+    def test_constant_column_finite(self):
+        X = np.full((5, 1), 7.0)
+        Z = MinMaxScaler().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform(np.ones((2, 2)))

@@ -1,0 +1,79 @@
+"""Unit tests for RandomForestClassifier."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestClassifier
+
+
+class TestRandomForest:
+    def test_separable_blobs_high_accuracy(self, binary_blobs):
+        X, y = binary_blobs
+        model = RandomForestClassifier(n_estimators=15, max_depth=6, seed=0).fit(X, y)
+        assert model.score(X, y) > 0.97
+
+    def test_n_estimators_trees_grown(self, binary_blobs):
+        X, y = binary_blobs
+        model = RandomForestClassifier(n_estimators=7, max_depth=3).fit(X, y)
+        assert len(model.trees_) == 7
+
+    def test_probabilities_are_tree_averages(self, binary_blobs):
+        X, y = binary_blobs
+        model = RandomForestClassifier(n_estimators=5, max_depth=4, seed=1).fit(X, y)
+        manual = np.mean([tree.predict_proba(X[:10]) for tree in model.trees_], axis=0)
+        np.testing.assert_allclose(model.predict_proba(X[:10]), manual)
+
+    def test_deterministic_by_seed(self, binary_blobs):
+        X, y = binary_blobs
+        a = RandomForestClassifier(n_estimators=5, seed=3).fit(X, y).predict_proba(X)
+        b = RandomForestClassifier(n_estimators=5, seed=3).fit(X, y).predict_proba(X)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self, binary_blobs):
+        X, y = binary_blobs
+        a = RandomForestClassifier(n_estimators=5, seed=1).fit(X, y).predict_proba(X)
+        b = RandomForestClassifier(n_estimators=5, seed=2).fit(X, y).predict_proba(X)
+        assert not np.array_equal(a, b)
+
+    def test_no_bootstrap_uses_all_rows(self, binary_blobs):
+        X, y = binary_blobs
+        model = RandomForestClassifier(
+            n_estimators=3, bootstrap=False, max_features=None, seed=0
+        ).fit(X, y)
+        # Without bootstrap or feature subsampling all trees are
+        # identical, so the ensemble equals a single tree.
+        first = model.trees_[0].predict_proba(X)
+        np.testing.assert_allclose(model.predict_proba(X), first)
+
+    def test_feature_importances_shape_and_sum(self, binary_blobs):
+        X, y = binary_blobs
+        model = RandomForestClassifier(n_estimators=10, max_depth=4, seed=0).fit(X, y)
+        assert model.feature_importances_.shape == (X.shape[1],)
+        assert model.feature_importances_.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_handles_class_missing_from_bootstrap(self):
+        # With 2 samples of one class and aggressive bootstrap, some
+        # trees may never see the minority class; alignment must hold.
+        generator = np.random.default_rng(0)
+        X = np.vstack([generator.normal(0, 1, (50, 2)), generator.normal(5, 1, (2, 2))])
+        y = np.array([0] * 50 + [1] * 2)
+        model = RandomForestClassifier(n_estimators=20, seed=0).fit(X, y)
+        probabilities = model.predict_proba(X)
+        assert probabilities.shape == (52, 2)
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_invalid_n_estimators(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+
+    def test_ensemble_beats_single_tree_on_noise(self):
+        generator = np.random.default_rng(7)
+        n = 400
+        X = generator.normal(0, 1, (n, 10))
+        y = (X[:, 0] + X[:, 1] + generator.normal(0, 0.8, n) > 0).astype(int)
+        split = 300
+        tree_like = RandomForestClassifier(n_estimators=1, max_depth=None, seed=0)
+        forest = RandomForestClassifier(n_estimators=40, max_depth=None, seed=0)
+        tree_score = tree_like.fit(X[:split], y[:split]).score(X[split:], y[split:])
+        forest_score = forest.fit(X[:split], y[:split]).score(X[split:], y[split:])
+        assert forest_score >= tree_score

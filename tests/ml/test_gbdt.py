@@ -1,0 +1,74 @@
+"""Unit tests for GradientBoostingClassifier."""
+
+import numpy as np
+import pytest
+
+from repro.ml.gbdt import GradientBoostingClassifier
+
+
+class TestGBDT:
+    def test_separable_blobs_high_accuracy(self, binary_blobs):
+        X, y = binary_blobs
+        model = GradientBoostingClassifier(n_estimators=30, seed=0).fit(X, y)
+        assert model.score(X, y) > 0.97
+
+    def test_training_deviance_decreases(self, binary_blobs):
+        X, y = binary_blobs
+        model = GradientBoostingClassifier(n_estimators=40, seed=0).fit(X, y)
+        deviance = model.train_deviance_
+        assert deviance[-1] < deviance[0]
+        # Deviance should be mostly monotone decreasing.
+        decreases = sum(b <= a for a, b in zip(deviance, deviance[1:]))
+        assert decreases >= 0.9 * (len(deviance) - 1)
+
+    def test_initial_score_is_log_odds(self):
+        X = np.random.default_rng(0).normal(size=(100, 2))
+        y = np.array([1] * 25 + [0] * 75)
+        model = GradientBoostingClassifier(n_estimators=1).fit(X, y)
+        assert model.initial_score_ == pytest.approx(np.log(25 / 75))
+
+    def test_more_rounds_fit_tighter(self, binary_blobs):
+        X, y = binary_blobs
+        few = GradientBoostingClassifier(n_estimators=5, seed=0).fit(X, y)
+        many = GradientBoostingClassifier(n_estimators=60, seed=0).fit(X, y)
+        assert many.train_deviance_[-1] < few.train_deviance_[-1]
+
+    def test_learning_rate_zero_point_one_vs_one(self, binary_blobs):
+        X, y = binary_blobs
+        slow = GradientBoostingClassifier(n_estimators=10, learning_rate=0.05, seed=0)
+        fast = GradientBoostingClassifier(n_estimators=10, learning_rate=0.5, seed=0)
+        slow.fit(X, y)
+        fast.fit(X, y)
+        assert fast.train_deviance_[-1] < slow.train_deviance_[-1]
+
+    def test_subsample_still_learns(self, binary_blobs):
+        X, y = binary_blobs
+        model = GradientBoostingClassifier(n_estimators=30, subsample=0.5, seed=0)
+        assert model.fit(X, y).score(X, y) > 0.9
+
+    def test_decision_function_matches_proba(self, binary_blobs):
+        X, y = binary_blobs
+        model = GradientBoostingClassifier(n_estimators=10, seed=0).fit(X, y)
+        raw = model.decision_function(X[:5])
+        proba = model.predict_proba(X[:5])[:, 1]
+        np.testing.assert_allclose(proba, 1 / (1 + np.exp(-raw)))
+
+    def test_multiclass_rejected(self):
+        X = np.arange(9, dtype=float).reshape(-1, 1)
+        y = np.array([0, 1, 2] * 3)
+        with pytest.raises(ValueError, match="binary"):
+            GradientBoostingClassifier().fit(X, y)
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(n_estimators=0)
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(subsample=1.5)
+
+    def test_deterministic_by_seed(self, binary_blobs):
+        X, y = binary_blobs
+        a = GradientBoostingClassifier(n_estimators=8, subsample=0.7, seed=4).fit(X, y)
+        b = GradientBoostingClassifier(n_estimators=8, subsample=0.7, seed=4).fit(X, y)
+        np.testing.assert_array_equal(a.predict_proba(X), b.predict_proba(X))

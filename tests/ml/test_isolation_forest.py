@@ -1,0 +1,97 @@
+"""Unit tests for the isolation forest anomaly scorer."""
+
+import numpy as np
+import pytest
+
+from repro.ml.isolation_forest import IsolationForest, _average_path_length
+
+
+class TestAveragePathLength:
+    def test_known_values(self):
+        # c(2) = 2*H(1) - 2*(1/2) = 2*gamma ... closed form check.
+        result = _average_path_length(np.array([2]))[0]
+        expected = 2 * (np.log(1) + np.euler_gamma) - 2 * 1 / 2
+        assert result == pytest.approx(expected)
+
+    def test_monotone_in_n(self):
+        values = _average_path_length(np.array([2, 10, 100, 1000]))
+        assert np.all(np.diff(values) > 0)
+
+    def test_degenerate_sizes(self):
+        np.testing.assert_array_equal(_average_path_length(np.array([0, 1])), [0, 0])
+
+
+class TestIsolationForest:
+    @pytest.fixture(scope="class")
+    def data(self):
+        generator = np.random.default_rng(0)
+        inliers = generator.normal(0, 1, (500, 4))
+        outliers = generator.uniform(-8, 8, (25, 4))
+        outliers = outliers[np.linalg.norm(outliers, axis=1) > 5][:15]
+        return inliers, outliers
+
+    def test_outliers_score_higher(self, data):
+        inliers, outliers = data
+        forest = IsolationForest(n_estimators=50, seed=0).fit(inliers)
+        inlier_scores = forest.anomaly_score(inliers)
+        outlier_scores = forest.anomaly_score(outliers)
+        assert np.median(outlier_scores) > np.median(inlier_scores)
+
+    def test_scores_in_unit_interval(self, data):
+        inliers, _ = data
+        forest = IsolationForest(n_estimators=30, seed=1).fit(inliers)
+        scores = forest.anomaly_score(inliers)
+        assert np.all(scores > 0)
+        assert np.all(scores <= 1)
+
+    def test_contamination_sets_flag_rate(self, data):
+        inliers, _ = data
+        forest = IsolationForest(
+            n_estimators=50, contamination=0.1, seed=2
+        ).fit(inliers)
+        flagged = forest.predict(inliers)
+        rate = np.mean(flagged == forest.classes_[1])
+        assert rate == pytest.approx(0.1, abs=0.05)
+
+    def test_predict_proba_shape(self, data):
+        inliers, _ = data
+        forest = IsolationForest(n_estimators=20, seed=3).fit(inliers)
+        probabilities = forest.predict_proba(inliers[:10])
+        assert probabilities.shape == (10, 2)
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_unsupervised_fit_without_labels(self, data):
+        inliers, _ = data
+        forest = IsolationForest(n_estimators=10, seed=4).fit(inliers)
+        assert forest.classes_.shape == (2,)
+
+    def test_deterministic_by_seed(self, data):
+        inliers, _ = data
+        a = IsolationForest(n_estimators=10, seed=5).fit(inliers).anomaly_score(inliers)
+        b = IsolationForest(n_estimators=10, seed=5).fit(inliers).anomaly_score(inliers)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            IsolationForest(n_estimators=0)
+        with pytest.raises(ValueError):
+            IsolationForest(max_samples=1)
+        with pytest.raises(ValueError):
+            IsolationForest(contamination=0.7)
+
+    def test_detects_degraded_drives_without_labels(self, small_fleet):
+        """The storage use case: anomaly scores separate pre-failure
+        records from healthy ones with no labels at all."""
+        from repro.core.labeling import FailureTimeIdentifier, build_samples
+        from repro.core.preprocess import preprocess
+        from repro.core.features import FeatureAssembler, feature_group
+        from repro.ml.metrics import auc_score
+
+        prepared, _, _ = preprocess(small_fleet)
+        failure_times = FailureTimeIdentifier().identify(prepared)
+        samples = build_samples(prepared, failure_times, positive_window=14)
+        assembler = FeatureAssembler(feature_group("SFWB").columns)
+        X = assembler.assemble(prepared.columns, samples.row_indices)
+        forest = IsolationForest(n_estimators=60, seed=0).fit(X)
+        scores = forest.anomaly_score(X)
+        assert auc_score(samples.labels, scores) > 0.6

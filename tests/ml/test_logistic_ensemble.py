@@ -1,0 +1,116 @@
+"""Unit tests for LogisticRegression and VotingClassifier."""
+
+import numpy as np
+import pytest
+
+from repro.ml.ensemble import VotingClassifier
+from repro.ml.logistic import LogisticRegression
+from repro.ml.naive_bayes import GaussianNaiveBayes
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class TestLogisticRegression:
+    def test_separable_blobs_high_accuracy(self, binary_blobs):
+        X, y = binary_blobs
+        model = LogisticRegression(n_iterations=200).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_loss_decreases(self, binary_blobs):
+        X, y = binary_blobs
+        model = LogisticRegression(n_iterations=100).fit(X, y)
+        assert model.loss_history_[-1] < model.loss_history_[0]
+
+    def test_probabilities_valid(self, binary_blobs):
+        X, y = binary_blobs
+        probabilities = LogisticRegression(n_iterations=50).fit(X, y).predict_proba(X)
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0)
+        assert np.all(probabilities >= 0)
+
+    def test_regularization_shrinks_weights(self, binary_blobs):
+        X, y = binary_blobs
+        loose = LogisticRegression(C=100.0, n_iterations=200).fit(X, y)
+        tight = LogisticRegression(C=0.001, n_iterations=200).fit(X, y)
+        assert np.linalg.norm(tight.coef_) < np.linalg.norm(loose.coef_)
+
+    def test_balanced_weights_raise_minority_recall(self):
+        generator = np.random.default_rng(0)
+        X = np.vstack(
+            [generator.normal(0, 1, (500, 3)), generator.normal(1.0, 1, (30, 3))]
+        )
+        y = np.array([0] * 500 + [1] * 30)
+        from repro.ml.metrics import true_positive_rate
+
+        plain = LogisticRegression(n_iterations=200).fit(X, y)
+        balanced = LogisticRegression(n_iterations=200, class_weight="balanced").fit(X, y)
+        assert true_positive_rate(y, balanced.predict(X)) >= true_positive_rate(
+            y, plain.predict(X)
+        )
+
+    def test_dict_class_weight_validation(self, binary_blobs):
+        X, y = binary_blobs
+        with pytest.raises(ValueError, match="missing label"):
+            LogisticRegression(class_weight={0: 1.0}).fit(X, y)
+        with pytest.raises(ValueError, match="invalid class_weight"):
+            LogisticRegression(class_weight="heavy").fit(X, y)
+
+    def test_multiclass_rejected(self):
+        X = np.arange(9, dtype=float).reshape(-1, 1)
+        with pytest.raises(ValueError, match="binary"):
+            LogisticRegression().fit(X, np.array([0, 1, 2] * 3))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(C=0)
+        with pytest.raises(ValueError):
+            LogisticRegression(learning_rate=0)
+        with pytest.raises(ValueError):
+            LogisticRegression(momentum=1.0)
+
+
+class TestVotingClassifier:
+    def _members(self):
+        return [
+            ("nb", GaussianNaiveBayes()),
+            ("tree", DecisionTreeClassifier(max_depth=4, seed=0)),
+            ("logit", LogisticRegression(n_iterations=100)),
+        ]
+
+    def test_vote_is_weighted_average(self, binary_blobs):
+        X, y = binary_blobs
+        voting = VotingClassifier(self._members()).fit(X, y)
+        members = voting.member_probabilities(X[:20])
+        manual = np.mean(list(members.values()), axis=0)
+        np.testing.assert_allclose(voting.predict_proba(X[:20])[:, 1], manual)
+
+    def test_custom_weights_respected(self, binary_blobs):
+        X, y = binary_blobs
+        voting = VotingClassifier(self._members(), weights=[1.0, 0.0, 0.0]).fit(X, y)
+        solo = GaussianNaiveBayes().fit(X, y)
+        np.testing.assert_allclose(
+            voting.predict_proba(X[:10]), solo.predict_proba(X[:10]), atol=1e-12
+        )
+
+    def test_ensemble_competitive_with_members(self, binary_blobs):
+        X, y = binary_blobs
+        voting = VotingClassifier(self._members()).fit(X, y)
+        member_scores = [
+            member.score(X, y) for member in voting.fitted_.values()
+        ]
+        assert voting.score(X, y) >= min(member_scores)
+
+    def test_prototypes_not_mutated(self, binary_blobs):
+        X, y = binary_blobs
+        members = self._members()
+        VotingClassifier(members).fit(X, y)
+        for _, prototype in members:
+            assert not hasattr(prototype, "classes_")
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="not be empty"):
+            VotingClassifier([])
+        with pytest.raises(ValueError, match="unique"):
+            VotingClassifier([("a", GaussianNaiveBayes()), ("a", GaussianNaiveBayes())])
+        with pytest.raises(ValueError, match="match"):
+            VotingClassifier([("a", GaussianNaiveBayes())], weights=[1.0, 2.0])
+        with pytest.raises(ValueError, match="non-negative"):
+            VotingClassifier([("a", GaussianNaiveBayes())], weights=[-1.0])

@@ -1,0 +1,63 @@
+"""Unit tests for the plain LSTM classifier."""
+
+import numpy as np
+import pytest
+
+from repro.ml.nn.lstm_classifier import LSTMClassifier
+
+
+def _sequence_problem(n=100, time=6, features=3, seed=0):
+    generator = np.random.default_rng(seed)
+    healthy = generator.normal(0, 0.5, (n, time, features))
+    trend = np.linspace(0, 3, time)[None, :, None]
+    faulty = generator.normal(0, 0.5, (n, time, features)) + trend
+    X = np.concatenate([healthy, faulty])
+    y = np.array([0] * n + [1] * n)
+    order = generator.permutation(2 * n)
+    return X[order], y[order]
+
+
+class TestLSTMClassifier:
+    def test_learns_temporal_trend(self):
+        X, y = _sequence_problem()
+        model = LSTMClassifier(time_steps=6, hidden_size=8, n_epochs=15, seed=0)
+        model.fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_loss_decreases(self):
+        X, y = _sequence_problem()
+        model = LSTMClassifier(time_steps=6, hidden_size=8, n_epochs=10, seed=0).fit(X, y)
+        assert model.loss_history_[-1] < model.loss_history_[0]
+
+    def test_accepts_2d_input(self):
+        X, y = _sequence_problem(n=50)
+        flat = X.reshape(X.shape[0], -1)
+        model = LSTMClassifier(time_steps=6, hidden_size=8, n_epochs=5, seed=0).fit(flat, y)
+        probabilities = model.predict_proba(flat)
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_indivisible_columns_rejected(self):
+        with pytest.raises(ValueError, match="divisible"):
+            LSTMClassifier(time_steps=5).fit(np.ones((8, 7)), np.array([0, 1] * 4))
+
+    def test_multiclass_rejected(self):
+        X = np.ones((9, 6, 1))
+        with pytest.raises(ValueError, match="binary"):
+            LSTMClassifier(time_steps=6).fit(X, np.array([0, 1, 2] * 3))
+
+    def test_deterministic_by_seed(self):
+        X, y = _sequence_problem(n=30)
+        make = lambda: LSTMClassifier(time_steps=6, hidden_size=4, n_epochs=3, seed=2)
+        a = make().fit(X, y).predict_proba(X)
+        b = make().fit(X, y).predict_proba(X)
+        np.testing.assert_array_equal(a, b)
+
+    def test_cloneable(self):
+        from repro.ml.base import clone
+
+        model = LSTMClassifier(time_steps=4, hidden_size=16)
+        assert clone(model).get_params() == model.get_params()
+
+    def test_invalid_time_steps(self):
+        with pytest.raises(ValueError):
+            LSTMClassifier(time_steps=0)

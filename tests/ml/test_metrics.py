@@ -1,0 +1,166 @@
+"""Unit tests for the classification metrics (ACC/TPR/FPR/PDR/AUC)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    accuracy,
+    auc_score,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    false_positive_rate,
+    positive_detection_rate,
+    precision,
+    roc_curve,
+    true_positive_rate,
+)
+
+
+class TestConfusionMatrix:
+    def test_all_four_cells(self):
+        y_true = np.array([1, 1, 0, 0, 1, 0])
+        y_pred = np.array([1, 0, 1, 0, 1, 0])
+        assert confusion_matrix(y_true, y_pred) == (2, 1, 1, 2)
+
+    def test_perfect_prediction(self):
+        y = np.array([0, 1, 0, 1])
+        assert confusion_matrix(y, y) == (2, 0, 0, 2)
+
+    def test_all_wrong(self):
+        y_true = np.array([0, 1])
+        y_pred = np.array([1, 0])
+        assert confusion_matrix(y_true, y_pred) == (0, 1, 1, 0)
+
+    def test_custom_positive_label(self):
+        y_true = np.array([2, 2, 5])
+        y_pred = np.array([2, 5, 5])
+        tp, fp, fn, tn = confusion_matrix(y_true, y_pred, positive_label=5)
+        assert (tp, fp, fn, tn) == (1, 1, 0, 1)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="different shapes"):
+            confusion_matrix(np.array([1, 0]), np.array([1]))
+
+
+class TestRates:
+    def test_tpr_known_value(self):
+        y_true = np.array([1, 1, 1, 1, 0])
+        y_pred = np.array([1, 1, 1, 0, 0])
+        assert true_positive_rate(y_true, y_pred) == pytest.approx(0.75)
+
+    def test_fpr_known_value(self):
+        y_true = np.array([0, 0, 0, 0, 1])
+        y_pred = np.array([1, 0, 0, 0, 1])
+        assert false_positive_rate(y_true, y_pred) == pytest.approx(0.25)
+
+    def test_tpr_nan_without_positives(self):
+        assert np.isnan(true_positive_rate(np.zeros(4), np.zeros(4)))
+
+    def test_fpr_nan_without_negatives(self):
+        assert np.isnan(false_positive_rate(np.ones(4), np.ones(4)))
+
+    def test_pdr_counts_all_flagged(self):
+        y_true = np.array([1, 0, 0, 0])
+        y_pred = np.array([1, 1, 0, 0])
+        assert positive_detection_rate(y_true, y_pred) == pytest.approx(0.5)
+
+    def test_pdr_zero_samples_raises(self):
+        with pytest.raises(ValueError):
+            positive_detection_rate(np.array([]), np.array([]))
+
+    def test_accuracy(self):
+        y_true = np.array([1, 0, 1, 0])
+        y_pred = np.array([1, 0, 0, 0])
+        assert accuracy(y_true, y_pred) == pytest.approx(0.75)
+
+    def test_accuracy_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+    def test_precision_and_f1(self):
+        y_true = np.array([1, 1, 0, 0])
+        y_pred = np.array([1, 0, 1, 0])
+        assert precision(y_true, y_pred) == pytest.approx(0.5)
+        assert f1_score(y_true, y_pred) == pytest.approx(0.5)
+
+    def test_precision_nan_when_nothing_flagged(self):
+        assert np.isnan(precision(np.array([1, 0]), np.array([0, 0])))
+
+
+class TestRoc:
+    def test_perfect_separation_auc_one(self):
+        y_true = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert auc_score(y_true, scores) == pytest.approx(1.0)
+
+    def test_reversed_scores_auc_zero(self):
+        y_true = np.array([0, 0, 1, 1])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert auc_score(y_true, scores) == pytest.approx(0.0)
+
+    def test_random_scores_auc_half(self):
+        generator = np.random.default_rng(3)
+        y_true = generator.integers(0, 2, 5000)
+        scores = generator.random(5000)
+        assert auc_score(y_true, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_curve_starts_at_origin_and_ends_at_one(self):
+        y_true = np.array([0, 1, 0, 1, 1])
+        scores = np.array([0.3, 0.6, 0.1, 0.9, 0.5])
+        fpr, tpr, thresholds = roc_curve(y_true, scores)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+        assert thresholds[0] == np.inf
+
+    def test_curve_monotone(self):
+        generator = np.random.default_rng(9)
+        y_true = generator.integers(0, 2, 200)
+        scores = generator.random(200)
+        fpr, tpr, _ = roc_curve(y_true, scores)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+
+    def test_tied_scores_share_a_point(self):
+        y_true = np.array([0, 1, 0, 1])
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        fpr, tpr, _ = roc_curve(y_true, scores)
+        # Only the origin and the all-flagged point.
+        assert fpr.shape == (2,)
+        assert auc_score(y_true, scores) == pytest.approx(0.5)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError, match="at least one"):
+            roc_curve(np.ones(4), np.linspace(0, 1, 4))
+
+
+class TestClassificationReport:
+    def test_bundle_consistency(self):
+        y_true = np.array([1, 1, 0, 0, 0, 0])
+        y_pred = np.array([1, 0, 1, 0, 0, 0])
+        scores = np.array([0.9, 0.4, 0.6, 0.2, 0.1, 0.3])
+        report = classification_report(y_true, y_pred, scores)
+        assert report.tp == 1 and report.fn == 1 and report.fp == 1 and report.tn == 3
+        assert report.n_samples == 6
+        assert report.accuracy == pytest.approx(4 / 6)
+        assert report.tpr == pytest.approx(0.5)
+        assert report.fpr == pytest.approx(0.25)
+        assert report.pdr == pytest.approx(2 / 6)
+        assert 0.0 <= report.auc <= 1.0
+
+    def test_without_scores_uses_predictions(self):
+        y_true = np.array([1, 0, 1, 0])
+        y_pred = np.array([1, 0, 1, 0])
+        report = classification_report(y_true, y_pred)
+        assert report.auc == pytest.approx(1.0)
+
+    def test_as_dict_and_str(self):
+        y = np.array([1, 0])
+        report = classification_report(y, y)
+        assert set(report.as_dict()) == {"ACC", "TPR", "FPR", "PDR", "AUC"}
+        assert "TPR=" in str(report)
+
+    def test_degenerate_single_class_auc_nan(self):
+        y = np.ones(3, dtype=int)
+        report = classification_report(y, y, np.array([0.5, 0.6, 0.7]))
+        assert np.isnan(report.auc)

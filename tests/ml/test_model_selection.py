@@ -1,0 +1,114 @@
+"""Unit tests for ParameterGrid, KFold, cross_val_score and GridSearchCV."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import accuracy
+from repro.ml.model_selection import GridSearchCV, KFold, ParameterGrid, cross_val_score
+from repro.ml.naive_bayes import GaussianNaiveBayes
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class TestParameterGrid:
+    def test_cartesian_product(self):
+        grid = ParameterGrid({"a": [1, 2], "b": ["x", "y", "z"]})
+        combos = list(grid)
+        assert len(combos) == 6 == len(grid)
+        assert {"a": 1, "b": "z"} in combos
+
+    def test_single_parameter(self):
+        assert list(ParameterGrid({"depth": [3]})) == [{"depth": 3}]
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterGrid({})
+        with pytest.raises(ValueError):
+            ParameterGrid({"a": []})
+
+
+class TestKFold:
+    def test_partitions_cover_everything(self):
+        X = np.arange(20).reshape(-1, 1)
+        seen = []
+        for train, validation in KFold(n_splits=4, seed=0).split(X):
+            assert np.intersect1d(train, validation).size == 0
+            seen.append(validation)
+        assert sorted(np.concatenate(seen).tolist()) == list(range(20))
+
+    def test_no_shuffle_is_contiguous(self):
+        X = np.arange(10).reshape(-1, 1)
+        folds = list(KFold(n_splits=2, shuffle=False).split(X))
+        np.testing.assert_array_equal(folds[0][1], np.arange(5))
+
+    def test_too_few_samples_raise(self):
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=5).split(np.ones((3, 1))))
+
+    def test_invalid_n_splits(self):
+        with pytest.raises(ValueError):
+            KFold(n_splits=1)
+
+
+class TestCrossValScore:
+    def test_scores_one_per_fold(self, binary_blobs):
+        X, y = binary_blobs
+        scores = cross_val_score(
+            GaussianNaiveBayes(), X, y, KFold(n_splits=4, seed=0), accuracy
+        )
+        assert scores.shape == (4,)
+        assert np.all(scores > 0.8)
+
+    def test_estimator_not_mutated(self, binary_blobs):
+        X, y = binary_blobs
+        prototype = GaussianNaiveBayes()
+        cross_val_score(prototype, X, y, KFold(n_splits=3, seed=0))
+        assert not hasattr(prototype, "classes_")
+
+
+class TestGridSearchCV:
+    def test_finds_better_depth(self, binary_blobs):
+        X, y = binary_blobs
+        search = GridSearchCV(
+            DecisionTreeClassifier(seed=0),
+            {"max_depth": [1, 6]},
+            splitter=KFold(n_splits=3, seed=0),
+        )
+        search.fit(X, y)
+        assert search.best_params_["max_depth"] == 6
+        assert len(search.results_) == 2
+
+    def test_refit_produces_usable_model(self, binary_blobs):
+        X, y = binary_blobs
+        search = GridSearchCV(
+            GaussianNaiveBayes(),
+            {"var_smoothing": [1e-9, 1e-3]},
+            splitter=KFold(n_splits=3, seed=0),
+        )
+        search.fit(X, y)
+        assert search.predict(X).shape == y.shape
+        assert search.predict_proba(X).shape == (y.size, 2)
+
+    def test_no_refit_blocks_predict(self, binary_blobs):
+        X, y = binary_blobs
+        search = GridSearchCV(
+            GaussianNaiveBayes(),
+            {"var_smoothing": [1e-9]},
+            splitter=KFold(n_splits=3, seed=0),
+            refit=False,
+        )
+        search.fit(X, y)
+        with pytest.raises(RuntimeError):
+            search.predict(X)
+
+    def test_results_sorted_by_insertion(self, binary_blobs):
+        X, y = binary_blobs
+        search = GridSearchCV(
+            DecisionTreeClassifier(seed=0),
+            {"max_depth": [1, 2, 3]},
+            splitter=KFold(n_splits=3, seed=0),
+        )
+        search.fit(X, y)
+        depths = [r["params"]["max_depth"] for r in search.results_]
+        assert depths == [1, 2, 3]
+        for result in search.results_:
+            assert len(result["fold_scores"]) == 3

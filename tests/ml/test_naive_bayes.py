@@ -1,0 +1,66 @@
+"""Unit tests for GaussianNaiveBayes."""
+
+import numpy as np
+import pytest
+
+from repro.ml.naive_bayes import GaussianNaiveBayes
+
+
+class TestGaussianNaiveBayes:
+    def test_separable_blobs_high_accuracy(self, binary_blobs):
+        X, y = binary_blobs
+        model = GaussianNaiveBayes().fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_probabilities_sum_to_one(self, binary_blobs):
+        X, y = binary_blobs
+        probabilities = GaussianNaiveBayes().fit(X, y).predict_proba(X[:20])
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0)
+        assert np.all(probabilities >= 0)
+
+    def test_learned_means_match_data(self):
+        generator = np.random.default_rng(1)
+        X0 = generator.normal(-2.0, 0.5, (400, 2))
+        X1 = generator.normal(3.0, 0.5, (400, 2))
+        X = np.vstack([X0, X1])
+        y = np.array([0] * 400 + [1] * 400)
+        model = GaussianNaiveBayes().fit(X, y)
+        np.testing.assert_allclose(model.theta_[0], [-2.0, -2.0], atol=0.1)
+        np.testing.assert_allclose(model.theta_[1], [3.0, 3.0], atol=0.1)
+
+    def test_class_priors_respected(self):
+        generator = np.random.default_rng(2)
+        X = generator.normal(0, 1, (100, 1))
+        y = np.array([0] * 90 + [1] * 10)
+        model = GaussianNaiveBayes().fit(X, y)
+        assert np.exp(model.class_log_prior_[0]) == pytest.approx(0.9)
+
+    def test_constant_feature_survives(self):
+        X = np.column_stack([np.ones(40), np.concatenate([np.zeros(20), np.ones(20)])])
+        y = np.array([0] * 20 + [1] * 20)
+        model = GaussianNaiveBayes().fit(X, y)
+        assert np.all(np.isfinite(model.predict_proba(X)))
+
+    def test_multiclass(self):
+        generator = np.random.default_rng(3)
+        X = np.vstack(
+            [generator.normal(center, 0.3, (50, 2)) for center in (-3, 0, 3)]
+        )
+        y = np.repeat([0, 1, 2], 50)
+        model = GaussianNaiveBayes().fit(X, y)
+        assert model.classes_.shape == (3,)
+        assert model.score(X, y) > 0.95
+
+    def test_negative_smoothing_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianNaiveBayes(var_smoothing=-1.0)
+
+    def test_rejects_3d_input(self):
+        with pytest.raises(ValueError, match="2-D"):
+            GaussianNaiveBayes().fit(np.ones((4, 2, 2)), np.array([0, 1, 0, 1]))
+
+    def test_string_labels(self):
+        X = np.array([[0.0], [0.1], [5.0], [5.1]])
+        y = np.array(["healthy", "healthy", "faulty", "faulty"])
+        model = GaussianNaiveBayes().fit(X, y)
+        assert model.predict(np.array([[5.05]]))[0] == "faulty"

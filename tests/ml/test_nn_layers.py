@@ -1,0 +1,178 @@
+"""Gradient checks and behaviour tests for the neural layers.
+
+Every backward pass is validated against central finite differences —
+the canonical correctness test for hand-written backprop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml.nn.layers import LSTM, Conv1D, Dense, LastTimestep, ReLU
+from repro.ml.nn.optimizers import SGD, Adam
+
+
+def _numeric_gradient(f, x, epsilon=1e-6):
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + epsilon
+        plus = f()
+        flat[i] = original - epsilon
+        minus = f()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * epsilon)
+    return grad
+
+
+def _check_layer_gradients(layer, x, atol=1e-5):
+    """Compare analytic grads (input + params) with finite differences."""
+    rng = np.random.default_rng(0)
+    out = layer.forward(x)
+    upstream = rng.normal(size=out.shape)
+
+    def loss():
+        return float(np.sum(layer.forward(x) * upstream))
+
+    analytic_input = layer.backward(upstream)
+    numeric_input = _numeric_gradient(loss, x)
+    np.testing.assert_allclose(analytic_input, numeric_input, atol=atol)
+
+    layer.forward(x)
+    layer.backward(upstream)
+    for param, grad in zip(layer.params, layer.grads):
+        analytic = grad.copy()
+        numeric = _numeric_gradient(loss, param)
+        np.testing.assert_allclose(analytic, numeric, atol=atol)
+
+
+class TestDense:
+    def test_forward_shape_and_values(self):
+        layer = Dense(3, 2, np.random.default_rng(0))
+        layer.W[...] = np.arange(6).reshape(3, 2)
+        layer.b[...] = [1.0, -1.0]
+        out = layer.forward(np.array([[1.0, 0.0, 0.0]]))
+        np.testing.assert_allclose(out, [[1.0, 0.0]])
+
+    def test_gradients(self):
+        rng = np.random.default_rng(1)
+        layer = Dense(4, 3, rng)
+        _check_layer_gradients(layer, rng.normal(size=(5, 4)))
+
+
+class TestReLU:
+    def test_forward_clips_negative(self):
+        out = ReLU().forward(np.array([[-1.0, 2.0]]))
+        np.testing.assert_allclose(out, [[0.0, 2.0]])
+
+    def test_backward_masks(self):
+        layer = ReLU()
+        layer.forward(np.array([[-1.0, 2.0]]))
+        grad = layer.backward(np.array([[5.0, 5.0]]))
+        np.testing.assert_allclose(grad, [[0.0, 5.0]])
+
+
+class TestConv1D:
+    def test_output_shape_same_padding(self):
+        rng = np.random.default_rng(2)
+        layer = Conv1D(4, 6, kernel_size=3, rng=rng)
+        out = layer.forward(rng.normal(size=(2, 9, 4)))
+        assert out.shape == (2, 9, 6)
+
+    def test_identity_kernel(self):
+        rng = np.random.default_rng(3)
+        layer = Conv1D(1, 1, kernel_size=3, rng=rng)
+        layer.W[...] = 0.0
+        layer.W[1, 0, 0] = 1.0  # center tap only
+        layer.b[...] = 0.0
+        x = rng.normal(size=(1, 7, 1))
+        np.testing.assert_allclose(layer.forward(x), x)
+
+    def test_gradients(self):
+        rng = np.random.default_rng(4)
+        layer = Conv1D(2, 3, kernel_size=3, rng=rng)
+        _check_layer_gradients(layer, rng.normal(size=(2, 6, 2)))
+
+    def test_even_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            Conv1D(1, 1, kernel_size=2, rng=np.random.default_rng(0))
+
+
+class TestLSTM:
+    def test_output_shape(self):
+        rng = np.random.default_rng(5)
+        layer = LSTM(3, 8, rng)
+        out = layer.forward(rng.normal(size=(4, 6, 3)))
+        assert out.shape == (4, 6, 8)
+
+    def test_hidden_state_bounded(self):
+        rng = np.random.default_rng(6)
+        layer = LSTM(2, 4, rng)
+        out = layer.forward(rng.normal(0, 10, size=(3, 20, 2)))
+        assert np.all(np.abs(out) <= 1.0)  # h = o * tanh(c), |o|<=1
+
+    def test_gradients(self):
+        rng = np.random.default_rng(7)
+        layer = LSTM(2, 3, rng)
+        _check_layer_gradients(layer, rng.normal(size=(2, 4, 2)), atol=1e-4)
+
+    def test_sequence_order_matters(self):
+        rng = np.random.default_rng(8)
+        layer = LSTM(1, 4, rng)
+        x = rng.normal(size=(1, 5, 1))
+        forward = layer.forward(x)[:, -1]
+        reversed_out = layer.forward(x[:, ::-1])[:, -1]
+        assert not np.allclose(forward, reversed_out)
+
+
+class TestLastTimestep:
+    def test_selects_final_step(self):
+        x = np.arange(24, dtype=float).reshape(2, 3, 4)
+        out = LastTimestep().forward(x)
+        np.testing.assert_array_equal(out, x[:, -1])
+
+    def test_backward_scatters(self):
+        layer = LastTimestep()
+        x = np.zeros((1, 3, 2))
+        layer.forward(x)
+        grad = layer.backward(np.array([[1.0, 2.0]]))
+        assert grad.shape == x.shape
+        np.testing.assert_array_equal(grad[0, -1], [1.0, 2.0])
+        np.testing.assert_array_equal(grad[0, :-1], 0.0)
+
+
+class TestOptimizers:
+    def test_sgd_descends_quadratic(self):
+        param = np.array([5.0])
+        optimizer = SGD(learning_rate=0.1)
+        for _ in range(100):
+            grad = 2 * param  # d/dx x^2
+            optimizer.step([param], [grad])
+        assert abs(param[0]) < 1e-3
+
+    def test_sgd_momentum_faster_on_ravine(self):
+        def run(momentum):
+            param = np.array([5.0, 5.0])
+            optimizer = SGD(learning_rate=0.02, momentum=momentum)
+            for _ in range(50):
+                grad = np.array([2 * param[0], 20 * param[1]])
+                optimizer.step([param], [grad])
+            return abs(param[0])
+
+        assert run(0.9) < run(0.0)
+
+    def test_adam_descends_quadratic(self):
+        param = np.array([5.0])
+        optimizer = Adam(learning_rate=0.3)
+        for _ in range(200):
+            optimizer.step([param], [2 * param])
+        assert abs(param[0]) < 1e-2
+
+    def test_invalid_learning_rates(self):
+        with pytest.raises(ValueError):
+            SGD(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            Adam(learning_rate=-1.0)
+        with pytest.raises(ValueError):
+            SGD(momentum=1.0)

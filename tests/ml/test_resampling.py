@@ -1,0 +1,69 @@
+"""Unit tests for RandomUnderSampler."""
+
+import numpy as np
+import pytest
+
+from repro.ml.resampling import RandomUnderSampler
+
+
+def _imbalanced(n_minority=20, n_majority=400, seed=0):
+    generator = np.random.default_rng(seed)
+    X = generator.normal(size=(n_minority + n_majority, 3))
+    y = np.array([1] * n_minority + [0] * n_majority)
+    order = generator.permutation(y.size)
+    return X[order], y[order]
+
+
+class TestRandomUnderSampler:
+    def test_target_ratio_achieved(self):
+        X, y = _imbalanced()
+        Xr, yr = RandomUnderSampler(ratio=3.0, seed=1).fit_resample(X, y)
+        assert np.sum(yr == 1) == 20
+        assert np.sum(yr == 0) == 60
+
+    def test_ratio_one_balances(self):
+        X, y = _imbalanced()
+        _, yr = RandomUnderSampler(ratio=1.0, seed=1).fit_resample(X, y)
+        assert np.sum(yr == 0) == np.sum(yr == 1)
+
+    def test_minority_kept_intact(self):
+        X, y = _imbalanced()
+        Xr, yr = RandomUnderSampler(ratio=2.0, seed=5).fit_resample(X, y)
+        minority_rows = {tuple(row) for row in X[y == 1]}
+        resampled_minority = {tuple(row) for row in Xr[yr == 1]}
+        assert resampled_minority == minority_rows
+
+    def test_majority_smaller_than_target_untouched(self):
+        X, y = _imbalanced(n_minority=50, n_majority=60)
+        _, yr = RandomUnderSampler(ratio=3.0).fit_resample(X, y)
+        assert np.sum(yr == 0) == 60  # fewer than 150, keep all
+
+    def test_extras_stay_aligned(self):
+        X, y = _imbalanced()
+        days = np.arange(y.size)
+        Xr, yr, days_r = RandomUnderSampler(ratio=1.0, seed=2).fit_resample(X, y, days)
+        assert days_r.shape[0] == yr.shape[0]
+        # Relative order preserved -> days strictly increasing.
+        assert np.all(np.diff(days_r) > 0)
+
+    def test_deterministic_by_seed(self):
+        X, y = _imbalanced()
+        a = RandomUnderSampler(ratio=2.0, seed=9).fit_resample(X, y)
+        b = RandomUnderSampler(ratio=2.0, seed=9).fit_resample(X, y)
+        np.testing.assert_array_equal(a[0], b[0])
+
+    def test_single_class_passthrough(self):
+        X = np.ones((5, 2))
+        y = np.zeros(5)
+        Xr, yr = RandomUnderSampler(ratio=1.0).fit_resample(X, y)
+        assert yr.shape[0] == 5
+
+    def test_invalid_ratio_raises(self):
+        with pytest.raises(ValueError):
+            RandomUnderSampler(ratio=0.0)
+
+    def test_misaligned_inputs_raise(self):
+        with pytest.raises(ValueError):
+            RandomUnderSampler().fit_resample(np.ones((3, 1)), np.ones(4))
+        with pytest.raises(ValueError):
+            RandomUnderSampler().fit_resample(np.ones((3, 1)), np.ones(3), np.ones(2))

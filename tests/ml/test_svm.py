@@ -1,0 +1,63 @@
+"""Unit tests for the Pegasos linear SVM."""
+
+import numpy as np
+import pytest
+
+from repro.ml.svm import LinearSVM
+
+
+class TestLinearSVM:
+    def test_separable_blobs_high_accuracy(self, binary_blobs):
+        X, y = binary_blobs
+        model = LinearSVM(n_epochs=20, seed=0).fit(X, y)
+        assert model.score(X, y) > 0.93
+
+    def test_decision_function_sign_matches_prediction(self, binary_blobs):
+        X, y = binary_blobs
+        model = LinearSVM(n_epochs=15).fit(X, y)
+        margins = model.decision_function(X)
+        predictions = model.predict(X)
+        assert np.all((margins > 0) == (predictions == model.classes_[1]))
+
+    def test_probabilities_monotone_in_margin(self, binary_blobs):
+        X, y = binary_blobs
+        model = LinearSVM(n_epochs=10).fit(X, y)
+        margins = model.decision_function(X)
+        probabilities = model.predict_proba(X)[:, 1]
+        order = np.argsort(margins)
+        assert np.all(np.diff(probabilities[order]) >= 0)
+
+    def test_scale_invariance_through_standardization(self):
+        generator = np.random.default_rng(4)
+        X = np.vstack(
+            [generator.normal(0, 1, (100, 2)), generator.normal(3, 1, (100, 2))]
+        )
+        y = np.array([0] * 100 + [1] * 100)
+        scaled = X * np.array([1e6, 1e-6])
+        base = LinearSVM(n_epochs=15, seed=1).fit(X, y).score(X, y)
+        huge = LinearSVM(n_epochs=15, seed=1).fit(scaled, y).score(scaled, y)
+        assert abs(base - huge) < 0.05
+
+    def test_multiclass_rejected(self):
+        X = np.ones((6, 2)) * np.arange(6)[:, None]
+        y = np.array([0, 1, 2, 0, 1, 2])
+        with pytest.raises(ValueError, match="binary"):
+            LinearSVM().fit(X, y)
+
+    def test_deterministic_by_seed(self, binary_blobs):
+        X, y = binary_blobs
+        a = LinearSVM(n_epochs=5, seed=3).fit(X, y)
+        b = LinearSVM(n_epochs=5, seed=3).fit(X, y)
+        np.testing.assert_array_equal(a.coef_, b.coef_)
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            LinearSVM(C=0)
+        with pytest.raises(ValueError):
+            LinearSVM(n_epochs=0)
+
+    def test_regularization_strength_shrinks_weights(self, binary_blobs):
+        X, y = binary_blobs
+        weak = LinearSVM(C=100.0, n_epochs=15, seed=0).fit(X, y)
+        strong = LinearSVM(C=0.001, n_epochs=15, seed=0).fit(X, y)
+        assert np.linalg.norm(strong.coef_) < np.linalg.norm(weak.coef_)

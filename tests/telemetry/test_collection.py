@@ -1,0 +1,89 @@
+"""Unit tests for usage patterns and discontinuous collection."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.collection import UsageModel, UsagePattern
+
+
+def _pattern(**overrides):
+    defaults = dict(
+        boot_probability=0.6,
+        weekend_factor=1.0,
+        vacation_rate=0.0,
+        mean_vacation_days=7.0,
+        mean_daily_hours=6.0,
+    )
+    defaults.update(overrides)
+    return UsagePattern(**defaults)
+
+
+class TestUsagePattern:
+    def test_day_zero_always_observed(self):
+        pattern = _pattern(boot_probability=0.05)
+        for seed in range(5):
+            days, _ = pattern.sample_observed_days(100, np.random.default_rng(seed))
+            assert days[0] == 0
+
+    def test_days_strictly_increasing_within_horizon(self):
+        pattern = _pattern()
+        days, hours = pattern.sample_observed_days(200, np.random.default_rng(0))
+        assert np.all(np.diff(days) > 0)
+        assert days[-1] < 200
+        assert hours.shape == days.shape
+
+    def test_boot_probability_controls_density(self):
+        rng = np.random.default_rng(1)
+        sparse, _ = _pattern(boot_probability=0.2).sample_observed_days(1000, rng)
+        rng = np.random.default_rng(1)
+        dense, _ = _pattern(boot_probability=0.9).sample_observed_days(1000, rng)
+        assert dense.size > sparse.size
+
+    def test_observed_share_approximates_probability(self):
+        pattern = _pattern(boot_probability=0.5)
+        days, _ = pattern.sample_observed_days(5000, np.random.default_rng(2))
+        assert days.size / 5000 == pytest.approx(0.5, abs=0.05)
+
+    def test_vacations_create_long_gaps(self):
+        pattern = _pattern(boot_probability=0.95, vacation_rate=20.0, mean_vacation_days=15.0)
+        days, _ = pattern.sample_observed_days(365, np.random.default_rng(3))
+        gaps = np.diff(days) - 1
+        assert gaps.max() >= 10
+
+    def test_weekend_factor_reduces_weekend_boots(self):
+        pattern = _pattern(boot_probability=0.9, weekend_factor=0.1)
+        days, _ = pattern.sample_observed_days(7000, np.random.default_rng(4))
+        weekend_share = np.mean((days % 7) >= 5)
+        assert weekend_share < 2 / 7 * 0.7
+
+    def test_hours_positive_and_bounded(self):
+        pattern = _pattern(mean_daily_hours=10.0)
+        _, hours = pattern.sample_observed_days(500, np.random.default_rng(5))
+        assert np.all(hours > 0)
+        assert np.all(hours <= 24)
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            _pattern(boot_probability=0.0)
+        with pytest.raises(ValueError):
+            _pattern(mean_daily_hours=25.0)
+        with pytest.raises(ValueError):
+            _pattern().sample_observed_days(0, np.random.default_rng(0))
+
+
+class TestUsageModel:
+    def test_sampled_patterns_heterogeneous(self):
+        model = UsageModel()
+        rng = np.random.default_rng(0)
+        probabilities = [model.sample_pattern(rng).boot_probability for _ in range(200)]
+        assert np.std(probabilities) > 0.05
+
+    def test_mean_boot_probability_respected(self):
+        model = UsageModel(mean_boot_probability=0.4)
+        rng = np.random.default_rng(1)
+        probabilities = [model.sample_pattern(rng).boot_probability for _ in range(2000)]
+        assert np.mean(probabilities) == pytest.approx(0.4, abs=0.05)
+
+    def test_invalid_mean_raises(self):
+        with pytest.raises(ValueError):
+            UsageModel(mean_boot_probability=0.0)

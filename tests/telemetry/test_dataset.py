@@ -1,0 +1,102 @@
+"""Unit tests for the columnar TelemetryDataset."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.dataset import B_COLUMNS, TelemetryDataset, W_COLUMNS
+from repro.telemetry.smart import SMART_COLUMNS
+
+
+class TestAssembly:
+    def test_schema_complete(self, small_fleet):
+        expected = {"serial", "day", "firmware", "vendor", "model"}
+        expected |= set(SMART_COLUMNS) | set(W_COLUMNS) | set(B_COLUMNS)
+        assert set(small_fleet.columns) == expected
+
+    def test_sorted_by_serial_then_day(self, small_fleet):
+        serial = small_fleet.columns["serial"]
+        day = small_fleet.columns["day"]
+        order = np.lexsort((day, serial))
+        np.testing.assert_array_equal(order, np.arange(serial.size))
+
+    def test_column_lengths_equal(self, small_fleet):
+        lengths = {v.shape[0] for v in small_fleet.columns.values()}
+        assert len(lengths) == 1
+
+    def test_counts_consistent(self, small_fleet):
+        assert small_fleet.n_drives == 200
+        assert small_fleet.n_records == small_fleet.columns["day"].size
+        assert (
+            small_fleet.failed_serials().size + small_fleet.healthy_serials().size
+            == small_fleet.n_drives
+        )
+
+    def test_tickets_only_for_failed(self, small_fleet):
+        failed = set(small_fleet.failed_serials().tolist())
+        assert {t.serial for t in small_fleet.tickets} == failed
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(ValueError, match="ragged"):
+            TelemetryDataset(
+                {"a": np.ones(3), "b": np.ones(2)}, {}, []
+            )
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValueError, match="zero drives"):
+            TelemetryDataset.from_drives([], [])
+
+
+class TestSlicing:
+    def test_drive_rows_matches_metadata(self, small_fleet):
+        serial = int(small_fleet.serials[0])
+        rows = small_fleet.drive_rows(serial)
+        assert np.all(rows["serial"] == serial)
+        assert np.all(np.diff(rows["day"]) > 0)
+
+    def test_drive_rows_unknown_serial(self, small_fleet):
+        with pytest.raises(KeyError):
+            small_fleet.drive_rows(10**9)
+
+    def test_faulty_drive_rows_stop_at_failure(self, small_fleet):
+        for serial in small_fleet.failed_serials()[:10]:
+            meta = small_fleet.drives[int(serial)]
+            rows = small_fleet.drive_rows(int(serial))
+            assert rows["day"][-1] == meta.failure_day
+
+    def test_filter_vendor(self, mixed_fleet):
+        vendor_ii = mixed_fleet.filter_vendor("II")
+        assert set(vendor_ii.columns["vendor"]) == {"II"}
+        assert all(m.vendor == "II" for m in vendor_ii.drives.values())
+
+    def test_filter_days_window(self, small_fleet):
+        window = small_fleet.filter_days(100, 200)
+        assert window.columns["day"].min() >= 100
+        assert window.columns["day"].max() < 200
+
+    def test_filter_days_restricts_tickets(self, small_fleet):
+        window = small_fleet.filter_days(0, 50)
+        serials_present = set(np.unique(window.columns["serial"]).tolist())
+        assert all(t.serial in serials_present for t in window.tickets)
+
+    def test_select_rows_mask_length_checked(self, small_fleet):
+        with pytest.raises(ValueError):
+            small_fleet.select_rows(np.ones(3, dtype=bool))
+
+    def test_row_slices_cover_dataset(self, small_fleet):
+        slices = small_fleet._row_slices()
+        total = sum(s.stop - s.start for s in slices.values())
+        assert total == small_fleet.n_records
+
+
+class TestSummary:
+    def test_summary_totals(self, mixed_fleet):
+        summary = mixed_fleet.summary()
+        assert set(summary) == {"I", "II", "III", "IV"}
+        assert sum(int(v["total"]) for v in summary.values()) == mixed_fleet.n_drives
+
+    def test_replacement_rate_definition(self, mixed_fleet):
+        summary = mixed_fleet.summary()
+        for entry in summary.values():
+            assert entry["replacement_rate"] == pytest.approx(
+                entry["failures"] / entry["total"]
+            )

@@ -1,0 +1,131 @@
+"""Unit tests for the single-drive simulator."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.collection import UsagePattern
+from repro.telemetry.drive import DRIVE_LEVEL, HEALTHY, SYSTEM_LEVEL, DriveSimulator
+from repro.telemetry.firmware import FirmwareLadder
+from repro.telemetry.models import drive_models_for_vendor
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    return DriveSimulator(horizon_days=200)
+
+
+@pytest.fixture(scope="module")
+def parts():
+    model = drive_models_for_vendor("I")[0]
+    firmware = FirmwareLadder("I").versions[0]
+    pattern = UsagePattern(
+        boot_probability=0.8,
+        weekend_factor=1.0,
+        vacation_rate=0.0,
+        mean_vacation_days=7.0,
+        mean_daily_hours=6.0,
+    )
+    return model, firmware, pattern
+
+
+def _simulate(simulator, parts, failure_day, archetype, seed=0, serial=1):
+    model, firmware, pattern = parts
+    return simulator.simulate(
+        serial=serial,
+        model=model,
+        firmware=firmware,
+        pattern=pattern,
+        failure_day=failure_day,
+        archetype=archetype,
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestHealthyDrive:
+    def test_basic_shape(self, simulator, parts):
+        drive = _simulate(simulator, parts, None, HEALTHY)
+        assert not drive.failed
+        assert drive.n_records == drive.observed_days.size
+        assert set(drive.smart) and set(drive.w_daily) and set(drive.b_daily)
+        assert np.all(drive.degradation == 0)
+
+    def test_logs_span_horizon(self, simulator, parts):
+        drive = _simulate(simulator, parts, None, HEALTHY)
+        assert drive.last_observed_day() > 150
+
+
+class TestFaultyDrive:
+    def test_logging_stops_at_failure(self, simulator, parts):
+        drive = _simulate(simulator, parts, 120, DRIVE_LEVEL)
+        assert drive.failed
+        assert drive.last_observed_day() == 120
+
+    def test_failure_day_always_observed(self, simulator, parts):
+        for seed in range(5):
+            drive = _simulate(simulator, parts, 77, SYSTEM_LEVEL, seed=seed)
+            assert 77 in drive.observed_days
+
+    def test_degradation_ramps_to_one(self, simulator, parts):
+        drive = _simulate(simulator, parts, 150, DRIVE_LEVEL)
+        assert drive.degradation[-1] == pytest.approx(1.0)
+        assert drive.degradation[0] == 0.0
+        assert np.all(np.diff(drive.degradation) >= 0)
+
+    def test_drive_level_strong_smart_signature(self, simulator, parts):
+        drive = _simulate(simulator, parts, 150, DRIVE_LEVEL, seed=1)
+        healthy = _simulate(simulator, parts, None, HEALTHY, seed=1)
+        assert (
+            drive.smart["s14_media_errors"][-1]
+            > healthy.smart["s14_media_errors"][-1]
+        )
+
+    def test_system_level_strong_event_signature(self, simulator, parts):
+        # Average over seeds: a single system-level failure has bursty
+        # W/B events; healthy drives essentially none.
+        totals_faulty, totals_healthy = 0.0, 0.0
+        for seed in range(5):
+            faulty = _simulate(simulator, parts, 150, SYSTEM_LEVEL, seed=seed)
+            healthy = _simulate(simulator, parts, None, HEALTHY, seed=seed)
+            totals_faulty += sum(v.sum() for v in faulty.w_daily.values())
+            totals_faulty += sum(v.sum() for v in faulty.b_daily.values())
+            totals_healthy += sum(v.sum() for v in healthy.w_daily.values())
+            totals_healthy += sum(v.sum() for v in healthy.b_daily.values())
+        assert totals_faulty > totals_healthy + 10
+
+    def test_system_level_quieter_smart_than_drive_level(self, simulator, parts):
+        smart_faulty = 0.0
+        smart_system = 0.0
+        for seed in range(5):
+            drive_level = _simulate(simulator, parts, 150, DRIVE_LEVEL, seed=seed)
+            system_level = _simulate(simulator, parts, 150, SYSTEM_LEVEL, seed=seed + 100)
+            smart_faulty += drive_level.smart["s14_media_errors"][-1]
+            smart_system += system_level.smart["s14_media_errors"][-1]
+        assert smart_system < smart_faulty
+
+
+class TestValidation:
+    def test_archetype_failure_day_consistency(self, simulator, parts):
+        with pytest.raises(ValueError, match="iff"):
+            _simulate(simulator, parts, None, DRIVE_LEVEL)
+        with pytest.raises(ValueError, match="iff"):
+            _simulate(simulator, parts, 100, HEALTHY)
+
+    def test_unknown_archetype(self, simulator, parts):
+        with pytest.raises(ValueError, match="archetype"):
+            _simulate(simulator, parts, 100, "exploded")
+
+    def test_failure_day_outside_horizon(self, simulator, parts):
+        with pytest.raises(ValueError, match="horizon"):
+            _simulate(simulator, parts, 500, DRIVE_LEVEL)
+
+    def test_invalid_degradation_range(self):
+        with pytest.raises(ValueError):
+            DriveSimulator(degradation_min_days=10, degradation_max_days=5)
+
+    def test_deterministic_given_rng(self, simulator, parts):
+        a = _simulate(simulator, parts, 150, DRIVE_LEVEL, seed=9)
+        b = _simulate(simulator, parts, 150, DRIVE_LEVEL, seed=9)
+        np.testing.assert_array_equal(a.observed_days, b.observed_days)
+        np.testing.assert_array_equal(
+            a.smart["s14_media_errors"], b.smart["s14_media_errors"]
+        )

@@ -1,0 +1,108 @@
+"""Unit tests for event catalogs (W and B) and their sampling process."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.bsod import BSOD_CODES, B_50_COLUMN, B_7A_COLUMN, BsodCatalog
+from repro.telemetry.events import EventCatalog, EventType
+from repro.telemetry.windows_events import (
+    MODEL_W_COLUMNS,
+    WINDOWS_EVENTS,
+    WindowsEventCatalog,
+)
+
+
+class TestCatalogStructure:
+    def test_nine_windows_events(self):
+        assert len(WINDOWS_EVENTS) == 9
+        assert len(WindowsEventCatalog()) == 9
+
+    def test_twentythree_bsod_codes(self):
+        # Table V counts the B group as 23 features.
+        assert len(BSOD_CODES) == 23
+        assert len(BsodCatalog()) == 23
+
+    def test_model_w_subset_is_five(self):
+        assert len(MODEL_W_COLUMNS) == 5
+        catalog_columns = {event.column for event in WINDOWS_EVENTS}
+        assert set(MODEL_W_COLUMNS) <= catalog_columns
+
+    def test_paper_highlighted_events_have_high_gain(self):
+        # W_11, W_49, W_51, W_161 and B_50, B_7A need "special attention".
+        catalog = WindowsEventCatalog()
+        for event_id in ("W_11", "W_49", "W_51", "W_161"):
+            assert catalog.by_id(event_id).failure_gain >= 0.5, event_id
+        bsod = BsodCatalog()
+        assert bsod.by_id("B_50").failure_gain >= 1.0
+        assert bsod.by_id("B_7A").failure_gain >= 1.0
+
+    def test_inaccessible_boot_device_documented_addition(self):
+        # Our 23rd stop code (Table IV prints only 22).
+        codes = {event.event_id for event in BSOD_CODES}
+        assert "B_7B" in codes
+
+    def test_by_id_unknown_raises(self):
+        with pytest.raises(KeyError):
+            WindowsEventCatalog().by_id("W_999")
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(ValueError):
+            EventCatalog(())
+
+    def test_unique_columns(self):
+        for catalog in (WindowsEventCatalog(), BsodCatalog()):
+            columns = [event.column for event in catalog.events]
+            assert len(columns) == len(set(columns))
+
+
+class TestSampling:
+    def test_counts_shape_and_dtype(self):
+        catalog = WindowsEventCatalog()
+        rng = np.random.default_rng(0)
+        counts = catalog.sample_daily_counts(np.zeros(30), 0.0, rng)
+        assert set(counts) == set(catalog.columns)
+        assert all(v.shape == (30,) for v in counts.values())
+        assert all(np.all(v >= 0) for v in counts.values())
+
+    def test_healthy_drives_rare_events(self):
+        catalog = BsodCatalog()
+        rng = np.random.default_rng(1)
+        counts = catalog.sample_daily_counts(np.zeros(365), 0.0, rng)
+        total = sum(v.sum() for v in counts.values())
+        # Expected < ~3 blue screens per healthy machine-year.
+        assert total < 15
+
+    def test_degrading_drives_burst(self):
+        catalog = WindowsEventCatalog()
+        degradation = np.concatenate([np.zeros(40), np.linspace(0, 1, 20)])
+        rng = np.random.default_rng(2)
+        counts = catalog.sample_daily_counts(degradation, 1.3, rng)
+        informative = counts["w161_fs_io_error"]
+        assert informative[40:].sum() > informative[:40].sum()
+
+    def test_event_gain_scales_bursts(self):
+        catalog = WindowsEventCatalog()
+        degradation = np.linspace(0, 1, 50)
+        weak = catalog.sample_daily_counts(degradation, 0.2, np.random.default_rng(3))
+        strong = catalog.sample_daily_counts(degradation, 2.0, np.random.default_rng(3))
+        assert (
+            sum(v.sum() for v in strong.values())
+            > sum(v.sum() for v in weak.values())
+        )
+
+    def test_cumulative_helper(self):
+        catalog = WindowsEventCatalog()
+        rng = np.random.default_rng(4)
+        daily = catalog.sample_daily_counts(np.linspace(0, 1, 20), 1.0, rng)
+        cumulative = catalog.cumulative(daily)
+        for column in catalog.columns:
+            np.testing.assert_allclose(cumulative[column], np.cumsum(daily[column]))
+            assert np.all(np.diff(cumulative[column]) >= 0)
+
+    def test_uninformative_events_stay_quiet(self):
+        # Events with ~zero failure_gain should not respond to degradation.
+        quiet = EventType("Q", "quiet", "q_col", background_rate=0.001, failure_gain=0.0)
+        catalog = EventCatalog((quiet,))
+        rng = np.random.default_rng(5)
+        counts = catalog.sample_daily_counts(np.ones(1000), 2.0, rng)
+        assert counts["q_col"].sum() < 10

@@ -1,0 +1,65 @@
+"""Unit tests for firmware ladders (Observation #2 / Fig 3)."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.firmware import FirmwareLadder, default_ladders
+
+
+class TestFirmwareLadder:
+    def test_ladder_lengths_from_catalog(self):
+        assert len(FirmwareLadder("I")) == 5
+        assert len(FirmwareLadder("II")) == 3
+        assert len(FirmwareLadder("III")) == 2
+        assert len(FirmwareLadder("IV")) == 2
+
+    def test_naming_scheme(self):
+        ladder = FirmwareLadder("I")
+        assert [v.name for v in ladder.versions][:2] == ["I_F_1", "I_F_2"]
+
+    def test_hazard_decreases_with_version(self):
+        for vendor, ladder in default_ladders().items():
+            multipliers = [v.hazard_multiplier for v in ladder.versions]
+            assert all(a > b for a, b in zip(multipliers, multipliers[1:])), vendor
+
+    def test_newest_version_approaches_baseline(self):
+        ladder = FirmwareLadder("I", first_multiplier=4.0, decay=0.5)
+        assert ladder.versions[-1].hazard_multiplier < 1.3
+        assert ladder.versions[-1].hazard_multiplier > 1.0
+
+    def test_assignment_probabilities_sum_to_one(self):
+        probabilities = FirmwareLadder("I").assignment_probabilities()
+        assert probabilities.sum() == pytest.approx(1.0)
+
+    def test_older_versions_dominate_population(self):
+        probabilities = FirmwareLadder("I").assignment_probabilities()
+        assert np.all(np.diff(probabilities) < 0)
+
+    def test_sample_distribution(self):
+        ladder = FirmwareLadder("II")
+        rng = np.random.default_rng(0)
+        assignments = ladder.sample(5000, rng)
+        share_oldest = np.mean([v.index == 1 for v in assignments])
+        expected = ladder.assignment_probabilities()[0]
+        assert share_oldest == pytest.approx(expected, abs=0.03)
+
+    def test_by_name_lookup(self):
+        ladder = FirmwareLadder("III")
+        assert ladder.by_name("III_F_2").index == 2
+        with pytest.raises(KeyError):
+            ladder.by_name("III_F_9")
+
+    def test_invalid_config_raises(self):
+        with pytest.raises(ValueError):
+            FirmwareLadder("X")
+        with pytest.raises(ValueError):
+            FirmwareLadder("I", first_multiplier=0.5)
+        with pytest.raises(ValueError):
+            FirmwareLadder("I", decay=1.5)
+
+    def test_vendor_i_worst_early_firmware(self):
+        # Vendor I's I_F_1/I_F_2 are singled out by the paper.
+        ladders = default_ladders()
+        worst_i = ladders["I"].versions[0].hazard_multiplier
+        for vendor in ("II", "III", "IV"):
+            assert worst_i > ladders[vendor].versions[0].hazard_multiplier

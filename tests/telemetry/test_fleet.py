@@ -1,0 +1,124 @@
+"""Unit tests for fleet-level simulation."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.fleet import FleetConfig, VendorMix, simulate_fleet
+
+
+class TestVendorMix:
+    def test_proportional_shares(self):
+        mix = VendorMix.proportional(10000)
+        assert mix.counts["II"] > mix.counts["III"] > mix.counts["I"] > mix.counts["IV"]
+        assert mix.total == pytest.approx(10000, abs=10)
+
+    def test_uniform(self):
+        mix = VendorMix.uniform(50)
+        assert all(count == 50 for count in mix.counts.values())
+
+    def test_unknown_vendor_rejected(self):
+        with pytest.raises(ValueError):
+            VendorMix({"Z": 10})
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            VendorMix({"I": -1})
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValueError):
+            VendorMix({"I": 0})
+
+
+class TestFleetConfig:
+    def test_defaults_valid(self):
+        config = FleetConfig()
+        assert config.horizon_days == 540
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            FleetConfig(horizon_days=5)
+
+    def test_invalid_boost(self):
+        with pytest.raises(ValueError):
+            FleetConfig(failure_boost=0.0)
+
+
+class TestSimulation:
+    def test_reproducible_from_seed(self):
+        config = FleetConfig(
+            mix=VendorMix({"I": 30}), horizon_days=120, failure_boost=20.0, seed=11
+        )
+        a = simulate_fleet(config)
+        b = simulate_fleet(config)
+        np.testing.assert_array_equal(a.columns["day"], b.columns["day"])
+        np.testing.assert_array_equal(
+            a.columns["s14_media_errors"], b.columns["s14_media_errors"]
+        )
+        assert [t.serial for t in a.tickets] == [t.serial for t in b.tickets]
+
+    def test_different_seeds_differ(self):
+        base = dict(mix=VendorMix({"I": 30}), horizon_days=120, failure_boost=20.0)
+        a = simulate_fleet(FleetConfig(seed=1, **base))
+        b = simulate_fleet(FleetConfig(seed=2, **base))
+        assert a.n_records != b.n_records or not np.array_equal(
+            a.columns["day"], b.columns["day"]
+        )
+
+    def test_failure_boost_scales_failures(self):
+        base = dict(mix=VendorMix({"I": 150}), horizon_days=180, seed=3)
+        low = simulate_fleet(FleetConfig(failure_boost=5.0, **base))
+        high = simulate_fleet(FleetConfig(failure_boost=40.0, **base))
+        assert len(high.tickets) > len(low.tickets)
+
+    def test_vendor_ordering_preserved(self, mixed_fleet):
+        # Relative replacement rates: I highest (uniform mix, boost).
+        summary = mixed_fleet.summary()
+        assert summary["I"]["replacement_rate"] == max(
+            entry["replacement_rate"] for entry in summary.values()
+        )
+
+    def test_serials_unique_across_vendors(self, mixed_fleet):
+        serials = mixed_fleet.serials
+        assert np.unique(serials).size == serials.size
+
+    def test_every_drive_has_records(self, mixed_fleet):
+        for serial in mixed_fleet.serials[:50]:
+            assert mixed_fleet.drive_rows(int(serial))["day"].size > 0
+
+    def test_archetype_mix_present(self, small_fleet):
+        archetypes = {m.archetype for m in small_fleet.drives.values() if m.failed}
+        assert archetypes == {"drive_level", "system_level"}
+
+    def test_enterprise_duty_cycle_continuous(self):
+        """boot probability ~1 + no vacations approximates 24/7 telemetry
+        (the enterprise contrast of the §II challenges)."""
+        import numpy as np
+
+        enterprise = simulate_fleet(
+            FleetConfig(
+                mix=VendorMix({"I": 40}),
+                horizon_days=150,
+                failure_boost=5.0,
+                mean_boot_probability=0.985,
+                vacation_rate=0.0,
+                seed=77,
+            )
+        )
+        consumer = simulate_fleet(
+            FleetConfig(
+                mix=VendorMix({"I": 40}),
+                horizon_days=150,
+                failure_boost=5.0,
+                seed=77,
+            )
+        )
+
+        def max_gap(dataset):
+            gaps = []
+            for serial in dataset.healthy_serials():
+                days = dataset.drive_rows(int(serial))["day"]
+                if days.size > 1:
+                    gaps.append(int(np.max(np.diff(days) - 1)))
+            return np.mean(gaps)
+
+        assert max_gap(enterprise) < max_gap(consumer)

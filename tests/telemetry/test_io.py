@@ -1,0 +1,98 @@
+"""Unit tests for dataset persistence (save/load roundtrip)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.telemetry.io import FORMAT_VERSION, load_dataset, save_dataset
+
+
+class TestRoundtrip:
+    def test_columns_identical(self, small_fleet, tmp_path):
+        save_dataset(small_fleet, tmp_path / "fleet")
+        loaded = load_dataset(tmp_path / "fleet")
+        assert set(loaded.columns) == set(small_fleet.columns)
+        for name, values in small_fleet.columns.items():
+            if values.dtype == object:
+                assert loaded.columns[name].tolist() == values.tolist()
+            else:
+                np.testing.assert_array_equal(loaded.columns[name], values)
+
+    def test_drive_metadata_identical(self, small_fleet, tmp_path):
+        save_dataset(small_fleet, tmp_path / "fleet")
+        loaded = load_dataset(tmp_path / "fleet")
+        assert set(loaded.drives) == set(small_fleet.drives)
+        for serial, meta in small_fleet.drives.items():
+            assert loaded.drives[serial] == meta
+
+    def test_tickets_identical(self, small_fleet, tmp_path):
+        save_dataset(small_fleet, tmp_path / "fleet")
+        loaded = load_dataset(tmp_path / "fleet")
+        assert loaded.tickets == small_fleet.tickets
+
+    def test_loaded_dataset_trains(self, small_fleet, tmp_path):
+        from repro.core import MFPA, MFPAConfig
+
+        save_dataset(small_fleet, tmp_path / "fleet")
+        loaded = load_dataset(tmp_path / "fleet")
+        model = MFPA(MFPAConfig())
+        model.fit(loaded, train_end_day=240)
+        report = model.evaluate(240, 360).drive_report
+        assert report.tpr > 0.5
+
+
+class TestErrors:
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset(tmp_path / "nope")
+
+    def test_version_check(self, small_fleet, tmp_path):
+        path = save_dataset(small_fleet, tmp_path / "fleet")
+        strings = json.loads((path / "strings.json").read_text())
+        strings["version"] = FORMAT_VERSION + 999
+        (path / "strings.json").write_text(json.dumps(strings))
+        with pytest.raises(ValueError, match="format version"):
+            load_dataset(path)
+
+    def test_save_creates_nested_directories(self, small_fleet, tmp_path):
+        path = save_dataset(small_fleet, tmp_path / "a" / "b" / "fleet")
+        assert (path / "columns.npz").exists()
+
+
+class TestConcatRelabel:
+    def test_relabel_shifts_everything(self, small_fleet):
+        shifted = small_fleet.relabel_serials(10_000)
+        assert set(shifted.drives) == {s + 10_000 for s in small_fleet.drives}
+        np.testing.assert_array_equal(
+            shifted.columns["serial"], small_fleet.columns["serial"] + 10_000
+        )
+        assert all(t.serial > 10_000 for t in shifted.tickets)
+
+    def test_relabel_zero_is_identity(self, small_fleet):
+        assert small_fleet.relabel_serials(0) is small_fleet
+
+    def test_concat_merges(self, small_fleet, mixed_fleet):
+        shifted = mixed_fleet.relabel_serials(1_000_000)
+        from repro.telemetry.dataset import TelemetryDataset
+
+        merged = TelemetryDataset.concat([small_fleet, shifted])
+        assert merged.n_drives == small_fleet.n_drives + mixed_fleet.n_drives
+        assert merged.n_records == small_fleet.n_records + mixed_fleet.n_records
+        # Sort order maintained for drive_rows to work.
+        serial = merged.columns["serial"]
+        day = merged.columns["day"]
+        order = np.lexsort((day, serial))
+        np.testing.assert_array_equal(order, np.arange(serial.size))
+
+    def test_concat_rejects_collisions(self, small_fleet):
+        from repro.telemetry.dataset import TelemetryDataset
+
+        with pytest.raises(ValueError, match="collision"):
+            TelemetryDataset.concat([small_fleet, small_fleet])
+
+    def test_concat_empty_rejected(self):
+        from repro.telemetry.dataset import TelemetryDataset
+
+        with pytest.raises(ValueError):
+            TelemetryDataset.concat([])

@@ -1,0 +1,95 @@
+"""Unit tests for the bathtub lifetime model (Observation #1 / Fig 2)."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.lifetime import BathtubLifetimeModel
+
+
+class TestCalibration:
+    def test_failure_probability_hits_target(self):
+        model = BathtubLifetimeModel(horizon_days=360, target_failure_probability=0.1)
+        assert model.failure_probability() == pytest.approx(0.1, rel=1e-6)
+
+    def test_multiplier_scales_probability(self):
+        model = BathtubLifetimeModel(horizon_days=360, target_failure_probability=0.05)
+        assert model.failure_probability(2.0) > model.failure_probability(1.0)
+
+    def test_empirical_failure_rate_matches(self):
+        model = BathtubLifetimeModel(horizon_days=360, target_failure_probability=0.2)
+        rng = np.random.default_rng(0)
+        days = model.sample_failure_days(rng, np.ones(20000))
+        assert np.mean(days > 0) == pytest.approx(0.2, abs=0.01)
+
+
+class TestBathtubShape:
+    def test_infant_hazard_elevated(self):
+        model = BathtubLifetimeModel(horizon_days=540, target_failure_probability=0.1)
+        early = model.hazard(5)
+        middle = model.hazard(250)
+        assert early > middle
+
+    def test_wearout_hazard_rises(self):
+        model = BathtubLifetimeModel(horizon_days=540, target_failure_probability=0.1)
+        middle = model.hazard(250)
+        late = model.hazard(530)
+        assert late > middle
+
+    def test_sampled_failures_show_bathtub(self):
+        model = BathtubLifetimeModel(horizon_days=540, target_failure_probability=0.3)
+        rng = np.random.default_rng(1)
+        days = model.sample_failure_days(rng, np.ones(80000))
+        edges = np.linspace(0, 540, 10)
+        counts, _ = np.histogram(days[days > 0], bins=edges)
+        # Empirical hazard per bin: failures / drives still at risk, which
+        # removes the risk-set depletion that masks the wear-out rise.
+        at_risk = 80000 - np.concatenate([[0], np.cumsum(counts)[:-1]])
+        hazard = counts / at_risk
+        thirds = np.array_split(hazard, 3)
+        assert thirds[0].mean() > thirds[1].mean()
+        assert thirds[2].mean() > thirds[1].mean()
+
+
+class TestSampling:
+    def test_scalar_sampling_within_horizon(self):
+        model = BathtubLifetimeModel(horizon_days=100, target_failure_probability=0.9)
+        rng = np.random.default_rng(2)
+        for _ in range(200):
+            day = model.sample_failure_day(rng)
+            assert day is None or 1 <= day <= 100
+
+    def test_survivor_returns_none(self):
+        model = BathtubLifetimeModel(horizon_days=100, target_failure_probability=0.001)
+        rng = np.random.default_rng(3)
+        samples = [model.sample_failure_day(rng) for _ in range(500)]
+        assert samples.count(None) > 450
+
+    def test_vectorized_matches_semantics(self):
+        model = BathtubLifetimeModel(horizon_days=200, target_failure_probability=0.3)
+        rng = np.random.default_rng(4)
+        days = model.sample_failure_days(rng, np.full(1000, 1.0))
+        failed = days[days > 0]
+        assert np.all((failed >= 1) & (failed <= 200))
+
+    def test_invalid_multiplier_raises(self):
+        model = BathtubLifetimeModel()
+        with pytest.raises(ValueError):
+            model.sample_failure_day(np.random.default_rng(0), multiplier=0.0)
+
+
+class TestValidation:
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            BathtubLifetimeModel(horizon_days=0)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            BathtubLifetimeModel(target_failure_probability=0.0)
+        with pytest.raises(ValueError):
+            BathtubLifetimeModel(target_failure_probability=1.0)
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            BathtubLifetimeModel(infant_weight=0.7, wear_weight=0.5)
+        with pytest.raises(ValueError):
+            BathtubLifetimeModel(infant_weight=-0.1)

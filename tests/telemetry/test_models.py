@@ -1,0 +1,69 @@
+"""Unit tests for the drive-model catalog (Table VI structure)."""
+
+import pytest
+
+from repro.telemetry.models import (
+    DRIVE_MODELS,
+    VENDORS,
+    DriveModel,
+    drive_models_for_vendor,
+)
+
+
+class TestCatalog:
+    def test_twelve_models_four_vendors(self):
+        assert len(DRIVE_MODELS) == 12
+        assert set(VENDORS) == {"I", "II", "III", "IV"}
+        assert {m.vendor for m in DRIVE_MODELS} == set(VENDORS)
+
+    def test_capacity_range_matches_paper(self):
+        capacities = {m.capacity_gb for m in DRIVE_MODELS}
+        assert min(capacities) == 128
+        assert max(capacities) == 1024
+
+    def test_layer_range_matches_paper(self):
+        layers = {m.nand_layers for m in DRIVE_MODELS}
+        assert min(layers) == 32
+        assert max(layers) == 96
+
+    def test_all_models_are_m2_tlc_nvme(self):
+        for model in DRIVE_MODELS:
+            assert model.form_factor == "M.2-2280"
+            assert model.flash_tech == "3D TLC"
+            assert model.protocol.startswith("NVMe")
+
+    def test_fleet_shares_sum_to_one(self):
+        assert sum(v.fleet_share for v in VENDORS.values()) == pytest.approx(1.0)
+
+    def test_replacement_rate_ordering(self):
+        # Paper Table VI: vendor I >> IV > II > III.
+        rates = {name: v.replacement_rate for name, v in VENDORS.items()}
+        assert rates["I"] > rates["IV"] > rates["II"] > rates["III"]
+
+    def test_paper_replacement_rates_exact(self):
+        assert VENDORS["I"].replacement_rate == pytest.approx(0.0068)
+        assert VENDORS["II"].replacement_rate == pytest.approx(0.0007)
+        assert VENDORS["III"].replacement_rate == pytest.approx(0.0005)
+        assert VENDORS["IV"].replacement_rate == pytest.approx(0.0011)
+
+    def test_firmware_ladder_lengths_match_fig3(self):
+        # Fig 3: vendor I has 5 versions, II has 3, III and IV have 2.
+        assert VENDORS["I"].n_firmware_versions == 5
+        assert VENDORS["II"].n_firmware_versions == 3
+        assert VENDORS["III"].n_firmware_versions == 2
+        assert VENDORS["IV"].n_firmware_versions == 2
+
+    def test_models_for_vendor(self):
+        models = drive_models_for_vendor("II")
+        assert len(models) == 4
+        assert all(m.vendor == "II" for m in models)
+
+    def test_unknown_vendor_raises(self):
+        with pytest.raises(ValueError, match="unknown vendor"):
+            drive_models_for_vendor("V")
+        with pytest.raises(ValueError, match="unknown vendor"):
+            DriveModel("X-1", "X", 256, 64)
+
+    def test_invalid_capacity_raises(self):
+        with pytest.raises(ValueError):
+            DriveModel("I-bad", "I", 0, 64)

@@ -1,0 +1,128 @@
+"""Unit tests for the SMART catalog and trajectory simulator."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.smart import (
+    SMART_ATTRIBUTES,
+    SMART_COLUMNS,
+    SmartSimulator,
+    smart_attribute_by_column,
+)
+
+
+def _simulate(gain, n_days=60, seed=0, capacity=512):
+    rng = np.random.default_rng(seed)
+    days = np.arange(n_days)
+    hours = np.full(n_days, 6.0)
+    if gain > 0:
+        degradation = np.clip((days - (n_days - 20)) / 20, 0, 1) ** 1.5
+    else:
+        degradation = np.zeros(n_days)
+    simulator = SmartSimulator(capacity_gb=capacity, smart_gain=gain)
+    return simulator.simulate(days, hours, degradation, rng)
+
+
+class TestCatalog:
+    def test_sixteen_attributes(self):
+        assert len(SMART_ATTRIBUTES) == 16
+        assert len(SMART_COLUMNS) == 16
+
+    def test_ids_are_table2_order(self):
+        assert [a.smart_id for a in SMART_ATTRIBUTES] == list(range(1, 17))
+
+    def test_lookup_by_column(self):
+        attribute = smart_attribute_by_column("s12_power_on_hours")
+        assert attribute.name == "Power On Hours"
+        with pytest.raises(KeyError):
+            smart_attribute_by_column("nope")
+
+    def test_spare_threshold_flagged_uninformative(self):
+        # The paper finds Available Spare Threshold barely matters.
+        assert not smart_attribute_by_column("s4_spare_threshold").failure_relevant
+
+
+class TestHealthyTrajectories:
+    def test_all_columns_present_and_aligned(self):
+        smart = _simulate(gain=0.0)
+        assert set(smart) == set(SMART_COLUMNS)
+        assert all(v.shape == (60,) for v in smart.values())
+
+    def test_cumulative_counters_monotone(self):
+        smart = _simulate(gain=0.0)
+        for column in (
+            "s6_data_units_read",
+            "s7_data_units_written",
+            "s12_power_on_hours",
+            "s11_power_cycles",
+            "s13_unsafe_shutdowns",
+            "s14_media_errors",
+            "s15_error_log_entries",
+        ):
+            assert np.all(np.diff(smart[column]) >= 0), column
+
+    def test_power_on_hours_accumulates_usage(self):
+        smart = _simulate(gain=0.0)
+        np.testing.assert_allclose(smart["s12_power_on_hours"], 6.0 * np.arange(1, 61))
+
+    def test_capacity_constant(self):
+        smart = _simulate(gain=0.0, capacity=256)
+        np.testing.assert_array_equal(smart["s16_capacity"], 256.0)
+
+    def test_spare_threshold_constant(self):
+        smart = _simulate(gain=0.0)
+        np.testing.assert_array_equal(smart["s4_spare_threshold"], 10.0)
+
+    def test_healthy_drive_rarely_critical(self):
+        smart = _simulate(gain=0.0, n_days=200)
+        assert smart["s1_critical_warning"].sum() == 0
+
+    def test_available_spare_within_bounds(self):
+        smart = _simulate(gain=0.0, n_days=200)
+        assert np.all(smart["s3_available_spare"] <= 100.0)
+        assert np.all(smart["s3_available_spare"] >= 0.0)
+
+    def test_empty_days_empty_output(self):
+        rng = np.random.default_rng(0)
+        simulator = SmartSimulator(capacity_gb=512)
+        smart = simulator.simulate(np.array([]), np.array([]), np.array([]), rng)
+        assert all(v.size == 0 for v in smart.values())
+
+
+class TestDegradedTrajectories:
+    def test_media_errors_grow_near_failure(self):
+        faulty = _simulate(gain=1.0)
+        healthy = _simulate(gain=0.0)
+        assert faulty["s14_media_errors"][-1] > healthy["s14_media_errors"][-1]
+
+    def test_error_log_entries_grow_near_failure(self):
+        faulty = _simulate(gain=1.0)
+        assert faulty["s15_error_log_entries"][-1] > faulty["s15_error_log_entries"][20]
+
+    def test_available_spare_drops(self):
+        faulty = _simulate(gain=1.0)
+        assert faulty["s3_available_spare"][-1] < faulty["s3_available_spare"][0]
+
+    def test_critical_warning_eventually_set(self):
+        faulty = _simulate(gain=1.2)
+        assert faulty["s1_critical_warning"][-1] == 1.0
+
+    def test_weak_gain_weak_signature(self):
+        # System-level failures (low smart_gain) must look much quieter
+        # than drive-level ones — the core premise of the paper.
+        weak = _simulate(gain=0.2, seed=5)
+        strong = _simulate(gain=1.0, seed=5)
+        assert weak["s14_media_errors"][-1] < strong["s14_media_errors"][-1]
+
+    def test_misaligned_inputs_raise(self):
+        rng = np.random.default_rng(0)
+        simulator = SmartSimulator(capacity_gb=512)
+        with pytest.raises(ValueError, match="align"):
+            simulator.simulate(np.arange(5), np.ones(4), np.zeros(5), rng)
+
+    def test_non_increasing_days_raise(self):
+        rng = np.random.default_rng(0)
+        simulator = SmartSimulator(capacity_gb=512)
+        days = np.array([0, 2, 2])
+        with pytest.raises(ValueError, match="strictly increasing"):
+            simulator.simulate(days, np.ones(3), np.zeros(3), rng)

@@ -1,0 +1,93 @@
+"""Unit tests for RaSRF ticket generation (Table I)."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.drive import DRIVE_LEVEL, SYSTEM_LEVEL
+from repro.telemetry.tickets import RASRF_CATEGORIES, TicketGenerator
+
+
+class _FakeDrive:
+    def __init__(self, serial, failure_day, archetype):
+        self.serial = serial
+        self.failure_day = failure_day
+        self.archetype = archetype
+
+    @property
+    def failed(self):
+        return self.failure_day is not None
+
+
+class TestCatalog:
+    def test_probabilities_sum_to_one(self):
+        assert sum(c.probability for c in RASRF_CATEGORIES) == pytest.approx(1.0, abs=0.002)
+
+    def test_table1_level_split(self):
+        drive_level = sum(
+            c.probability for c in RASRF_CATEGORIES if c.failure_level == DRIVE_LEVEL
+        )
+        assert drive_level == pytest.approx(0.3162, abs=0.001)
+
+    def test_boot_shutdown_subtotal(self):
+        boot = sum(
+            c.probability
+            for c in RASRF_CATEGORIES
+            if c.category == "Boot/Shutdown failure"
+        )
+        assert boot == pytest.approx(0.4821, abs=0.001)
+
+    def test_storage_drive_failure_is_largest_cause(self):
+        largest = max(RASRF_CATEGORIES, key=lambda c: c.probability)
+        assert largest.cause == "Storage drive failure"
+        assert largest.probability == pytest.approx(0.3113)
+
+
+class TestTicketGenerator:
+    def test_imt_never_precedes_failure(self):
+        generator = TicketGenerator()
+        rng = np.random.default_rng(0)
+        for seed in range(50):
+            ticket = generator.generate(_FakeDrive(seed, 100, DRIVE_LEVEL), rng)
+            assert ticket.initial_maintenance_time >= 100
+
+    def test_lag_bounded(self):
+        generator = TicketGenerator(mean_repair_lag_days=5.0, max_lag_days=30)
+        rng = np.random.default_rng(1)
+        lags = [generator.sample_lag(rng) for _ in range(2000)]
+        assert max(lags) <= 30
+        assert min(lags) >= 0
+
+    def test_typical_lag_under_theta(self):
+        # θ=7 is optimal because most users repair within about a week.
+        generator = TicketGenerator(mean_repair_lag_days=5.0)
+        rng = np.random.default_rng(2)
+        lags = np.array([generator.sample_lag(rng) for _ in range(2000)])
+        assert np.median(lags) <= 7
+
+    def test_category_respects_archetype(self):
+        generator = TicketGenerator()
+        rng = np.random.default_rng(3)
+        drive_ticket = generator.generate(_FakeDrive(1, 50, DRIVE_LEVEL), rng)
+        system_ticket = generator.generate(_FakeDrive(2, 50, SYSTEM_LEVEL), rng)
+        assert drive_ticket.failure_level == DRIVE_LEVEL
+        assert system_ticket.failure_level == SYSTEM_LEVEL
+
+    def test_healthy_drive_rejected(self):
+        generator = TicketGenerator()
+        with pytest.raises(ValueError, match="did not fail"):
+            generator.generate(_FakeDrive(1, None, DRIVE_LEVEL), np.random.default_rng(0))
+
+    def test_generate_all_covers_only_failures(self):
+        generator = TicketGenerator()
+        drives = [
+            _FakeDrive(1, 40, DRIVE_LEVEL),
+            _FakeDrive(2, None, DRIVE_LEVEL),
+            _FakeDrive(3, 90, SYSTEM_LEVEL),
+        ]
+        drives[1].failure_day = None
+        tickets = generator.generate_all(drives, np.random.default_rng(4))
+        assert sorted(t.serial for t in tickets) == [1, 3]
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            TicketGenerator(mean_repair_lag_days=0.0)

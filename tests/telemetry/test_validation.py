@@ -1,0 +1,108 @@
+"""Unit tests for dataset integrity validation."""
+
+import numpy as np
+
+from repro.telemetry.validation import validate_dataset
+
+
+class TestCleanFleet:
+    def test_simulated_fleet_is_sound(self, small_fleet):
+        assert validate_dataset(small_fleet) == []
+
+    def test_mixed_fleet_is_sound(self, mixed_fleet):
+        assert validate_dataset(mixed_fleet) == []
+
+    def test_repaired_fleet_is_sound(self, prepared_fleet):
+        prepared, _, _ = prepared_fleet
+        # Mean filling interpolates cumulative counters, which stays
+        # monotone because the neighbors are ordered.
+        assert validate_dataset(prepared) == []
+
+
+class TestDetection:
+    def _copy(self, dataset):
+        from repro.telemetry.dataset import TelemetryDataset
+
+        return TelemetryDataset(
+            dict(dataset.columns), dict(dataset.drives), list(dataset.tickets)
+        )
+
+    def test_detects_unsorted_rows(self, small_fleet):
+        broken = self._copy(small_fleet)
+        columns = dict(broken.columns)
+        columns["day"] = columns["day"].copy()
+        columns["day"][0], columns["day"][1] = columns["day"][1], columns["day"][0]
+        broken.columns = columns
+        broken._serial_order = None
+        assert any("sorted" in v for v in validate_dataset(broken))
+
+    def test_detects_nan_smart(self, small_fleet):
+        broken = self._copy(small_fleet)
+        columns = dict(broken.columns)
+        values = columns["s2_temperature"].copy()
+        values[3] = np.nan
+        columns["s2_temperature"] = values
+        broken.columns = columns
+        assert any("non-finite" in v for v in validate_dataset(broken))
+
+    def test_detects_decreasing_counter(self, small_fleet):
+        broken = self._copy(small_fleet)
+        columns = dict(broken.columns)
+        values = columns["s12_power_on_hours"].copy()
+        values[5] = values[4] - 100.0
+        columns["s12_power_on_hours"] = values
+        broken.columns = columns
+        assert any("decreases" in v for v in validate_dataset(broken))
+
+    def test_monotone_check_optional(self, small_fleet):
+        broken = self._copy(small_fleet)
+        columns = dict(broken.columns)
+        values = columns["s12_power_on_hours"].copy()
+        values[5] = values[4] - 100.0
+        columns["s12_power_on_hours"] = values
+        broken.columns = columns
+        assert validate_dataset(broken, check_monotone=False) == []
+
+    def test_detects_orphan_metadata(self, small_fleet):
+        from repro.telemetry.dataset import DriveMeta
+
+        broken = self._copy(small_fleet)
+        broken.drives = dict(broken.drives)
+        broken.drives[10**9] = DriveMeta(
+            10**9, "I", "I-A128", 128, "I_F_1", "healthy", None
+        )
+        assert any("no rows" in v for v in validate_dataset(broken))
+
+    def test_detects_bad_ticket(self, small_fleet):
+        from repro.telemetry.tickets import TroubleTicket
+
+        broken = self._copy(small_fleet)
+        healthy = int(small_fleet.healthy_serials()[0])
+        broken.tickets = list(broken.tickets) + [
+            TroubleTicket(healthy, 100, "drive_level", "Components failure", "x")
+        ]
+        assert any("non-failed" in v for v in validate_dataset(broken))
+
+    def test_detects_premature_ticket(self, small_fleet):
+        from repro.telemetry.tickets import TroubleTicket
+
+        broken = self._copy(small_fleet)
+        failed = int(small_fleet.failed_serials()[0])
+        failure_day = small_fleet.drives[failed].failure_day
+        broken.tickets = list(broken.tickets) + [
+            TroubleTicket(failed, failure_day - 5, "drive_level", "Components failure", "x")
+        ]
+        assert any("precedes" in v for v in validate_dataset(broken))
+
+    def test_detects_posthumous_logging(self, small_fleet):
+        broken = self._copy(small_fleet)
+        broken.drives = dict(broken.drives)
+        failed = int(small_fleet.failed_serials()[0])
+        meta = broken.drives[failed]
+        from repro.telemetry.dataset import DriveMeta
+
+        broken.drives[failed] = DriveMeta(
+            meta.serial, meta.vendor, meta.model_id, meta.capacity_gb,
+            meta.firmware, meta.archetype, max(1, meta.failure_day - 50),
+        )
+        assert any("after its failure" in v for v in validate_dataset(broken))

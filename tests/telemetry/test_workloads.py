@@ -1,0 +1,115 @@
+"""Unit tests for usage personas."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry import FleetConfig, VendorMix, simulate_fleet
+from repro.telemetry.validation import validate_dataset
+from repro.telemetry.workloads import (
+    DEFAULT_PERSONA_WEIGHTS,
+    PERSONAS,
+    PersonaUsageModel,
+)
+
+
+class TestPersonas:
+    def test_four_personas(self):
+        assert set(PERSONAS) == {"office", "home", "enthusiast", "casual"}
+
+    def test_default_weights_cover_personas(self):
+        assert set(DEFAULT_PERSONA_WEIGHTS) == set(PERSONAS)
+        assert sum(DEFAULT_PERSONA_WEIGHTS.values()) == pytest.approx(1.0)
+
+    def test_persona_patterns_distinct(self):
+        rng = np.random.default_rng(0)
+        office = [PERSONAS["office"].sample_pattern(rng) for _ in range(100)]
+        casual = [PERSONAS["casual"].sample_pattern(rng) for _ in range(100)]
+        assert np.mean([p.boot_probability for p in office]) > np.mean(
+            [p.boot_probability for p in casual]
+        )
+        assert np.mean([p.mean_daily_hours for p in office]) > np.mean(
+            [p.mean_daily_hours for p in casual]
+        )
+
+    def test_office_sleeps_on_weekends(self):
+        rng = np.random.default_rng(1)
+        pattern = PERSONAS["office"].sample_pattern(rng)
+        days, _ = pattern.sample_observed_days(7000, rng)
+        weekend_share = np.mean((days % 7) >= 5)
+        assert weekend_share < 0.15
+
+    def test_enthusiast_nearly_always_on(self):
+        rng = np.random.default_rng(2)
+        pattern = PERSONAS["enthusiast"].sample_pattern(rng)
+        days, _ = pattern.sample_observed_days(365, rng)
+        assert days.size > 0.7 * 365
+
+
+class TestPersonaUsageModel:
+    def test_respects_weights(self):
+        model = PersonaUsageModel({"office": 1.0})
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            assert model.sample_persona(rng).name == "office"
+
+    def test_mixture_sampling(self):
+        model = PersonaUsageModel({"office": 0.5, "casual": 0.5})
+        rng = np.random.default_rng(4)
+        names = {model.sample_persona(rng).name for _ in range(200)}
+        assert names == {"office", "casual"}
+
+    def test_unknown_persona_rejected(self):
+        with pytest.raises(ValueError, match="unknown personas"):
+            PersonaUsageModel({"gamer_rig": 1.0})
+
+    def test_empty_weights_rejected(self):
+        with pytest.raises(ValueError):
+            PersonaUsageModel({})
+        with pytest.raises(ValueError):
+            PersonaUsageModel({"office": 0.0})
+
+
+class TestFleetIntegration:
+    def test_persona_fleet_valid(self):
+        dataset = simulate_fleet(
+            FleetConfig(
+                mix=VendorMix({"I": 60}),
+                horizon_days=150,
+                failure_boost=25.0,
+                persona_weights=DEFAULT_PERSONA_WEIGHTS,
+                seed=8,
+            )
+        )
+        assert validate_dataset(dataset) == []
+
+    def test_persona_fleet_more_heterogeneous(self):
+        base = dict(mix=VendorMix({"I": 120}), horizon_days=200, failure_boost=5.0, seed=9)
+        generic = simulate_fleet(FleetConfig(**base))
+        personas = simulate_fleet(
+            FleetConfig(persona_weights=DEFAULT_PERSONA_WEIGHTS, **base)
+        )
+
+        def record_count_spread(dataset):
+            counts = [
+                dataset.drive_rows(int(s))["day"].size for s in dataset.serials
+            ]
+            return np.std(counts)
+
+        assert record_count_spread(personas) > record_count_spread(generic)
+
+    def test_persona_fleet_still_trainable(self):
+        from repro.core import MFPA, MFPAConfig
+
+        dataset = simulate_fleet(
+            FleetConfig(
+                mix=VendorMix({"I": 250}),
+                horizon_days=300,
+                failure_boost=25.0,
+                persona_weights=DEFAULT_PERSONA_WEIGHTS,
+                seed=10,
+            )
+        )
+        model = MFPA(MFPAConfig())
+        model.fit(dataset, train_end_day=200)
+        result = model.evaluate(200, 300)
+        assert result.drive_report.tpr >= 0.6

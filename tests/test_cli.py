@@ -1,0 +1,102 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.telemetry.io import load_dataset
+
+
+@pytest.fixture(scope="module")
+def saved_fleet(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "fleet"
+    code = main(
+        [
+            "simulate",
+            str(path),
+            "--vendor",
+            "I=120",
+            "--horizon-days",
+            "200",
+            "--failure-boost",
+            "30",
+            "--seed",
+            "5",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate", "out"])
+        assert args.failure_boost == 20.0
+        assert args.horizon_days == 540
+
+    def test_train_defaults_match_paper(self):
+        args = build_parser().parse_args(["train", "data"])
+        assert args.feature_group == "SFWB"
+        assert args.theta == 7
+
+
+class TestSimulate:
+    def test_writes_loadable_dataset(self, saved_fleet):
+        dataset = load_dataset(saved_fleet)
+        assert dataset.n_drives == 120
+        assert all(m.vendor == "I" for m in dataset.drives.values())
+
+    def test_bad_vendor_spec_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["simulate", str(tmp_path / "x"), "--vendor", "Z=10"])
+        with pytest.raises(SystemExit):
+            main(["simulate", str(tmp_path / "x"), "--vendor", "I=abc"])
+
+
+class TestTrain:
+    def test_prints_metrics(self, saved_fleet, capsys):
+        code = main(
+            [
+                "train",
+                str(saved_fleet),
+                "--train-end-day",
+                "140",
+                "--eval-end-day",
+                "200",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TPR" in out
+        assert "drive" in out and "record" in out
+
+
+class TestSummary:
+    def test_prints_table6(self, saved_fleet, capsys):
+        assert main(["summary", str(saved_fleet)]) == 0
+        out = capsys.readouterr().out
+        assert "Sum_RR" in out
+        assert "I" in out
+
+
+class TestMonitor:
+    def test_runs_operation(self, saved_fleet, capsys):
+        code = main(
+            [
+                "monitor",
+                str(saved_fleet),
+                "--start-day",
+                "120",
+                "--end-day",
+                "200",
+                "--window-days",
+                "40",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "precision" in out
+        assert "lead time" in out

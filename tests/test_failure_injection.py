@@ -1,0 +1,138 @@
+"""Failure-injection tests: corrupted inputs produce clean errors.
+
+A library adopted downstream gets fed malformed data. Every injection
+here must surface as a specific, catchable exception — never a numpy
+broadcast error or silently wrong numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import MFPA, MFPAConfig
+from repro.core.labeling import FailureTimeIdentifier, build_samples
+from repro.core.preprocess import preprocess, repair_discontinuity
+from repro.ml import (
+    GaussianNaiveBayes,
+    GradientBoostingClassifier,
+    LinearSVM,
+    RandomForestClassifier,
+)
+from repro.telemetry.dataset import TelemetryDataset
+
+
+def _corrupt(dataset, **column_overrides):
+    columns = dict(dataset.columns)
+    columns.update(column_overrides)
+    return TelemetryDataset(columns, dict(dataset.drives), list(dataset.tickets))
+
+
+class TestCorruptedTelemetry:
+    def test_nan_smart_rejected_at_fit(self, small_fleet):
+        values = small_fleet.columns["s14_media_errors"].copy()
+        values[100] = np.nan
+        broken = _corrupt(small_fleet, s14_media_errors=values)
+        model = MFPA(MFPAConfig())
+        with pytest.raises(ValueError, match="NaN"):
+            model.fit(broken, train_end_day=240)
+
+    def test_negative_event_counts_rejected(self, small_fleet):
+        values = small_fleet.columns["w7_bad_block"].copy()
+        values[5] = -3.0
+        broken = _corrupt(small_fleet, w7_bad_block=values)
+        with pytest.raises(ValueError, match="non-negative"):
+            preprocess(broken)
+
+    def test_infinite_values_rejected_at_fit(self, small_fleet):
+        values = small_fleet.columns["s2_temperature"].copy()
+        values[9] = np.inf
+        broken = _corrupt(small_fleet, s2_temperature=values)
+        with pytest.raises(ValueError, match="NaN|infinite"):
+            MFPA(MFPAConfig()).fit(broken, train_end_day=240)
+
+    def test_ragged_columns_rejected_at_construction(self, small_fleet):
+        with pytest.raises(ValueError, match="ragged"):
+            _corrupt(small_fleet, s2_temperature=np.ones(3))
+
+
+class TestDegenerateConfigurations:
+    def test_training_window_before_any_failure(self, small_fleet):
+        with pytest.raises(ValueError, match="no positive samples"):
+            MFPA(MFPAConfig()).fit(small_fleet, train_end_day=1)
+
+    def test_absurd_repair_thresholds(self, small_fleet):
+        with pytest.raises(ValueError, match="every record"):
+            repair_discontinuity(small_fleet, min_segment_records=10**6)
+
+    def test_unknown_feature_columns_fail_loudly(self, small_fleet):
+        config = MFPAConfig(feature_columns=("no_such_column",))
+        with pytest.raises(KeyError, match="missing feature columns"):
+            MFPA(config).fit(small_fleet, train_end_day=240)
+
+    def test_empty_ticket_list_fails_at_fit(self, small_fleet):
+        stripped = TelemetryDataset(
+            dict(small_fleet.columns), dict(small_fleet.drives), []
+        )
+        with pytest.raises(ValueError, match="no positive samples"):
+            MFPA(MFPAConfig()).fit(stripped, train_end_day=240)
+
+
+class TestEstimatorRobustness:
+    @pytest.mark.parametrize(
+        "estimator",
+        [
+            GaussianNaiveBayes(),
+            LinearSVM(n_epochs=2),
+            RandomForestClassifier(n_estimators=2),
+            GradientBoostingClassifier(n_estimators=2),
+        ],
+        ids=lambda e: type(e).__name__,
+    )
+    def test_nan_inputs_rejected(self, estimator):
+        X = np.ones((10, 3))
+        X[0, 0] = np.nan
+        y = np.array([0, 1] * 5)
+        with pytest.raises(ValueError, match="NaN"):
+            estimator.fit(X, y)
+
+    @pytest.mark.parametrize(
+        "estimator",
+        [
+            GaussianNaiveBayes(),
+            RandomForestClassifier(n_estimators=2),
+        ],
+        ids=lambda e: type(e).__name__,
+    )
+    def test_predict_wrong_width_rejected(self, estimator, binary_blobs):
+        X, y = binary_blobs
+        estimator.fit(X, y)
+        with pytest.raises(ValueError, match="features"):
+            estimator.predict(np.ones((2, X.shape[1] + 1)))
+
+    def test_single_sample_fit(self):
+        # Degenerate but legal: one sample of one class.
+        model = GaussianNaiveBayes().fit(np.ones((1, 2)), np.array([1]))
+        assert model.predict(np.ones((1, 2)))[0] == 1
+
+
+class TestLabelingEdgeCases:
+    def test_ticket_for_drive_without_telemetry_skipped(self, prepared_fleet):
+        prepared, _, _ = prepared_fleet
+        from repro.telemetry.tickets import TroubleTicket
+
+        ghost = TroubleTicket(10**8, 100, "drive_level", "Components failure", "x")
+        hacked = TelemetryDataset(
+            dict(prepared.columns),
+            dict(prepared.drives),
+            list(prepared.tickets) + [ghost],
+        )
+        failure_times = FailureTimeIdentifier().identify(hacked)
+        assert 10**8 not in failure_times
+
+    def test_window_larger_than_history_yields_fewer_positives(self, prepared_fleet):
+        prepared, _, _ = prepared_fleet
+        failure_times = FailureTimeIdentifier().identify(prepared)
+        # Gigantic lookahead pushes every positive window before day 0.
+        samples = build_samples(
+            prepared, failure_times, positive_window=7, lookahead=10_000
+        )
+        assert samples.n_positive == 0

@@ -1,0 +1,94 @@
+"""End-to-end integration tests: simulate -> preprocess -> train -> evaluate.
+
+These assert the paper's headline *shapes* hold on a fresh synthetic
+fleet, exercising every package together.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import MFPA, MFPAConfig
+from repro.core.baselines import SmartThresholdDetector
+from repro.core.labeling import FailureTimeIdentifier
+from repro.ml.metrics import true_positive_rate
+from repro.telemetry import FleetConfig, VendorMix, simulate_fleet
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    config = FleetConfig(
+        mix=VendorMix({"I": 350}),
+        horizon_days=420,
+        failure_boost=25.0,
+        seed=1234,
+    )
+    return simulate_fleet(config)
+
+
+@pytest.fixture(scope="module")
+def sfwb_result(fleet):
+    model = MFPA(MFPAConfig(feature_group_name="SFWB"))
+    model.fit(fleet, train_end_day=300)
+    return model, model.evaluate(300, 420)
+
+
+@pytest.fixture(scope="module")
+def smart_result(fleet):
+    model = MFPA(MFPAConfig(feature_group_name="S"))
+    model.fit(fleet, train_end_day=300)
+    return model, model.evaluate(300, 420)
+
+
+class TestHeadlineShape:
+    def test_sfwb_high_tpr(self, sfwb_result):
+        _, result = sfwb_result
+        assert result.drive_report.tpr >= 0.85
+
+    def test_sfwb_low_fpr(self, sfwb_result):
+        _, result = sfwb_result
+        assert result.drive_report.fpr <= 0.08
+
+    def test_sfwb_beats_smart_on_auc(self, sfwb_result, smart_result):
+        _, sfwb = sfwb_result
+        _, smart = smart_result
+        assert sfwb.drive_report.auc >= smart.drive_report.auc
+
+    def test_smart_only_weaker_tpr(self, sfwb_result, smart_result):
+        _, sfwb = sfwb_result
+        _, smart = smart_result
+        assert sfwb.drive_report.tpr >= smart.drive_report.tpr
+
+    def test_threshold_detector_weakest(self, fleet, sfwb_result):
+        model, result = sfwb_result
+        y_true, y_pred = SmartThresholdDetector().evaluate_drives(
+            model.dataset_, model.failure_times_, 300, 420
+        )
+        assert true_positive_rate(y_true, y_pred) <= result.drive_report.tpr
+
+
+class TestDeterminism:
+    def test_full_pipeline_reproducible(self, fleet):
+        def run():
+            model = MFPA(MFPAConfig(feature_group_name="SF", seed=5))
+            model.fit(fleet, train_end_day=300)
+            return model.evaluate(300, 420).drive_report
+
+        first = run()
+        second = run()
+        assert first == second
+
+
+class TestLabelingQuality:
+    def test_theta_rule_accuracy(self, fleet):
+        # The identified failure times should be near the true simulated
+        # failure days; this is the whole point of the θ optimization.
+        from repro.core.preprocess import preprocess
+
+        prepared, _, _ = preprocess(fleet)
+        identified = FailureTimeIdentifier(theta=7).identify(prepared)
+        errors = [
+            abs(identified[serial] - prepared.drives[serial].failure_day)
+            for serial in identified
+        ]
+        assert np.median(errors) <= 5
+        assert np.mean(errors) <= 12

@@ -1,0 +1,58 @@
+"""Tests for the markdown model-card generator."""
+
+import pytest
+
+from repro.core import MFPA, MFPAConfig
+from repro.reporting.model_card import generate_model_card
+
+
+@pytest.fixture(scope="module")
+def fitted(small_fleet):
+    model = MFPA(MFPAConfig())
+    model.fit(small_fleet, train_end_day=240)
+    return model
+
+
+class TestModelCard:
+    @pytest.fixture(scope="class")
+    def card(self, fitted):
+        return generate_model_card(fitted, 240, 360, importance_repeats=1)
+
+    def test_has_all_sections(self, card):
+        for heading in (
+            "# MFPA model card",
+            "## Configuration",
+            "## Training data",
+            "## Evaluation",
+            "## Top features",
+            "## Feature drift",
+            "## Caveats",
+        ):
+            assert heading in card
+
+    def test_configuration_reflects_model(self, card, fitted):
+        assert f"**{fitted.config.feature_group_name}**" in card
+        assert type(fitted.model_).__name__ in card
+        assert f"θ (failure-time threshold): {fitted.config.theta}" in card
+
+    def test_metrics_table_present(self, card):
+        assert "| drive |" in card
+        assert "| record |" in card
+
+    def test_optional_sections_skippable(self, fitted):
+        card = generate_model_card(
+            fitted, 240, 360, include_importance=False, include_drift=False
+        )
+        assert "## Top features" not in card
+        assert "## Feature drift" not in card
+        assert "## Caveats" in card
+
+    def test_unfitted_model_rejected(self):
+        with pytest.raises(RuntimeError):
+            generate_model_card(MFPA(), 0, 10)
+
+    def test_renders_as_valid_markdown_table(self, card):
+        # Every table row has the same number of pipes as the header.
+        lines = [l for l in card.splitlines() if l.startswith("|")]
+        pipe_counts = {line.count("|") for line in lines}
+        assert len(pipe_counts) == 1

@@ -1,0 +1,50 @@
+"""Tests for the ASCII table/series renderers."""
+
+import pytest
+
+from repro.reporting import render_series, render_table
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = render_table(
+            ["vendor", "rr"], [["I", 0.0068], ["II", 0.0007]], title="Table VI"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Table VI"
+        assert "vendor" in lines[1] and "rr" in lines[1]
+        assert len(lines) == 5
+
+    def test_column_alignment(self):
+        text = render_table(["a", "bbbb"], [["xxxxx", 1]])
+        header, separator, row = text.splitlines()
+        assert len(header) == len(row)
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[0.5], [float("nan")], [1234567.0], [0.00001]])
+        assert "NaN" in text
+        assert "e" in text.lower()  # scientific for extremes
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+
+class TestRenderSeries:
+    def test_bar_lengths_proportional(self):
+        text = render_series("tpr", ["d1", "d2"], [0.5, 1.0], width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 5
+        assert lines[2].count("#") == 10
+
+    def test_nan_rendered(self):
+        text = render_series("x", [1], [float("nan")])
+        assert "NaN" in text
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_series("x", [1, 2], [0.5])
+
+    def test_zero_peak(self):
+        text = render_series("x", [1, 2], [0.0, 0.0])
+        assert text  # no division-by-zero crash

@@ -1,0 +1,85 @@
+"""Property-based tests: every simulated fleet satisfies the dataset
+invariants, for arbitrary (small) configurations."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.survival import kaplan_meier
+from repro.telemetry import FleetConfig, VendorMix, simulate_fleet
+from repro.telemetry.validation import validate_dataset
+
+fleet_configs = st.builds(
+    FleetConfig,
+    mix=st.sampled_from(
+        [
+            VendorMix({"I": 25}),
+            VendorMix({"II": 25}),
+            VendorMix({"I": 12, "IV": 12}),
+            VendorMix.uniform(8),
+        ]
+    ),
+    horizon_days=st.sampled_from([60, 120, 200]),
+    failure_boost=st.sampled_from([5.0, 30.0, 80.0]),
+    mean_boot_probability=st.sampled_from([0.3, 0.62, 0.9]),
+    seed=st.integers(0, 10_000),
+)
+
+
+@given(fleet_configs)
+@settings(max_examples=15, deadline=None)
+def test_simulated_fleets_always_valid(config):
+    dataset = simulate_fleet(config)
+    assert validate_dataset(dataset) == []
+
+
+@given(fleet_configs)
+@settings(max_examples=10, deadline=None)
+def test_failed_drives_have_tickets_and_bounds(config):
+    dataset = simulate_fleet(config)
+    ticket_serials = {t.serial for t in dataset.tickets}
+    for serial, meta in dataset.drives.items():
+        if meta.failed:
+            assert serial in ticket_serials
+            assert 1 <= meta.failure_day <= config.horizon_days
+        else:
+            assert serial not in ticket_serials
+
+
+@given(fleet_configs)
+@settings(max_examples=10, deadline=None)
+def test_preprocess_keeps_fleets_valid(config):
+    from repro.core.preprocess import preprocess
+
+    dataset = simulate_fleet(config)
+    try:
+        prepared, report, _ = preprocess(dataset)
+    except ValueError:
+        # Tiny sparse fleets can lose everything to the repair
+        # thresholds; that is an explicit, documented failure mode.
+        return
+    assert validate_dataset(prepared) == []
+    assert report.n_output_rows == prepared.n_records
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=10, deadline=None)
+def test_fleet_survival_curve_well_formed(seed):
+    dataset = simulate_fleet(
+        FleetConfig(
+            mix=VendorMix({"I": 30}), horizon_days=120, failure_boost=40.0, seed=seed
+        )
+    )
+    durations, observed = [], []
+    for serial, meta in dataset.drives.items():
+        if meta.failed:
+            durations.append(meta.failure_day)
+            observed.append(1)
+        else:
+            durations.append(dataset.drive_rows(serial)["day"][-1])
+            observed.append(0)
+    if not any(observed):
+        return
+    km = kaplan_meier(np.asarray(durations, dtype=float), np.asarray(observed))
+    assert np.all(np.diff(km["survival"]) <= 1e-12)
+    assert km["survival"][-1] >= 0.0
