@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test bench examples exhibits clean
+.PHONY: install test bench chaos examples exhibits clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -10,6 +10,9 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+chaos:
+	PYTHONPATH=src pytest benchmarks/test_chaos_robustness.py -m chaos
 
 examples:
 	python examples/quickstart.py

@@ -6,6 +6,8 @@ simulate    simulate a fleet and save it to a directory
 train       train an MFPA model on a saved fleet and report metrics
 monitor     replay a monitored deployment over a saved fleet
 summary     print Table-VI style statistics of a saved fleet
+chaos       corrupt a fleet with fault injectors, sanitize, and
+            measure the monitored pipeline's degradation
 """
 
 from __future__ import annotations
@@ -37,6 +39,19 @@ def _add_simulate(subparsers) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _add_loading_flags(parser) -> None:
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="repair/quarantine invalid rows on load instead of trusting the directory",
+    )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="check dataset invariants on load and fail with the violation list",
+    )
+
+
 def _add_train(subparsers) -> None:
     parser = subparsers.add_parser("train", help="train MFPA on a saved fleet")
     parser.add_argument("dataset", help="directory written by `simulate`")
@@ -47,6 +62,7 @@ def _add_train(subparsers) -> None:
     parser.add_argument("--positive-window", type=int, default=14)
     parser.add_argument("--lookahead", type=int, default=0)
     parser.add_argument("--feature-selection", action="store_true")
+    _add_loading_flags(parser)
 
 
 def _add_monitor(subparsers) -> None:
@@ -56,11 +72,54 @@ def _add_monitor(subparsers) -> None:
     parser.add_argument("--end-day", type=int, default=540)
     parser.add_argument("--window-days", type=int, default=30)
     parser.add_argument("--alarm-threshold", type=float, default=0.5)
+    parser.add_argument(
+        "--checkpoint-dir",
+        help="checkpoint monitor state after every window (resumable with --resume)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from an existing checkpoint in --checkpoint-dir",
+    )
+    parser.add_argument(
+        "--allow-degraded",
+        action="store_true",
+        help="fall back to a reduced feature group when dimensions are missing",
+    )
+    _add_loading_flags(parser)
 
 
 def _add_summary(subparsers) -> None:
     parser = subparsers.add_parser("summary", help="Table-VI stats of a saved fleet")
     parser.add_argument("dataset")
+    _add_loading_flags(parser)
+
+
+def _add_chaos(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "chaos",
+        help="inject collector faults, sanitize, and measure pipeline degradation",
+    )
+    parser.add_argument("dataset")
+    parser.add_argument(
+        "--fault",
+        action="append",
+        metavar="NAME",
+        help="fault injector to apply (repeatable); default: each one in turn. "
+        "Known: drop_days, duplicate_rows, stuck_sensor, counter_reset, "
+        "missing_dimension, out_of_order",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--start-day", type=int, default=300)
+    parser.add_argument("--end-day", type=int, default=540)
+    parser.add_argument("--window-days", type=int, default=30)
+    parser.add_argument("--alarm-threshold", type=float, default=0.5)
+    parser.add_argument(
+        "--no-sanitize",
+        action="store_true",
+        help="feed the corrupted dataset to the pipeline without quarantine "
+        "ingestion (most faults will then crash it — that is the point)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -73,6 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_train(subparsers)
     _add_monitor(subparsers)
     _add_summary(subparsers)
+    _add_chaos(subparsers)
     return parser
 
 
@@ -104,8 +164,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load(args: argparse.Namespace):
+    return load_dataset(
+        args.dataset,
+        validate=getattr(args, "validate", False),
+        sanitize=getattr(args, "sanitize", False),
+    )
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
-    dataset = load_dataset(args.dataset)
+    dataset = _load(args)
     config = MFPAConfig(
         feature_group_name=args.feature_group,
         theta=args.theta,
@@ -133,13 +201,16 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 
 def _cmd_monitor(args: argparse.Namespace) -> int:
-    dataset = load_dataset(args.dataset)
+    dataset = _load(args)
     summary = simulate_operation(
         dataset,
         start_day=args.start_day,
         end_day=args.end_day,
         window_days=args.window_days,
         alarm_threshold=args.alarm_threshold,
+        allow_degraded=args.allow_degraded,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
     )
     print(
         render_table(
@@ -157,11 +228,60 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         f"recall {summary.recall:.2%}, median lead time "
         f"{summary.median_lead_time:.0f} days"
     )
+    if summary.unknown_serial_alarms:
+        print(f"unknown-serial alarms: {summary.unknown_serial_alarms}")
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.robustness import FAULT_REGISTRY, inject, make_fault, sanitize_dataset
+
+    clean = _load(args)
+    fault_names = args.fault or sorted(FAULT_REGISTRY)
+
+    def run(dataset):
+        summary = simulate_operation(
+            dataset,
+            start_day=args.start_day,
+            end_day=args.end_day,
+            window_days=args.window_days,
+            alarm_threshold=args.alarm_threshold,
+        )
+        fpr_denominator = sum(1 for m in dataset.drives.values() if not m.failed)
+        fpr = summary.false_alarms / fpr_denominator if fpr_denominator else float("nan")
+        return summary.recall, fpr, summary.median_lead_time
+
+    baseline = run(clean)
+    rows = [["(clean)", f"{baseline[0]:.3f}", f"{baseline[1]:.3f}", f"{baseline[2]:.0f}", "-", "-", "-"]]
+    for name in fault_names:
+        corrupted = inject(clean, [make_fault(name)], seed=args.seed)
+        if not args.no_sanitize:
+            corrupted, report = sanitize_dataset(corrupted)
+            print(f"[{name}] quarantine: {report.summary()}")
+        tpr, fpr, lead = run(corrupted)
+        rows.append(
+            [
+                name,
+                f"{tpr:.3f}",
+                f"{fpr:.3f}",
+                f"{lead:.0f}",
+                f"{tpr - baseline[0]:+.3f}",
+                f"{fpr - baseline[1]:+.3f}",
+                f"{lead - baseline[2]:+.0f}",
+            ]
+        )
+    print(
+        render_table(
+            ["Fault", "TPR", "FPR", "Lead", "dTPR", "dFPR", "dLead"],
+            rows,
+            title=f"Chaos degradation (seed {args.seed})",
+        )
+    )
     return 0
 
 
 def _cmd_summary(args: argparse.Namespace) -> int:
-    dataset = load_dataset(args.dataset)
+    dataset = _load(args)
     rows = dataset_summary_rows(dataset)
     print(
         render_table(
@@ -181,6 +301,7 @@ _COMMANDS = {
     "train": _cmd_train,
     "monitor": _cmd_monitor,
     "summary": _cmd_summary,
+    "chaos": _cmd_chaos,
 }
 
 

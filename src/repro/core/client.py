@@ -7,6 +7,13 @@ MFPA for that setting: it keeps per-drive incremental state (cumulative
 W/B counters, encoded firmware) and turns one day's raw readings into
 the same feature vector the batch pipeline would assemble — verified
 equivalent in the test suite.
+
+``observe`` is exception-safe: a rejected reading (out-of-order day,
+missing column in strict mode) leaves the drive's state untouched, so
+the caller can correct the reading and retry. With
+``on_missing="impute"`` a reading with absent columns is scored anyway
+— last-known value, else zero — and flagged degraded (see
+:mod:`repro.robustness.degraded` for dimension-level fallback).
 """
 
 from __future__ import annotations
@@ -29,6 +36,9 @@ class _DriveState:
     cumulative_events: dict[str, float] = field(default_factory=dict)
     history: list[np.ndarray] = field(default_factory=list)
     last_day: int | None = None
+    last_raw: dict[str, float] = field(default_factory=dict)
+    last_firmware: str | None = None
+    n_degraded: int = 0
 
 
 class ClientPredictor:
@@ -44,18 +54,37 @@ class ClientPredictor:
     produces. The predictor accumulates the W/B counters itself and
     maintains the trailing-history window when the model was trained
     with ``history_length > 1``.
+
+    ``on_missing`` selects the missing-column policy: ``"raise"``
+    (default, reject the reading with ``KeyError``) or ``"impute"``
+    (fill from the drive's last-known value, else zero, and record the
+    prediction as degraded in ``last_prediction_degraded`` /
+    ``last_missing_columns``).
     """
 
-    def __init__(self, model, columns, history_length, firmware_encoder, threshold):
+    def __init__(
+        self,
+        model,
+        columns,
+        history_length,
+        firmware_encoder,
+        threshold,
+        on_missing: str = "raise",
+    ):
+        if on_missing not in ("raise", "impute"):
+            raise ValueError("on_missing must be 'raise' or 'impute'")
         self._model = model
         self._columns = tuple(columns)
         self._history_length = history_length
         self._encoder = firmware_encoder
         self.threshold = threshold
+        self.on_missing = on_missing
         self._states: dict[int, _DriveState] = {}
+        self.last_prediction_degraded = False
+        self.last_missing_columns: tuple[str, ...] = ()
 
     @classmethod
-    def from_model(cls, fitted: MFPA) -> "ClientPredictor":
+    def from_model(cls, fitted: MFPA, on_missing: str = "raise") -> "ClientPredictor":
         """Package a fitted pipeline for client deployment."""
         fitted._check_fitted()
         return cls(
@@ -64,27 +93,49 @@ class ClientPredictor:
             history_length=fitted.assembler_.history_length,
             firmware_encoder=fitted.firmware_encoder_,
             threshold=fitted.config.decision_threshold,
+            on_missing=on_missing,
         )
 
     @property
     def n_tracked_drives(self) -> int:
         return len(self._states)
 
-    def _feature_vector(self, state: _DriveState, reading: dict) -> np.ndarray:
+    def _feature_vector(
+        self,
+        state: _DriveState,
+        reading: dict,
+        cumulative: dict[str, float],
+    ) -> tuple[np.ndarray, list[str]]:
+        """Assemble the vector without touching ``state``.
+
+        Returns ``(vector, missing_columns)``; raises ``KeyError`` in
+        strict mode instead of imputing.
+        """
         values = []
+        missing: list[str] = []
         for column in self._columns:
             if column == FIRMWARE_CODE_COLUMN:
                 firmware = reading.get("firmware")
                 if firmware is None:
-                    raise KeyError("reading is missing 'firmware'")
+                    if self.on_missing == "raise":
+                        raise KeyError("reading is missing 'firmware'")
+                    missing.append("firmware")
+                    firmware = state.last_firmware
+                    if firmware is None:
+                        values.append(0.0)
+                        continue
                 values.append(float(self._encoder.transform([firmware])[0]))
             elif column.startswith("cum_"):
-                values.append(state.cumulative_events.get(column, 0.0))
+                values.append(cumulative.get(column, 0.0))
             else:
                 if column not in reading:
-                    raise KeyError(f"reading is missing {column!r}")
-                values.append(float(reading[column]))
-        return np.asarray(values)
+                    if self.on_missing == "raise":
+                        raise KeyError(f"reading is missing {column!r}")
+                    missing.append(column)
+                    values.append(state.last_raw.get(column, 0.0))
+                else:
+                    values.append(float(reading[column]))
+        return np.asarray(values), missing
 
     def observe(self, serial: int, day: int, reading: dict) -> float:
         """Ingest one day's telemetry and return the failure probability.
@@ -92,7 +143,8 @@ class ClientPredictor:
         Readings must arrive in chronological order per drive; the daily
         W/B counts in ``reading`` are added to the drive's running
         cumulative counters *before* scoring, matching the batch
-        pipeline's accumulate-then-assemble order.
+        pipeline's accumulate-then-assemble order. All validation runs
+        before any state mutation — a raised reading is retryable.
         """
         state = self._states.setdefault(int(serial), _DriveState())
         if state.last_day is not None and day <= state.last_day:
@@ -100,17 +152,32 @@ class ClientPredictor:
                 f"out-of-order reading for drive {serial}: "
                 f"day {day} after day {state.last_day}"
             )
-        state.last_day = int(day)
 
+        # Stage the cumulative update on a copy so a validation failure
+        # below leaves the drive's counters untouched.
+        cumulative = dict(state.cumulative_events)
         for column in _EVENT_COLUMNS:
             if column in reading:
                 cum_column = f"cum_{column}"
-                state.cumulative_events[cum_column] = (
-                    state.cumulative_events.get(cum_column, 0.0)
-                    + float(reading[column])
+                cumulative[cum_column] = (
+                    cumulative.get(cum_column, 0.0) + float(reading[column])
                 )
 
-        vector = self._feature_vector(state, reading)
+        vector, missing = self._feature_vector(state, reading, cumulative)
+
+        # ---- validation passed: commit ----
+        state.last_day = int(day)
+        state.cumulative_events = cumulative
+        for column in self._columns:
+            if column in reading:
+                state.last_raw[column] = float(reading[column])
+        if reading.get("firmware") is not None:
+            state.last_firmware = reading["firmware"]
+        self.last_missing_columns = tuple(missing)
+        self.last_prediction_degraded = bool(missing)
+        if missing:
+            state.n_degraded += 1
+
         state.history.append(vector)
         if len(state.history) > self._history_length:
             state.history.pop(0)
@@ -130,6 +197,11 @@ class ClientPredictor:
         """Convenience: ``(raises_alarm, probability)`` for one reading."""
         probability = self.observe(serial, day, reading)
         return probability >= self.threshold, probability
+
+    def n_degraded_predictions(self, serial: int) -> int:
+        """How many of a drive's predictions used imputed values."""
+        state = self._states.get(int(serial))
+        return state.n_degraded if state is not None else 0
 
     def forget(self, serial: int) -> None:
         """Drop a drive's state (it was replaced or decommissioned)."""

@@ -77,6 +77,10 @@ class OperationSummary:
     false_alarms: int
     missed_failures: int
     lead_times: list[int] = field(default_factory=list)
+    unknown_serial_alarms: int = 0
+    """Alarms for serials with no :class:`DriveMeta` in the grading
+    dataset — a bookkeeping fault (quarantined drive, mismatched
+    dataset), reported separately instead of polluting the FPR."""
 
     @property
     def n_alarms(self) -> int:
@@ -117,6 +121,7 @@ class FleetMonitor:
         config: MFPAConfig | None = None,
         policy: RetrainPolicy | None = None,
         alarm_threshold: float | None = None,
+        allow_degraded: bool = False,
     ):
         self.config = config or MFPAConfig()
         self.policy = policy or RetrainPolicy()
@@ -125,13 +130,28 @@ class FleetMonitor:
         )
         if not 0 < self.alarm_threshold < 1:
             raise ValueError("alarm_threshold must be in (0, 1)")
+        self.allow_degraded = allow_degraded
+        self.degraded_dimensions_: tuple[str, ...] = ()
         self._alarmed: set[int] = set()
         self._last_trained_day: int | None = None
         self._failures_at_training = 0
 
     # ------------------------------------------------------------------
     def start(self, dataset: TelemetryDataset, train_end_day: int) -> None:
-        """Train the initial model on history before ``train_end_day``."""
+        """Train the initial model on history before ``train_end_day``.
+
+        With ``allow_degraded=True`` a dataset missing whole feature
+        dimensions (no W/B columns, no firmware) is still accepted: the
+        monitor falls back to the largest feature group the data
+        supports (the paper's Table-5 reduced groups) and records the
+        missing dimensions in ``degraded_dimensions_``.
+        """
+        if self.allow_degraded:
+            from repro.robustness.degraded import adapt_for_missing_dimensions
+
+            dataset, self.config, self.degraded_dimensions_ = (
+                adapt_for_missing_dimensions(dataset, self.config)
+            )
         self.dataset = dataset
         self.model = MFPA(self.config)
         self.model.fit(dataset, train_end_day=train_end_day)
@@ -224,40 +244,32 @@ class FleetMonitor:
         )
 
 
-def simulate_operation(
+def summarize_windows(
+    windows: list[MonitoringWindow],
     dataset: TelemetryDataset,
-    config: MFPAConfig | None = None,
-    policy: RetrainPolicy | None = None,
-    start_day: int = 240,
-    end_day: int = 540,
-    window_days: int = 30,
-    alarm_threshold: float | None = None,
+    start_day: int,
+    end_day: int,
 ) -> OperationSummary:
-    """Replay a monitored operation and grade it against ground truth.
+    """Grade scored windows against ground truth.
 
     An alarm is *true* if the drive actually fails within the study and
     the alarm precedes (or coincides with) the failure; its lead time
     is ``failure_day - alarm_day``. A failure in the monitored period
-    with no preceding alarm is *missed*.
+    with no preceding alarm is *missed*. Alarms for serials absent from
+    ``dataset.drives`` are counted as ``unknown_serial_alarms`` rather
+    than folded into the false alarms.
     """
-    monitor = FleetMonitor(config=config, policy=policy, alarm_threshold=alarm_threshold)
-    monitor.start(dataset, train_end_day=start_day)
-
-    windows = []
-    for window_start in range(start_day, end_day, window_days):
-        windows.append(
-            monitor.score_window(window_start, min(window_start + window_days, end_day))
-        )
-
-    all_alarms = [alarm for window in windows for alarm in window.alarms]
     true_alarms = 0
     false_alarms = 0
+    unknown = 0
     lead_times = []
     alarmed_serials = set()
-    for alarm in all_alarms:
+    for alarm in (alarm for window in windows for alarm in window.alarms):
         meta = dataset.drives.get(alarm.serial)
         alarmed_serials.add(alarm.serial)
-        if meta is not None and meta.failed and meta.failure_day >= alarm.day:
+        if meta is None:
+            unknown += 1
+        elif meta.failed and meta.failure_day >= alarm.day:
             true_alarms += 1
             lead_times.append(int(meta.failure_day - alarm.day))
         else:
@@ -275,4 +287,68 @@ def simulate_operation(
         false_alarms=false_alarms,
         missed_failures=missed,
         lead_times=lead_times,
+        unknown_serial_alarms=unknown,
     )
+
+
+def simulate_operation(
+    dataset: TelemetryDataset,
+    config: MFPAConfig | None = None,
+    policy: RetrainPolicy | None = None,
+    start_day: int = 240,
+    end_day: int = 540,
+    window_days: int = 30,
+    alarm_threshold: float | None = None,
+    allow_degraded: bool = False,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
+    max_windows: int | None = None,
+) -> OperationSummary:
+    """Replay a monitored operation and grade it against ground truth.
+
+    With ``checkpoint_dir`` set, monitor state is checkpointed after
+    every scored window; ``resume=True`` continues from an existing
+    checkpoint instead of retraining from scratch, producing the same
+    summary an uninterrupted run would. ``max_windows`` stops the
+    replay early (a controlled "crash") after that many total windows,
+    returning a partial summary.
+    """
+    boundaries = list(range(start_day, end_day, window_days))
+    windows: list[MonitoringWindow] = []
+    monitor = None
+    if checkpoint_dir is not None and resume:
+        from repro.robustness.checkpoint import has_checkpoint, load_checkpoint
+
+        if has_checkpoint(checkpoint_dir):
+            restore_dataset = dataset
+            if allow_degraded:
+                # Rebind the restored monitor to the same dimension-filled
+                # dataset a fresh degraded start would use, so a retrain
+                # after resume sees identical inputs.
+                from repro.robustness.degraded import adapt_for_missing_dimensions
+
+                restore_dataset, _, _ = adapt_for_missing_dimensions(
+                    dataset, config or MFPAConfig()
+                )
+            monitor, windows = load_checkpoint(checkpoint_dir, restore_dataset)
+    if monitor is None:
+        monitor = FleetMonitor(
+            config=config,
+            policy=policy,
+            alarm_threshold=alarm_threshold,
+            allow_degraded=allow_degraded,
+        )
+        monitor.start(dataset, train_end_day=start_day)
+
+    for window_start in boundaries[len(windows):]:
+        if max_windows is not None and len(windows) >= max_windows:
+            break
+        windows.append(
+            monitor.score_window(window_start, min(window_start + window_days, end_day))
+        )
+        if checkpoint_dir is not None:
+            from repro.robustness.checkpoint import save_checkpoint
+
+            save_checkpoint(monitor, windows, checkpoint_dir)
+
+    return summarize_windows(windows, dataset, start_day, end_day)

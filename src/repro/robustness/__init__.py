@@ -1,0 +1,72 @@
+"""Fault tolerance: operate *through* bad telemetry, not just reject it.
+
+The paper's premise is that consumer telemetry is unreliable — machines
+boot irregularly, collectors crash mid-upload, whole feature dimensions
+(WindowsEvent, BSOD) are absent on some installations. This package
+turns those collector faults from pipeline-killing exceptions into
+accounted-for operating conditions:
+
+* :mod:`repro.robustness.quarantine` — repair/drop invalid rows into a
+  structured report instead of failing (`sanitize_dataset`);
+* :mod:`repro.robustness.degraded` — score with missing feature
+  dimensions via imputation and reduced-dimension fallback models;
+* :mod:`repro.robustness.checkpoint` — persist/restore
+  :class:`~repro.core.deployment.FleetMonitor` state so a crashed
+  monitor resumes with identical alarms;
+* :mod:`repro.robustness.faults` — seeded, composable chaos injectors
+  for datasets and client reading streams.
+"""
+
+from repro.robustness.checkpoint import (
+    has_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.robustness.degraded import (
+    DegradedPrediction,
+    DegradedScorer,
+    adapt_for_missing_dimensions,
+    fit_reduced_model,
+    missing_dimensions,
+)
+from repro.robustness.faults import (
+    FAULT_REGISTRY,
+    CounterReset,
+    DropDays,
+    DuplicateRows,
+    FaultInjector,
+    MissingDimension,
+    OutOfOrder,
+    StuckSensor,
+    inject,
+    make_fault,
+)
+from repro.robustness.quarantine import (
+    QuarantinePolicy,
+    QuarantineReport,
+    sanitize_dataset,
+)
+
+__all__ = [
+    "CounterReset",
+    "DegradedPrediction",
+    "DegradedScorer",
+    "DropDays",
+    "DuplicateRows",
+    "FAULT_REGISTRY",
+    "FaultInjector",
+    "MissingDimension",
+    "OutOfOrder",
+    "QuarantinePolicy",
+    "QuarantineReport",
+    "StuckSensor",
+    "adapt_for_missing_dimensions",
+    "fit_reduced_model",
+    "has_checkpoint",
+    "inject",
+    "load_checkpoint",
+    "make_fault",
+    "missing_dimensions",
+    "sanitize_dataset",
+    "save_checkpoint",
+]

@@ -1,0 +1,143 @@
+"""FleetMonitor checkpointing: crash mid-horizon, resume identically.
+
+A monitor that loses its alarm ledger on restart re-alarms every drive
+it already flagged (operator alarm fatigue) and forgets when it last
+retrained (drift). The checkpoint captures everything
+:func:`~repro.core.deployment.simulate_operation` needs to continue a
+run as if it had never stopped:
+
+* ``state.json`` — alarmed serials, retrain bookkeeping, the alarm
+  threshold, and every scored :class:`MonitoringWindow` so far;
+* ``model.pkl``  — the fitted model (with its prepared dataset),
+  config and policy, pickled. Re-fitting on resume would be equally
+  deterministic but strictly slower; pickling guarantees bit-identical
+  probabilities either way.
+
+Writes are atomic (temp file + rename, state last) so a crash *during*
+checkpointing leaves the previous consistent checkpoint in place.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.deployment import FleetMonitor, MonitoringWindow
+
+from repro.telemetry.dataset import TelemetryDataset
+
+CHECKPOINT_VERSION = 1
+_STATE_FILE = "state.json"
+_MODEL_FILE = "model.pkl"
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_bytes(data)
+    os.replace(tmp, path)
+
+
+def has_checkpoint(directory: str | Path) -> bool:
+    path = Path(directory)
+    return (path / _STATE_FILE).exists() and (path / _MODEL_FILE).exists()
+
+
+def save_checkpoint(
+    monitor: "FleetMonitor",
+    windows: list["MonitoringWindow"],
+    directory: str | Path,
+) -> Path:
+    """Persist a started monitor and its scored windows."""
+    monitor._check_started()
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+
+    payload = {
+        "config": monitor.config,
+        "policy": monitor.policy,
+        "model": monitor.model,
+    }
+    _atomic_write(path / _MODEL_FILE, pickle.dumps(payload))
+
+    state = {
+        "version": CHECKPOINT_VERSION,
+        "alarmed": sorted(monitor._alarmed),
+        "last_trained_day": monitor._last_trained_day,
+        "failures_at_training": monitor._failures_at_training,
+        "alarm_threshold": monitor.alarm_threshold,
+        "windows": [
+            {
+                "start_day": window.start_day,
+                "end_day": window.end_day,
+                "n_drives_scored": window.n_drives_scored,
+                "retrained": window.retrained,
+                "alarms": [
+                    {
+                        "serial": alarm.serial,
+                        "day": alarm.day,
+                        "probability": alarm.probability,
+                    }
+                    for alarm in window.alarms
+                ],
+            }
+            for window in windows
+        ],
+    }
+    # State written last: a crash between the two writes leaves a stale
+    # but mutually consistent (model, state) pair on disk only if the
+    # state file still matches the old model — so write both atomically
+    # and state after model, and treat state.json as the commit record.
+    _atomic_write(path / _STATE_FILE, json.dumps(state).encode())
+    return path
+
+
+def load_checkpoint(
+    directory: str | Path, dataset: TelemetryDataset
+) -> tuple["FleetMonitor", list["MonitoringWindow"]]:
+    """Restore a monitor (bound to ``dataset``) and its window history."""
+    from repro.core.deployment import Alarm, FleetMonitor, MonitoringWindow
+
+    path = Path(directory)
+    if not has_checkpoint(path):
+        raise FileNotFoundError(f"{path} does not contain a monitor checkpoint")
+
+    state = json.loads((path / _STATE_FILE).read_text())
+    version = state.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise ValueError(f"unsupported checkpoint version {version!r}")
+    with open(path / _MODEL_FILE, "rb") as handle:
+        payload = pickle.load(handle)
+
+    monitor = FleetMonitor(
+        config=payload["config"],
+        policy=payload["policy"],
+        alarm_threshold=state["alarm_threshold"],
+    )
+    monitor.dataset = dataset
+    monitor.model = payload["model"]
+    monitor._alarmed = set(state["alarmed"])
+    monitor._last_trained_day = state["last_trained_day"]
+    monitor._failures_at_training = state["failures_at_training"]
+
+    windows = [
+        MonitoringWindow(
+            start_day=entry["start_day"],
+            end_day=entry["end_day"],
+            alarms=[
+                Alarm(
+                    serial=alarm["serial"],
+                    day=alarm["day"],
+                    probability=alarm["probability"],
+                )
+                for alarm in entry["alarms"]
+            ],
+            n_drives_scored=entry["n_drives_scored"],
+            retrained=entry["retrained"],
+        )
+        for entry in state["windows"]
+    ]
+    return monitor, windows

@@ -1,0 +1,279 @@
+"""Seeded, composable chaos injectors for telemetry.
+
+Every injector models one collector failure mode observed in consumer
+fleets (cf. the §III.B discontinuity discussion): lost upload days,
+double-uploaded batches, sensors frozen or emitting garbage, firmware
+counter resets, entire feature dimensions absent, and out-of-order
+delivery. Injectors apply to a whole :class:`TelemetryDataset` (for
+batch-pipeline chaos tests) or to a stream of per-day client readings
+(for :class:`~repro.core.client.ClientPredictor` chaos tests).
+
+All randomness flows through the ``numpy`` generator passed to
+``apply`` / ``apply_stream``, so a fixed seed reproduces the corruption
+exactly — the chaos benchmark depends on that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+import numpy as np
+
+from repro.telemetry.dataset import B_COLUMNS, TelemetryDataset, W_COLUMNS
+from repro.telemetry.smart import SMART_COLUMNS
+from repro.telemetry.validation import _MONOTONE_COLUMNS
+
+#: A client reading stream: ``(serial, day, reading)`` tuples.
+Reading = tuple[int, int, dict]
+
+#: Columns removable per feature dimension (see MissingDimension).
+DIMENSION_COLUMNS: dict[str, tuple[str, ...]] = {
+    "W": W_COLUMNS,
+    "B": B_COLUMNS,
+    "firmware": ("firmware",),
+}
+
+
+class FaultInjector:
+    """Base class: one deterministic corruption of telemetry."""
+
+    name: ClassVar[str] = "fault"
+
+    def apply(self, dataset: TelemetryDataset, rng: np.random.Generator) -> TelemetryDataset:
+        """Return a corrupted copy of ``dataset`` (input untouched)."""
+        raise NotImplementedError
+
+    def apply_stream(self, readings: list[Reading], rng: np.random.Generator) -> list[Reading]:
+        """Corrupt a chronological stream of client readings."""
+        raise NotImplementedError(f"{self.name} has no stream form")
+
+
+def _drive_slices(serial: np.ndarray) -> list[slice]:
+    """Contiguous per-drive row slices (serial blocks stay contiguous
+    under every injector here, even when day order is broken)."""
+    boundaries = np.flatnonzero(serial[1:] != serial[:-1]) + 1
+    starts = np.concatenate([[0], boundaries])
+    ends = np.concatenate([boundaries, [serial.size]])
+    return [slice(int(s), int(e)) for s, e in zip(starts, ends)]
+
+
+@dataclass(frozen=True)
+class DropDays(FaultInjector):
+    """Collector missed uploads: drop a random fraction of rows."""
+
+    fraction: float = 0.1
+    name: ClassVar[str] = "drop_days"
+
+    def apply(self, dataset, rng):
+        keep = rng.random(dataset.n_records) >= self.fraction
+        if not np.any(keep):  # pathological fraction; keep one row
+            keep[0] = True
+        return dataset.select_rows(keep)
+
+    def apply_stream(self, readings, rng):
+        return [r for r in readings if rng.random() >= self.fraction]
+
+
+@dataclass(frozen=True)
+class DuplicateRows(FaultInjector):
+    """Batch re-uploaded: duplicate rows next to their originals."""
+
+    fraction: float = 0.05
+    name: ClassVar[str] = "duplicate_rows"
+
+    def apply(self, dataset, rng):
+        n = dataset.n_records
+        chosen = np.flatnonzero(rng.random(n) < self.fraction)
+        indices = np.sort(np.concatenate([np.arange(n), chosen]))
+        columns = {name: values[indices] for name, values in dataset.columns.items()}
+        return TelemetryDataset(columns, dict(dataset.drives), list(dataset.tickets))
+
+    def apply_stream(self, readings, rng):
+        out: list[Reading] = []
+        for reading in readings:
+            out.append(reading)
+            if rng.random() < self.fraction:
+                out.append(reading)
+        return out
+
+
+@dataclass(frozen=True)
+class StuckSensor(FaultInjector):
+    """A SMART attribute freezes mid-history, occasionally reading NaN."""
+
+    column: str | None = None
+    drive_fraction: float = 0.2
+    nan_fraction: float = 0.1
+    name: ClassVar[str] = "stuck_sensor"
+
+    def apply(self, dataset, rng):
+        column = self.column or str(rng.choice(SMART_COLUMNS))
+        columns = dict(dataset.columns)
+        values = columns[column].copy()
+        for rows in _drive_slices(columns["serial"]):
+            length = rows.stop - rows.start
+            if length < 2 or rng.random() >= self.drive_fraction:
+                continue
+            start = rows.start + int(rng.integers(1, length))
+            values[start : rows.stop] = values[start]
+            nan_mask = rng.random(rows.stop - start) < self.nan_fraction
+            values[start : rows.stop][nan_mask] = np.nan
+        columns[column] = values
+        return TelemetryDataset(columns, dict(dataset.drives), list(dataset.tickets))
+
+    def apply_stream(self, readings, rng):
+        column = self.column or str(rng.choice(SMART_COLUMNS))
+        if not readings:
+            return readings
+        start = int(rng.integers(1, max(2, len(readings))))
+        frozen = None
+        out: list[Reading] = []
+        for i, (serial, day, reading) in enumerate(readings):
+            reading = dict(reading)
+            if i >= start and column in reading:
+                if frozen is None:
+                    frozen = reading[column]
+                reading[column] = (
+                    float("nan") if rng.random() < self.nan_fraction else frozen
+                )
+            out.append((serial, day, reading))
+        return out
+
+
+@dataclass(frozen=True)
+class CounterReset(FaultInjector):
+    """A cumulative SMART counter restarts from ~0 (firmware reset)."""
+
+    column: str | None = None
+    drive_fraction: float = 0.2
+    name: ClassVar[str] = "counter_reset"
+
+    def apply(self, dataset, rng):
+        column = self.column or str(rng.choice(_MONOTONE_COLUMNS))
+        columns = dict(dataset.columns)
+        values = columns[column].copy()
+        for rows in _drive_slices(columns["serial"]):
+            length = rows.stop - rows.start
+            if length < 2 or rng.random() >= self.drive_fraction:
+                continue
+            start = rows.start + int(rng.integers(1, length))
+            values[start : rows.stop] = np.maximum(
+                values[start : rows.stop] - values[start], 0.0
+            )
+        columns[column] = values
+        return TelemetryDataset(columns, dict(dataset.drives), list(dataset.tickets))
+
+
+@dataclass(frozen=True)
+class MissingDimension(FaultInjector):
+    """An entire feature dimension is absent from the collector."""
+
+    dimension: str = "W"
+    name: ClassVar[str] = "missing_dimension"
+
+    def __post_init__(self):
+        if self.dimension not in DIMENSION_COLUMNS:
+            raise ValueError(
+                f"unknown dimension {self.dimension!r}; "
+                f"known: {sorted(DIMENSION_COLUMNS)}"
+            )
+
+    def apply(self, dataset, rng):
+        columns = {
+            name: values
+            for name, values in dataset.columns.items()
+            if name not in DIMENSION_COLUMNS[self.dimension]
+        }
+        return TelemetryDataset(columns, dict(dataset.drives), list(dataset.tickets))
+
+    def apply_stream(self, readings, rng):
+        removed = set(DIMENSION_COLUMNS[self.dimension])
+        return [
+            (serial, day, {k: v for k, v in reading.items() if k not in removed})
+            for serial, day, reading in readings
+        ]
+
+
+@dataclass(frozen=True)
+class OutOfOrder(FaultInjector):
+    """Adjacent same-drive rows delivered swapped (day order broken)."""
+
+    fraction: float = 0.05
+    name: ClassVar[str] = "out_of_order"
+
+    def apply(self, dataset, rng):
+        serial = dataset.columns["serial"]
+        n = serial.size
+        order = np.arange(n)
+        candidates = np.flatnonzero(
+            (serial[:-1] == serial[1:]) & (rng.random(n - 1) < self.fraction)
+        )
+        last_swapped = -2
+        for i in candidates:
+            if i <= last_swapped + 1:  # don't chain overlapping swaps
+                continue
+            order[i], order[i + 1] = order[i + 1], order[i]
+            last_swapped = int(i)
+        columns = {name: values[order] for name, values in dataset.columns.items()}
+        return TelemetryDataset(columns, dict(dataset.drives), list(dataset.tickets))
+
+    def apply_stream(self, readings, rng):
+        out = list(readings)
+        i = 0
+        while i < len(out) - 1:
+            if out[i][0] == out[i + 1][0] and rng.random() < self.fraction:
+                out[i], out[i + 1] = out[i + 1], out[i]
+                i += 2
+            else:
+                i += 1
+        return out
+
+
+#: CLI / benchmark registry: name -> injector factory.
+FAULT_REGISTRY: dict[str, type[FaultInjector]] = {
+    cls.name: cls
+    for cls in (
+        DropDays,
+        DuplicateRows,
+        StuckSensor,
+        CounterReset,
+        MissingDimension,
+        OutOfOrder,
+    )
+}
+
+
+def make_fault(name: str, **params) -> FaultInjector:
+    """Instantiate a registered injector by name."""
+    try:
+        factory = FAULT_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault {name!r}; known: {sorted(FAULT_REGISTRY)}"
+        ) from None
+    return factory(**params)
+
+
+def inject(
+    dataset: TelemetryDataset,
+    injectors: list[FaultInjector],
+    seed: int = 0,
+) -> TelemetryDataset:
+    """Apply injectors in order with one seeded generator."""
+    rng = np.random.default_rng(seed)
+    for injector in injectors:
+        dataset = injector.apply(dataset, rng)
+    return dataset
+
+
+def inject_stream(
+    readings: list[Reading],
+    injectors: list[FaultInjector],
+    seed: int = 0,
+) -> list[Reading]:
+    """Stream counterpart of :func:`inject`."""
+    rng = np.random.default_rng(seed)
+    for injector in injectors:
+        readings = injector.apply_stream(readings, rng)
+    return readings

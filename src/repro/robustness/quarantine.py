@@ -1,0 +1,358 @@
+"""Quarantine ingestion: repair or drop invalid telemetry, never fail.
+
+:func:`repro.telemetry.validation.validate_dataset` *reports* invariant
+violations; :func:`sanitize_dataset` enforces the same invariants by
+repairing what it can and quarantining (dropping) what it cannot, with
+a per-rule :class:`QuarantineReport` so operators can see exactly what
+the collectors mangled. The contract is:
+
+    ``validate_dataset(sanitize_dataset(anything)[0]) == []``
+
+and the sanitized dataset feeds straight into ``MFPA.fit``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.telemetry.dataset import (
+    B_COLUMNS,
+    DriveMeta,
+    TelemetryDataset,
+    W_COLUMNS,
+)
+from repro.telemetry.smart import SMART_COLUMNS
+from repro.telemetry.tickets import TroubleTicket
+from repro.telemetry.validation import _MONOTONE_COLUMNS
+
+_EVENT_COLUMNS = (*W_COLUMNS, *B_COLUMNS)
+_OBJECT_COLUMNS = ("firmware", "vendor", "model")
+
+
+@dataclass(frozen=True)
+class QuarantinePolicy:
+    """How each violation class is handled.
+
+    Every knob chooses ``"repair"`` (fix in place) or ``"drop"``
+    (quarantine the offending rows/tickets); structural problems —
+    unsorted rows, duplicates, unknown serials, post-failure records —
+    have only one sane resolution and are not configurable.
+    """
+
+    nonfinite: str = "drop"
+    """NaN/inf telemetry values: ``"drop"`` the row or ``"repair"``
+    by zero-filling the bad entries."""
+    counter_resets: str = "repair"
+    """Decreasing cumulative SMART counters: ``"repair"`` clamps to the
+    per-drive running maximum; ``"drop"`` quarantines rows that fall
+    below it."""
+    negative_events: str = "repair"
+    """Negative daily W/B event counts: ``"repair"`` clamps to zero;
+    ``"drop"`` quarantines the rows."""
+    tickets: str = "repair"
+    """Tickets whose IMT precedes the failure day: ``"repair"`` clamps
+    the IMT to the failure day; ``"drop"`` discards the ticket."""
+    add_missing_columns: bool = True
+    """Zero-fill telemetry columns an entire collector dimension failed
+    to deliver (SMART, W, B, firmware)."""
+
+    def __post_init__(self) -> None:
+        for name in ("nonfinite", "counter_resets", "negative_events", "tickets"):
+            if getattr(self, name) not in ("repair", "drop"):
+                raise ValueError(f"{name} must be 'repair' or 'drop'")
+
+
+@dataclass
+class RuleOutcome:
+    """What one sanitation rule did."""
+
+    rule: str
+    n_dropped: int = 0
+    n_repaired: int = 0
+    serials: set[int] = field(default_factory=set)
+
+    @property
+    def triggered(self) -> bool:
+        return bool(self.n_dropped or self.n_repaired)
+
+
+@dataclass
+class QuarantineReport:
+    """Structured account of a :func:`sanitize_dataset` pass."""
+
+    rules: dict[str, RuleOutcome] = field(default_factory=dict)
+    n_input_rows: int = 0
+    n_output_rows: int = 0
+    n_drives_dropped: int = 0
+    n_tickets_dropped: int = 0
+    n_tickets_repaired: int = 0
+
+    def outcome(self, rule: str) -> RuleOutcome:
+        return self.rules.setdefault(rule, RuleOutcome(rule))
+
+    @property
+    def n_rows_dropped(self) -> int:
+        return sum(o.n_dropped for o in self.rules.values())
+
+    @property
+    def n_rows_repaired(self) -> int:
+        return sum(o.n_repaired for o in self.rules.values())
+
+    @property
+    def clean(self) -> bool:
+        return not any(o.triggered for o in self.rules.values())
+
+    def affected_serials(self) -> tuple[int, ...]:
+        serials: set[int] = set()
+        for outcome in self.rules.values():
+            serials |= outcome.serials
+        return tuple(sorted(serials))
+
+    def summary(self) -> str:
+        lines = [
+            f"rows {self.n_input_rows} -> {self.n_output_rows} "
+            f"(dropped {self.n_rows_dropped}, repaired {self.n_rows_repaired}); "
+            f"drives dropped {self.n_drives_dropped}; tickets dropped "
+            f"{self.n_tickets_dropped}, repaired {self.n_tickets_repaired}"
+        ]
+        for outcome in self.rules.values():
+            if not outcome.triggered:
+                continue
+            lines.append(
+                f"  {outcome.rule}: dropped {outcome.n_dropped}, "
+                f"repaired {outcome.n_repaired} "
+                f"({len(outcome.serials)} drives affected)"
+            )
+        return "\n".join(lines)
+
+
+def _keep(columns: dict[str, np.ndarray], keep: np.ndarray) -> dict[str, np.ndarray]:
+    return {name: values[keep] for name, values in columns.items()}
+
+
+def _serials_of(columns: dict[str, np.ndarray], mask: np.ndarray) -> set[int]:
+    return set(np.unique(columns["serial"][mask]).tolist())
+
+
+def sanitize_dataset(
+    dataset: TelemetryDataset,
+    policy: QuarantinePolicy | None = None,
+) -> tuple[TelemetryDataset, QuarantineReport]:
+    """Repair/drop invalid telemetry; return the clean dataset + report.
+
+    The input dataset is never mutated. The output satisfies every
+    :func:`~repro.telemetry.validation.validate_dataset` invariant.
+    """
+    policy = policy or QuarantinePolicy()
+    report = QuarantineReport(n_input_rows=dataset.n_records)
+    columns = dict(dataset.columns)
+    drives = dict(dataset.drives)
+    n = dataset.n_records
+
+    if "serial" not in columns or "day" not in columns:
+        raise ValueError("dataset lacks 'serial'/'day' columns; nothing to sanitize")
+
+    # ---- 1. whole dimensions missing: zero-fill -----------------------
+    if policy.add_missing_columns:
+        outcome = report.outcome("missing_column")
+        for column in (*SMART_COLUMNS, *_EVENT_COLUMNS):
+            if column not in columns:
+                columns[column] = np.zeros(n)
+                outcome.n_repaired += 1
+        for column in _OBJECT_COLUMNS:
+            if column not in columns:
+                lookup = {
+                    serial: getattr(meta, column if column != "model" else "model_id")
+                    for serial, meta in drives.items()
+                }
+                columns[column] = np.array(
+                    [lookup.get(int(s), "unknown") for s in columns["serial"]],
+                    dtype=object,
+                )
+                outcome.n_repaired += 1
+
+    # ---- 2. sort by (serial, day) -------------------------------------
+    order = np.lexsort((columns["day"], columns["serial"]))
+    if not np.array_equal(order, np.arange(n)):
+        moved = int(np.count_nonzero(order != np.arange(n)))
+        outcome = report.outcome("unsorted")
+        outcome.n_repaired += moved
+        outcome.serials |= _serials_of(columns, order != np.arange(n))
+        columns = {name: values[order] for name, values in columns.items()}
+
+    # ---- 3. non-finite telemetry --------------------------------------
+    bad = np.zeros(columns["serial"].size, dtype=bool)
+    for name, values in columns.items():
+        if values.dtype != object:
+            bad |= ~np.isfinite(values)
+    if np.any(bad):
+        outcome = report.outcome("nonfinite")
+        outcome.serials |= _serials_of(columns, bad)
+        if policy.nonfinite == "drop":
+            outcome.n_dropped += int(bad.sum())
+            columns = _keep(columns, ~bad)
+        else:
+            outcome.n_repaired += int(bad.sum())
+            for name, values in columns.items():
+                if values.dtype != object:
+                    entries = ~np.isfinite(values)
+                    if np.any(entries):
+                        values = values.copy()
+                        values[entries] = 0.0
+                        columns[name] = values
+
+    # ---- 4. duplicate (serial, day) rows: keep the first --------------
+    serial, day = columns["serial"], columns["day"]
+    dup = np.concatenate([[False], (serial[1:] == serial[:-1]) & (day[1:] == day[:-1])])
+    if np.any(dup):
+        outcome = report.outcome("duplicate_rows")
+        outcome.n_dropped += int(dup.sum())
+        outcome.serials |= _serials_of(columns, dup)
+        columns = _keep(columns, ~dup)
+
+    # ---- 5. rows whose serial has no drive metadata -------------------
+    known = np.isin(columns["serial"], np.fromiter(drives, dtype=np.int64, count=len(drives)))
+    if not np.all(known):
+        outcome = report.outcome("unknown_serial")
+        outcome.n_dropped += int((~known).sum())
+        outcome.serials |= _serials_of(columns, ~known)
+        columns = _keep(columns, known)
+
+    # ---- 6. records logged after the drive's failure day --------------
+    failure_day = np.array(
+        [
+            drives[int(s)].failure_day
+            if drives[int(s)].failure_day is not None
+            else np.iinfo(np.int64).max
+            for s in columns["serial"]
+        ],
+        dtype=np.int64,
+    )
+    late = columns["day"] > failure_day
+    if np.any(late):
+        outcome = report.outcome("post_failure_rows")
+        outcome.n_dropped += int(late.sum())
+        outcome.serials |= _serials_of(columns, late)
+        columns = _keep(columns, ~late)
+
+    # ---- 7. negative daily event counts -------------------------------
+    negative = np.zeros(columns["serial"].size, dtype=bool)
+    for column in _EVENT_COLUMNS:
+        if column in columns:
+            negative |= columns[column] < 0
+    if np.any(negative):
+        outcome = report.outcome("negative_events")
+        outcome.serials |= _serials_of(columns, negative)
+        if policy.negative_events == "drop":
+            outcome.n_dropped += int(negative.sum())
+            columns = _keep(columns, ~negative)
+        else:
+            outcome.n_repaired += int(negative.sum())
+            for column in _EVENT_COLUMNS:
+                if column in columns:
+                    columns[column] = np.maximum(columns[column], 0.0)
+
+    # ---- 8. counter resets in monotone SMART counters -----------------
+    columns = _repair_counter_resets(columns, policy, report)
+
+    # ---- 9. drives left without rows ----------------------------------
+    surviving = set(np.unique(columns["serial"]).tolist())
+    orphans = set(drives) - surviving
+    if orphans:
+        outcome = report.outcome("orphan_metadata")
+        outcome.n_repaired += len(orphans)
+        outcome.serials |= orphans
+        report.n_drives_dropped = len(orphans)
+        drives = {s: m for s, m in drives.items() if s in surviving}
+
+    # ---- 10. tickets ---------------------------------------------------
+    tickets = _sanitize_tickets(dataset.tickets, drives, policy, report)
+
+    report.n_output_rows = int(columns["serial"].size)
+    return TelemetryDataset(columns, drives, tickets), report
+
+
+def _repair_counter_resets(
+    columns: dict[str, np.ndarray],
+    policy: QuarantinePolicy,
+    report: QuarantineReport,
+) -> dict[str, np.ndarray]:
+    """Clamp (or drop) rows violating per-drive counter monotonicity."""
+    serial = columns["serial"]
+    boundaries = np.flatnonzero(serial[1:] != serial[:-1]) + 1
+    starts = np.concatenate([[0], boundaries]).astype(int)
+    ends = np.concatenate([boundaries, [serial.size]]).astype(int)
+
+    if policy.counter_resets == "repair":
+        for column in _MONOTONE_COLUMNS:
+            values = columns.get(column)
+            if values is None:
+                continue
+            clamped = values.copy()
+            for start, end in zip(starts, ends):
+                np.maximum.accumulate(clamped[start:end], out=clamped[start:end])
+            changed = clamped != values
+            if np.any(changed):
+                outcome = report.outcome("counter_reset")
+                outcome.n_repaired += int(changed.sum())
+                outcome.serials |= _serials_of(columns, changed)
+                columns[column] = clamped
+        return columns
+
+    # drop mode: quarantine every row falling below its drive's running max
+    keep = np.ones(serial.size, dtype=bool)
+    for column in _MONOTONE_COLUMNS:
+        values = columns.get(column)
+        if values is None:
+            continue
+        for start, end in zip(starts, ends):
+            running = -np.inf
+            for i in range(start, end):
+                if not keep[i]:
+                    continue
+                if values[i] < running - 1e-9:
+                    keep[i] = False
+                else:
+                    running = max(running, values[i])
+    if not np.all(keep):
+        outcome = report.outcome("counter_reset")
+        outcome.n_dropped += int((~keep).sum())
+        outcome.serials |= _serials_of(columns, ~keep)
+        columns = _keep(columns, keep)
+    return columns
+
+
+def _sanitize_tickets(
+    tickets: list[TroubleTicket],
+    drives: dict[int, DriveMeta],
+    policy: QuarantinePolicy,
+    report: QuarantineReport,
+) -> list[TroubleTicket]:
+    clean: list[TroubleTicket] = []
+    outcome = report.outcome("invalid_ticket")
+    for ticket in tickets:
+        meta = drives.get(ticket.serial)
+        if meta is None or not meta.failed:
+            outcome.n_dropped += 1
+            outcome.serials.add(ticket.serial)
+            report.n_tickets_dropped += 1
+            continue
+        if ticket.initial_maintenance_time < meta.failure_day:
+            outcome.serials.add(ticket.serial)
+            if policy.tickets == "drop":
+                outcome.n_dropped += 1
+                report.n_tickets_dropped += 1
+                continue
+            ticket = TroubleTicket(
+                serial=ticket.serial,
+                initial_maintenance_time=meta.failure_day,
+                failure_level=ticket.failure_level,
+                category=ticket.category,
+                cause=ticket.cause,
+            )
+            outcome.n_repaired += 1
+            report.n_tickets_repaired += 1
+        clean.append(ticket)
+    return clean

@@ -71,8 +71,22 @@ def save_dataset(dataset: TelemetryDataset, directory: str | Path) -> Path:
     return path
 
 
-def load_dataset(directory: str | Path) -> TelemetryDataset:
-    """Read a dataset previously written by :func:`save_dataset`."""
+def load_dataset(
+    directory: str | Path,
+    validate: bool = False,
+    sanitize: bool = False,
+) -> TelemetryDataset:
+    """Read a dataset previously written by :func:`save_dataset`.
+
+    Persistence trusts the directory contents blindly by default; pass
+    ``validate=True`` to run
+    :func:`~repro.telemetry.validation.validate_dataset` on the loaded
+    dataset and raise a ``ValueError`` listing every violation, or
+    ``sanitize=True`` to repair/quarantine invalid rows via
+    :func:`~repro.robustness.quarantine.sanitize_dataset` instead of
+    failing. With both flags, sanitation runs first and validation
+    checks its output.
+    """
     path = Path(directory)
     if not (path / "columns.npz").exists():
         raise FileNotFoundError(f"{path} does not contain a saved dataset")
@@ -109,4 +123,20 @@ def load_dataset(directory: str | Path) -> TelemetryDataset:
         )
         for entry in json.loads((path / "tickets.json").read_text())
     ]
-    return TelemetryDataset(columns, drives, tickets)
+    dataset = TelemetryDataset(columns, drives, tickets)
+
+    if sanitize:
+        from repro.robustness.quarantine import sanitize_dataset
+
+        dataset, _ = sanitize_dataset(dataset)
+    if validate:
+        from repro.telemetry.validation import validate_dataset
+
+        violations = validate_dataset(dataset)
+        if violations:
+            detail = "\n  ".join(violations)
+            raise ValueError(
+                f"dataset at {path} fails validation "
+                f"({len(violations)} violations):\n  {detail}"
+            )
+    return dataset

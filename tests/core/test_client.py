@@ -87,6 +87,48 @@ class TestStreamingBehaviour:
         with pytest.raises(KeyError):
             predictor.observe(1, 0, {"firmware": "I_F_1"})
 
+    def test_failed_observe_leaves_state_retryable(self, fitted):
+        """Regression: a rejected reading must not half-mutate the drive.
+
+        Previously the cumulative W/B counters and ``last_day`` were
+        updated *before* ``_feature_vector`` could raise, so retrying
+        with the corrected reading double-counted events and tripped the
+        out-of-order check."""
+        serial = int(fitted.dataset_.serials[0])
+        readings = _raw_readings(fitted, serial)
+        day, good = readings[0]
+
+        predictor = ClientPredictor.from_model(fitted)
+        broken = dict(good)
+        del broken[SMART_COLUMNS[0]]
+        with pytest.raises(KeyError):
+            predictor.observe(serial, day, broken)
+
+        # The same day must still be accepted (last_day untouched) and
+        # produce exactly what a fresh predictor produces (cumulative
+        # counters untouched).
+        retried = predictor.observe(serial, day, good)
+        fresh = ClientPredictor.from_model(fitted)
+        assert retried == fresh.observe(serial, day, good)
+
+    def test_failed_observe_does_not_double_count_events(self, fitted):
+        serial = int(fitted.dataset_.serials[0])
+        readings = _raw_readings(fitted, serial)
+        day0, good0 = readings[0]
+        day1, good1 = readings[1]
+
+        predictor = ClientPredictor.from_model(fitted)
+        predictor.observe(serial, day0, good0)
+        broken = dict(good1)
+        del broken["firmware"]
+        with pytest.raises(KeyError):
+            predictor.observe(serial, day1, broken)
+        retried = predictor.observe(serial, day1, good1)
+
+        fresh = ClientPredictor.from_model(fitted)
+        fresh.observe(serial, day0, good0)
+        assert retried == fresh.observe(serial, day1, good1)
+
     def test_alarm_uses_threshold(self, fitted):
         predictor = ClientPredictor.from_model(fitted)
         serial = int(fitted.dataset_.failed_serials()[0])

@@ -4,9 +4,12 @@ import numpy as np
 import pytest
 
 from repro.core.deployment import (
+    Alarm,
     FleetMonitor,
+    MonitoringWindow,
     RetrainPolicy,
     simulate_operation,
+    summarize_windows,
 )
 from repro.core.pipeline import MFPAConfig
 
@@ -75,6 +78,86 @@ class TestFleetMonitor:
         monitor.start(small_fleet, train_end_day=200)
         window = monitor.score_window(260, 290)
         assert not window.retrained
+
+
+class TestRetrainPolicyEdges:
+    def test_min_new_failures_zero_retrains_on_schedule(self, small_fleet):
+        """With min_new_failures=0 the schedule alone triggers retraining,
+        even when not a single new failure arrived since the last fit."""
+        monitor = FleetMonitor(
+            policy=RetrainPolicy(interval_days=30, min_new_failures=0)
+        )
+        monitor.start(small_fleet, train_end_day=200)
+        known_at_start = monitor._failures_at_training
+        # A window starting exactly one interval later must retrain even
+        # if the failure count is unchanged.
+        assert monitor._maybe_retrain(230)
+        assert monitor._last_trained_day == 230
+        assert monitor._failures_at_training >= known_at_start
+
+    def test_retrain_exactly_at_interval_boundary(self, small_fleet):
+        monitor = FleetMonitor(
+            policy=RetrainPolicy(interval_days=30, min_new_failures=0)
+        )
+        monitor.start(small_fleet, train_end_day=200)
+        assert not monitor._maybe_retrain(229)  # one day early: no
+        assert monitor._maybe_retrain(230)  # exactly interval_days: yes
+
+    def test_failures_at_training_tracks_consecutive_retrains(self, small_fleet):
+        monitor = FleetMonitor(
+            policy=RetrainPolicy(interval_days=30, min_new_failures=0)
+        )
+        monitor.start(small_fleet, train_end_day=200)
+
+        def failures_before(day):
+            return sum(
+                1 for d in monitor.model.failure_times_.values() if d < day
+            )
+
+        assert monitor._maybe_retrain(230)
+        assert monitor._failures_at_training == failures_before(230)
+        assert monitor._maybe_retrain(260)
+        assert monitor._failures_at_training == failures_before(260)
+        # immediately after a retrain, another one is not yet due
+        assert not monitor._maybe_retrain(261)
+
+
+class TestSummarizeWindows:
+    def _window(self, alarms):
+        return MonitoringWindow(
+            start_day=240, end_day=270, alarms=alarms, n_drives_scored=1, retrained=False
+        )
+
+    def test_unknown_serial_alarm_counted_separately(self, small_fleet):
+        ghost = Alarm(serial=987_654_321, day=250, probability=0.9)
+        summary = summarize_windows(
+            [self._window([ghost])], small_fleet, start_day=240, end_day=360
+        )
+        assert summary.unknown_serial_alarms == 1
+        assert summary.false_alarms == 0
+        assert summary.true_alarms == 0
+
+    def test_known_healthy_serial_still_false_alarm(self, small_fleet):
+        healthy = int(small_fleet.healthy_serials()[0])
+        alarm = Alarm(serial=healthy, day=250, probability=0.9)
+        summary = summarize_windows(
+            [self._window([alarm])], small_fleet, start_day=240, end_day=360
+        )
+        assert summary.false_alarms == 1
+        assert summary.unknown_serial_alarms == 0
+
+    def test_known_failed_serial_true_alarm_with_lead_time(self, small_fleet):
+        failed = next(
+            meta
+            for meta in small_fleet.drives.values()
+            if meta.failed and meta.failure_day >= 250
+        )
+        alarm = Alarm(serial=failed.serial, day=250, probability=0.9)
+        summary = summarize_windows(
+            [self._window([alarm])], small_fleet, start_day=240, end_day=360
+        )
+        assert summary.true_alarms == 1
+        assert summary.lead_times == [failed.failure_day - 250]
 
 
 class TestSimulateOperation:

@@ -1,0 +1,145 @@
+"""Unit tests for the chaos fault injectors."""
+
+import numpy as np
+import pytest
+
+from repro.robustness.faults import (
+    FAULT_REGISTRY,
+    CounterReset,
+    DropDays,
+    DuplicateRows,
+    MissingDimension,
+    OutOfOrder,
+    StuckSensor,
+    inject,
+    inject_stream,
+    make_fault,
+)
+from repro.telemetry.dataset import W_COLUMNS
+from repro.telemetry.validation import validate_dataset
+
+ALL_INJECTORS = [
+    DropDays(),
+    DuplicateRows(),
+    StuckSensor(),
+    CounterReset(),
+    MissingDimension("W"),
+    OutOfOrder(),
+]
+
+
+def _columns_equal(a, b):
+    if set(a.columns) != set(b.columns):
+        return False
+    for name, values in a.columns.items():
+        other = b.columns[name]
+        if values.dtype == object:
+            if values.tolist() != other.tolist():
+                return False
+        elif not np.array_equal(values, other, equal_nan=True):
+            return False
+    return True
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("injector", ALL_INJECTORS, ids=lambda i: i.name)
+    def test_same_seed_same_corruption(self, small_fleet, injector):
+        first = inject(small_fleet, [injector], seed=9)
+        second = inject(small_fleet, [injector], seed=9)
+        assert _columns_equal(first, second)
+
+    def test_input_not_mutated(self, small_fleet):
+        before = {k: v.copy() for k, v in small_fleet.columns.items()}
+        inject(small_fleet, ALL_INJECTORS, seed=1)
+        assert _columns_equal(
+            small_fleet,
+            type(small_fleet)(before, small_fleet.drives, small_fleet.tickets),
+        )
+
+
+class TestEachFaultBreaksItsInvariant:
+    def test_drop_days_removes_rows(self, small_fleet):
+        corrupted = DropDays(fraction=0.2).apply(small_fleet, np.random.default_rng(0))
+        assert corrupted.n_records < small_fleet.n_records
+
+    def test_duplicate_rows_flagged(self, small_fleet):
+        corrupted = DuplicateRows(fraction=0.1).apply(
+            small_fleet, np.random.default_rng(0)
+        )
+        assert any("duplicate" in v for v in validate_dataset(corrupted))
+
+    def test_stuck_sensor_injects_nonfinite(self, small_fleet):
+        corrupted = StuckSensor(
+            column="s2_temperature", drive_fraction=1.0, nan_fraction=0.5
+        ).apply(small_fleet, np.random.default_rng(0))
+        assert any("non-finite" in v for v in validate_dataset(corrupted))
+
+    def test_counter_reset_breaks_monotonicity(self, small_fleet):
+        corrupted = CounterReset(
+            column="s12_power_on_hours", drive_fraction=1.0
+        ).apply(small_fleet, np.random.default_rng(0))
+        assert any("decreases" in v for v in validate_dataset(corrupted))
+
+    def test_missing_dimension_removes_columns(self, small_fleet):
+        corrupted = MissingDimension("W").apply(small_fleet, np.random.default_rng(0))
+        assert not any(c in corrupted.columns for c in W_COLUMNS)
+
+    def test_out_of_order_breaks_sorting(self, small_fleet):
+        corrupted = OutOfOrder(fraction=0.5).apply(small_fleet, np.random.default_rng(0))
+        assert any("not sorted" in v for v in validate_dataset(corrupted))
+
+    def test_unknown_dimension_rejected(self):
+        with pytest.raises(ValueError, match="unknown dimension"):
+            MissingDimension("X")
+
+
+class TestStreamForm:
+    def _readings(self):
+        return [
+            (1, day, {"s1_critical_warning": 0.0, "w161_fs_io_error": 1.0})
+            for day in range(20)
+        ]
+
+    def test_drop_days_stream(self):
+        out = inject_stream(self._readings(), [DropDays(fraction=0.5)], seed=0)
+        assert 0 < len(out) < 20
+
+    def test_missing_dimension_stream(self):
+        out = inject_stream(self._readings(), [MissingDimension("W")], seed=0)
+        assert all("w161_fs_io_error" not in r for _, _, r in out)
+
+    def test_out_of_order_stream(self):
+        out = inject_stream(self._readings(), [OutOfOrder(fraction=1.0)], seed=0)
+        days = [day for _, day, _ in out]
+        assert days != sorted(days)
+
+    def test_stream_determinism(self):
+        injectors = [DropDays(0.3), DuplicateRows(0.3), OutOfOrder(0.5)]
+        first = inject_stream(self._readings(), injectors, seed=4)
+        second = inject_stream(self._readings(), injectors, seed=4)
+        assert first == second
+
+    def test_counter_reset_has_no_stream_form(self):
+        with pytest.raises(NotImplementedError):
+            CounterReset().apply_stream([], np.random.default_rng(0))
+
+
+class TestRegistry:
+    def test_registry_covers_all(self):
+        assert set(FAULT_REGISTRY) == {
+            "drop_days",
+            "duplicate_rows",
+            "stuck_sensor",
+            "counter_reset",
+            "missing_dimension",
+            "out_of_order",
+        }
+
+    def test_make_fault(self):
+        fault = make_fault("drop_days", fraction=0.3)
+        assert isinstance(fault, DropDays)
+        assert fault.fraction == 0.3
+
+    def test_make_fault_unknown(self):
+        with pytest.raises(ValueError, match="unknown fault"):
+            make_fault("gamma_rays")

@@ -1,0 +1,199 @@
+"""Unit tests for quarantine ingestion (sanitize_dataset)."""
+
+import numpy as np
+import pytest
+
+from repro.core import MFPA, MFPAConfig
+from repro.robustness.faults import (
+    CounterReset,
+    DropDays,
+    DuplicateRows,
+    MissingDimension,
+    OutOfOrder,
+    StuckSensor,
+    inject,
+)
+from repro.robustness.quarantine import (
+    QuarantinePolicy,
+    sanitize_dataset,
+)
+from repro.telemetry.dataset import TelemetryDataset
+from repro.telemetry.tickets import TroubleTicket
+from repro.telemetry.validation import validate_dataset
+
+EVERY_INJECTOR = [
+    DropDays(fraction=0.05),
+    DuplicateRows(fraction=0.05),
+    StuckSensor(column="s2_temperature", drive_fraction=0.3, nan_fraction=0.2),
+    CounterReset(column="s12_power_on_hours", drive_fraction=0.3),
+    MissingDimension("W"),
+    OutOfOrder(fraction=0.1),
+]
+
+
+class TestAcceptance:
+    """The PR's acceptance criterion: sanitize survives every injector."""
+
+    @pytest.fixture(scope="class")
+    def sanitized(self, small_fleet):
+        corrupted = inject(small_fleet, EVERY_INJECTOR, seed=11)
+        return sanitize_dataset(corrupted)
+
+    def test_zero_violations_after_sanitize(self, sanitized):
+        clean, report = sanitized
+        assert validate_dataset(clean) == []
+        assert not report.clean  # the corruption was actually seen
+
+    def test_mfpa_fits_on_sanitized(self, sanitized):
+        clean, _ = sanitized
+        model = MFPA(MFPAConfig())
+        model.fit(clean, train_end_day=240)
+        assert model.evaluate(240, 360).drive_report.tpr > 0.0
+
+    def test_clean_dataset_passes_through(self, small_fleet):
+        clean, report = sanitize_dataset(small_fleet)
+        assert report.clean
+        assert report.n_input_rows == report.n_output_rows == small_fleet.n_records
+        assert validate_dataset(clean) == []
+
+
+class TestRules:
+    def test_duplicates_keep_first(self, small_fleet):
+        corrupted = inject(small_fleet, [DuplicateRows(fraction=0.2)], seed=0)
+        clean, report = sanitize_dataset(corrupted)
+        assert clean.n_records == small_fleet.n_records
+        assert report.rules["duplicate_rows"].n_dropped == (
+            corrupted.n_records - small_fleet.n_records
+        )
+
+    def test_nonfinite_drop_vs_repair(self, small_fleet):
+        corrupted = inject(
+            small_fleet,
+            [StuckSensor(column="s2_temperature", drive_fraction=1.0, nan_fraction=0.5)],
+            seed=0,
+        )
+        dropped, drop_report = sanitize_dataset(corrupted)
+        assert dropped.n_records < corrupted.n_records
+        assert drop_report.rules["nonfinite"].n_dropped > 0
+
+        repaired, repair_report = sanitize_dataset(
+            corrupted, QuarantinePolicy(nonfinite="repair")
+        )
+        assert repaired.n_records == corrupted.n_records
+        assert repair_report.rules["nonfinite"].n_repaired > 0
+        assert validate_dataset(repaired) == []
+
+    def test_counter_reset_repair_restores_monotonicity(self, small_fleet):
+        corrupted = inject(
+            small_fleet, [CounterReset(column="s12_power_on_hours", drive_fraction=1.0)], seed=0
+        )
+        clean, report = sanitize_dataset(corrupted)
+        assert report.rules["counter_reset"].n_repaired > 0
+        assert validate_dataset(clean) == []
+
+    def test_counter_reset_drop_mode(self, small_fleet):
+        corrupted = inject(
+            small_fleet, [CounterReset(column="s12_power_on_hours", drive_fraction=1.0)], seed=0
+        )
+        clean, report = sanitize_dataset(
+            corrupted, QuarantinePolicy(counter_resets="drop")
+        )
+        assert report.rules["counter_reset"].n_dropped > 0
+        assert validate_dataset(clean) == []
+
+    def test_missing_dimension_zero_filled(self, small_fleet):
+        corrupted = inject(small_fleet, [MissingDimension("W")], seed=0)
+        clean, report = sanitize_dataset(corrupted)
+        assert report.rules["missing_column"].n_repaired > 0
+        for column in small_fleet.columns:
+            assert column in clean.columns
+        assert validate_dataset(clean) == []
+
+    def test_unknown_serial_rows_dropped(self, small_fleet):
+        columns = {k: v.copy() for k, v in small_fleet.columns.items()}
+        columns["serial"][:7] = 999_999  # no metadata for this serial
+        corrupted = TelemetryDataset(columns, dict(small_fleet.drives), list(small_fleet.tickets))
+        clean, report = sanitize_dataset(corrupted)
+        assert report.rules["unknown_serial"].n_dropped == 7
+        assert 999_999 in report.rules["unknown_serial"].serials
+        assert validate_dataset(clean) == []
+
+    def test_post_failure_rows_dropped(self, small_fleet):
+        failed = int(small_fleet.failed_serials()[0])
+        failure_day = small_fleet.drives[failed].failure_day
+        columns = {k: v.copy() for k, v in small_fleet.columns.items()}
+        rows = np.flatnonzero(columns["serial"] == failed)
+        columns["day"][rows[-1]] = failure_day + 50
+        corrupted = TelemetryDataset(columns, dict(small_fleet.drives), list(small_fleet.tickets))
+        clean, report = sanitize_dataset(corrupted)
+        assert report.rules["post_failure_rows"].n_dropped >= 1
+        assert failed in report.rules["post_failure_rows"].serials
+        assert validate_dataset(clean) == []
+
+    def test_negative_events_clamped(self, small_fleet):
+        columns = {k: v.copy() for k, v in small_fleet.columns.items()}
+        columns["w161_fs_io_error"][:10] = -3.0
+        corrupted = TelemetryDataset(columns, dict(small_fleet.drives), list(small_fleet.tickets))
+        clean, report = sanitize_dataset(corrupted)
+        assert report.rules["negative_events"].n_repaired == 10
+        assert np.all(clean.columns["w161_fs_io_error"] >= 0)
+        # preprocess (which rejects negative counts) must accept the output
+        MFPA(MFPAConfig()).fit(clean, train_end_day=240)
+
+    def test_ticket_imt_clamped_or_dropped(self, small_fleet):
+        assert small_fleet.tickets, "fixture must have tickets"
+        tickets = list(small_fleet.tickets)
+        bad = tickets[0]
+        tickets[0] = TroubleTicket(
+            serial=bad.serial,
+            initial_maintenance_time=-1,
+            failure_level=bad.failure_level,
+            category=bad.category,
+            cause=bad.cause,
+        )
+        corrupted = TelemetryDataset(dict(small_fleet.columns), dict(small_fleet.drives), tickets)
+
+        clean, report = sanitize_dataset(corrupted)
+        assert report.n_tickets_repaired == 1
+        assert validate_dataset(clean) == []
+
+        clean2, report2 = sanitize_dataset(corrupted, QuarantinePolicy(tickets="drop"))
+        assert report2.n_tickets_dropped == 1
+        assert len(clean2.tickets) == len(tickets) - 1
+
+    def test_orphan_ticket_dropped(self, small_fleet):
+        tickets = list(small_fleet.tickets) + [
+            TroubleTicket(
+                serial=123_456,
+                initial_maintenance_time=10,
+                failure_level="general",
+                category="hardware",
+                cause="disk",
+            )
+        ]
+        corrupted = TelemetryDataset(dict(small_fleet.columns), dict(small_fleet.drives), tickets)
+        clean, report = sanitize_dataset(corrupted)
+        assert report.n_tickets_dropped == 1
+        assert validate_dataset(clean) == []
+
+
+class TestReport:
+    def test_summary_mentions_triggered_rules(self, small_fleet):
+        corrupted = inject(small_fleet, [DuplicateRows(fraction=0.2)], seed=0)
+        _, report = sanitize_dataset(corrupted)
+        assert "duplicate_rows" in report.summary()
+        assert report.affected_serials()
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="repair"):
+            QuarantinePolicy(nonfinite="ignore")
+
+    def test_input_not_mutated(self, small_fleet):
+        corrupted = inject(small_fleet, EVERY_INJECTOR, seed=2)
+        before = {k: v.copy() for k, v in corrupted.columns.items()}
+        sanitize_dataset(corrupted)
+        for name, values in corrupted.columns.items():
+            if values.dtype == object:
+                assert values.tolist() == before[name].tolist()
+            else:
+                np.testing.assert_array_equal(values, before[name], err_msg=name)

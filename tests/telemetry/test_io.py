@@ -60,6 +60,36 @@ class TestErrors:
         assert (path / "columns.npz").exists()
 
 
+class TestValidateOnLoad:
+    def test_clean_roundtrip_validates(self, small_fleet, tmp_path):
+        path = save_dataset(small_fleet, tmp_path / "fleet")
+        loaded = load_dataset(path, validate=True)
+        assert loaded.n_records == small_fleet.n_records
+
+    def test_corrupted_file_raises_clean_error(self, small_fleet, tmp_path):
+        """Persistence no longer trusts directory contents blindly."""
+        path = save_dataset(small_fleet, tmp_path / "fleet")
+        drives = json.loads((path / "drives.json").read_text())
+        dropped = drives.pop(0)  # rows for this serial now lack metadata
+        (path / "drives.json").write_text(json.dumps(drives))
+
+        loaded = load_dataset(path)  # default: still trusting
+        assert dropped["serial"] not in loaded.drives
+
+        with pytest.raises(ValueError, match="fails validation"):
+            load_dataset(path, validate=True)
+
+    def test_sanitize_on_load_repairs(self, small_fleet, tmp_path):
+        path = save_dataset(small_fleet, tmp_path / "fleet")
+        drives = json.loads((path / "drives.json").read_text())
+        removed = drives.pop(0)
+        (path / "drives.json").write_text(json.dumps(drives))
+
+        loaded = load_dataset(path, sanitize=True, validate=True)
+        assert removed["serial"] not in loaded.drives
+        assert loaded.n_records < small_fleet.n_records
+
+
 class TestConcatRelabel:
     def test_relabel_shifts_everything(self, small_fleet):
         shifted = small_fleet.relabel_serials(10_000)

@@ -100,3 +100,59 @@ class TestMonitor:
         out = capsys.readouterr().out
         assert "precision" in out
         assert "lead time" in out
+
+    def test_checkpoint_and_resume(self, saved_fleet, capsys, tmp_path):
+        checkpoint = str(tmp_path / "ckpt")
+        base = [
+            "monitor",
+            str(saved_fleet),
+            "--start-day",
+            "120",
+            "--end-day",
+            "200",
+            "--window-days",
+            "40",
+            "--checkpoint-dir",
+            checkpoint,
+        ]
+        assert main(base) == 0
+        first = capsys.readouterr().out
+        assert main(base + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        # resume finds all windows already scored and reports the same run
+        assert second == first
+
+
+class TestValidationFlags:
+    def test_validate_flag_passes_clean_dataset(self, saved_fleet, capsys):
+        assert main(["summary", str(saved_fleet), "--validate"]) == 0
+
+    def test_sanitize_flag_accepted(self, saved_fleet, capsys):
+        assert main(["summary", str(saved_fleet), "--sanitize", "--validate"]) == 0
+
+
+class TestChaos:
+    def test_single_fault_table(self, saved_fleet, capsys):
+        code = main(
+            [
+                "chaos",
+                str(saved_fleet),
+                "--fault",
+                "drop_days",
+                "--start-day",
+                "120",
+                "--end-day",
+                "200",
+                "--window-days",
+                "40",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Chaos degradation" in out
+        assert "drop_days" in out
+        assert "(clean)" in out
+
+    def test_unknown_fault_rejected(self, saved_fleet):
+        with pytest.raises(ValueError, match="unknown fault"):
+            main(["chaos", str(saved_fleet), "--fault", "gamma_rays"])
