@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test bench chaos examples exhibits clean
+.PHONY: install test smoke bench bench-parallel chaos examples exhibits clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -10,6 +10,13 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+smoke:
+	PYTHONPATH=src pytest tests -m smoke
+
+bench-parallel:
+	PYTHONPATH=src pytest benchmarks/test_parallel_speedup.py -m parallel_bench -s
+	@echo "results in benchmarks/results/parallel_speedup.json"
 
 chaos:
 	PYTHONPATH=src pytest benchmarks/test_chaos_robustness.py -m chaos

@@ -1,0 +1,163 @@
+"""Serial-vs-parallel wall-clock for the hot paths (``make bench-parallel``).
+
+Times forest fitting, grid search and fleet scoring at ``n_jobs=1`` vs
+``n_jobs=4``, verifies the outputs are identical either way, and records
+machine-readable JSON under ``benchmarks/results/parallel_speedup.json``
+so speedups are tracked alongside the paper exhibits.
+
+The ≥2× assertion only fires on machines with at least 4 physical
+workers to use — on smaller runners the numbers are still recorded but a
+fork pool cannot beat the clock, which is a property of the host, not
+the code.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks._util import RESULTS_DIR, save_exhibit
+from repro.core.deployment import FleetMonitor
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.model_selection import GridSearchCV, KFold
+from repro.ml.tree import DecisionTreeClassifier
+from repro.parallel import fork_available
+from repro.reporting import render_table
+from repro.telemetry import FleetConfig, VendorMix, simulate_fleet
+
+pytestmark = pytest.mark.parallel_bench
+
+N_JOBS = 4
+#: Assert speedup only when the host can actually run N_JOBS workers.
+ENOUGH_CORES = (os.cpu_count() or 1) >= N_JOBS
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+def _training_data(n_samples=6000, n_features=16, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(0, 1, (n_samples, n_features))
+    y = (X[:, 0] + 0.5 * X[:, 3] - X[:, 7] + rng.normal(0, 0.7, n_samples) > 0).astype(
+        int
+    )
+    return X, y
+
+
+def _bench_forest_fit():
+    X, y = _training_data()
+
+    def fit(n_jobs):
+        return RandomForestClassifier(
+            n_estimators=24, max_depth=None, seed=0, n_jobs=n_jobs
+        ).fit(X, y)
+
+    serial, serial_seconds = _timed(lambda: fit(1))
+    parallel, parallel_seconds = _timed(lambda: fit(N_JOBS))
+    np.testing.assert_array_equal(
+        serial.predict_proba(X[:200]), parallel.predict_proba(X[:200])
+    )
+    return serial_seconds, parallel_seconds
+
+
+def _bench_grid_search():
+    X, y = _training_data(n_samples=4000)
+    grid = {"max_depth": [4, 8, 12], "min_samples_leaf": [1, 4]}
+
+    def search(n_jobs):
+        return GridSearchCV(
+            DecisionTreeClassifier(seed=0),
+            grid,
+            splitter=KFold(n_splits=3, seed=0),
+            refit=False,
+            n_jobs=n_jobs,
+        ).fit(X, y)
+
+    serial, serial_seconds = _timed(lambda: search(1))
+    parallel, parallel_seconds = _timed(lambda: search(N_JOBS))
+    assert serial.best_params_ == parallel.best_params_
+    assert serial.results_ == parallel.results_
+    return serial_seconds, parallel_seconds
+
+
+def _bench_fleet_scoring():
+    fleet = simulate_fleet(
+        FleetConfig(
+            mix=VendorMix({"I": 400}),
+            horizon_days=540,
+            failure_boost=20.0,
+            seed=11,
+        )
+    )
+
+    def score(n_jobs):
+        monitor = FleetMonitor(n_jobs=n_jobs)
+        monitor.start(fleet, train_end_day=360)
+        return [monitor.score_window(day, day + 30) for day in range(360, 540, 30)]
+
+    serial, serial_seconds = _timed(lambda: score(1))
+    parallel, parallel_seconds = _timed(lambda: score(N_JOBS))
+    assert serial == parallel
+    return serial_seconds, parallel_seconds
+
+
+def test_parallel_speedup():
+    benches = {
+        "forest_fit": _bench_forest_fit,
+        "grid_search": _bench_grid_search,
+        "fleet_scoring": _bench_fleet_scoring,
+    }
+    records = []
+    for name, bench in benches.items():
+        serial_seconds, parallel_seconds = bench()
+        records.append(
+            {
+                "name": name,
+                "n_jobs": N_JOBS,
+                "serial_seconds": round(serial_seconds, 4),
+                "parallel_seconds": round(parallel_seconds, 4),
+                "speedup": round(serial_seconds / parallel_seconds, 3),
+            }
+        )
+
+    payload = {
+        "cpu_count": os.cpu_count(),
+        "fork_available": fork_available(),
+        "n_jobs": N_JOBS,
+        "benchmarks": records,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "parallel_speedup.json").write_text(json.dumps(payload, indent=2))
+
+    save_exhibit(
+        "parallel_speedup",
+        render_table(
+            ["Benchmark", "Serial (s)", f"n_jobs={N_JOBS} (s)", "Speedup"],
+            [
+                [
+                    r["name"],
+                    f"{r['serial_seconds']:.2f}",
+                    f"{r['parallel_seconds']:.2f}",
+                    f"{r['speedup']:.2f}x",
+                ]
+                for r in records
+            ],
+            title=f"Parallel speedup ({os.cpu_count()} cores)",
+        ),
+    )
+
+    if ENOUGH_CORES and fork_available():
+        training_speedups = [
+            r["speedup"] for r in records if r["name"] in ("forest_fit", "grid_search")
+        ]
+        assert max(training_speedups) >= 2.0, (
+            f"expected ≥2x on forest fit or grid search at n_jobs={N_JOBS}, "
+            f"got {training_speedups}"
+        )

@@ -39,6 +39,17 @@ def _add_simulate(subparsers) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _add_n_jobs_flag(parser) -> None:
+    parser.add_argument(
+        "--n-jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for training/search/scoring (1 = serial, "
+        "-1 = all cores); results are identical at every setting",
+    )
+
+
 def _add_loading_flags(parser) -> None:
     parser.add_argument(
         "--sanitize",
@@ -62,6 +73,7 @@ def _add_train(subparsers) -> None:
     parser.add_argument("--positive-window", type=int, default=14)
     parser.add_argument("--lookahead", type=int, default=0)
     parser.add_argument("--feature-selection", action="store_true")
+    _add_n_jobs_flag(parser)
     _add_loading_flags(parser)
 
 
@@ -86,6 +98,7 @@ def _add_monitor(subparsers) -> None:
         action="store_true",
         help="fall back to a reduced feature group when dimensions are missing",
     )
+    _add_n_jobs_flag(parser)
     _add_loading_flags(parser)
 
 
@@ -120,6 +133,7 @@ def _add_chaos(subparsers) -> None:
         help="feed the corrupted dataset to the pipeline without quarantine "
         "ingestion (most faults will then crash it — that is the point)",
     )
+    _add_n_jobs_flag(parser)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -180,6 +194,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         positive_window=args.positive_window,
         lookahead=args.lookahead,
         feature_selection=args.feature_selection,
+        n_jobs=args.n_jobs,
     )
     model = MFPA(config)
     model.fit(dataset, train_end_day=args.train_end_day)
@@ -211,6 +226,7 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         allow_degraded=args.allow_degraded,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
+        n_jobs=args.n_jobs,
     )
     print(
         render_table(
@@ -246,6 +262,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             end_day=args.end_day,
             window_days=args.window_days,
             alarm_threshold=args.alarm_threshold,
+            n_jobs=args.n_jobs,
         )
         fpr_denominator = sum(1 for m in dataset.drives.values() if not m.failed)
         fpr = summary.false_alarms / fpr_denominator if fpr_denominator else float("nan")

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.pipeline import MFPA, MFPAConfig
+from repro.parallel import ParallelExecutor, SharedPayload, share
 from repro.telemetry.dataset import TelemetryDataset
 
 
@@ -107,6 +108,11 @@ class OperationSummary:
         return float(np.median(self.lead_times))
 
 
+def _predict_chunk(model: SharedPayload, row_indices: np.ndarray) -> np.ndarray:
+    """Worker task: score one contiguous chunk of prepared-dataset rows."""
+    return model.get().predict_proba_rows(row_indices)
+
+
 class FleetMonitor:
     """Windowed scoring loop with alarm deduplication and retraining.
 
@@ -122,6 +128,7 @@ class FleetMonitor:
         policy: RetrainPolicy | None = None,
         alarm_threshold: float | None = None,
         allow_degraded: bool = False,
+        n_jobs: int = 1,
     ):
         self.config = config or MFPAConfig()
         self.policy = policy or RetrainPolicy()
@@ -131,6 +138,7 @@ class FleetMonitor:
         if not 0 < self.alarm_threshold < 1:
             raise ValueError("alarm_threshold must be in (0, 1)")
         self.allow_degraded = allow_degraded
+        self.n_jobs = n_jobs
         self.degraded_dimensions_: tuple[str, ...] = ()
         self._alarmed: set[int] = set()
         self._last_trained_day: int | None = None
@@ -178,6 +186,26 @@ class FleetMonitor:
         self._failures_at_training = known_failures
         return True
 
+    def _predict_rows(self, row_indices: np.ndarray) -> np.ndarray:
+        """Positive-class probabilities for prepared-dataset rows.
+
+        With ``n_jobs > 1`` the rows fan out in contiguous chunks over a
+        worker pool; the fitted model travels to the workers by fork
+        inheritance (it is never pickled) and per-row independence makes
+        the concatenated result identical to the serial pass.
+        """
+        executor = ParallelExecutor(self.n_jobs)
+        # Below a few hundred rows per worker the pool spin-up costs more
+        # than the scoring it distributes; stay serial for small windows.
+        if not executor.is_parallel or row_indices.size < 256 * executor.n_jobs:
+            return self.model.predict_proba_rows(row_indices)
+        chunks = np.array_split(row_indices, executor.n_jobs)
+        with share(self.model) as model:
+            parts = executor.starmap(
+                _predict_chunk, [(model, chunk) for chunk in chunks if chunk.size]
+            )
+        return np.concatenate(parts)
+
     def score_window(self, start_day: int, end_day: int) -> MonitoringWindow:
         """Score every drive's records in ``[start_day, end_day)``.
 
@@ -212,11 +240,10 @@ class FleetMonitor:
         alarms: list[Alarm] = []
         n_scored = len(scored_serials)
         if n_scored:
-            # One batched prediction pass across every scored drive.
+            # One batched prediction pass across every scored drive,
+            # chunked over the worker pool when n_jobs > 1.
             counts = np.array([indices.size for indices in scored_indices])
-            all_probabilities = self.model.predict_proba_rows(
-                np.concatenate(scored_indices)
-            )
+            all_probabilities = self._predict_rows(np.concatenate(scored_indices))
             per_drive = np.split(all_probabilities, np.cumsum(counts)[:-1])
             for serial, days, probabilities in zip(
                 scored_serials, scored_days, per_drive
@@ -303,6 +330,7 @@ def simulate_operation(
     checkpoint_dir: str | None = None,
     resume: bool = False,
     max_windows: int | None = None,
+    n_jobs: int = 1,
 ) -> OperationSummary:
     """Replay a monitored operation and grade it against ground truth.
 
@@ -311,7 +339,8 @@ def simulate_operation(
     checkpoint instead of retraining from scratch, producing the same
     summary an uninterrupted run would. ``max_windows`` stops the
     replay early (a controlled "crash") after that many total windows,
-    returning a partial summary.
+    returning a partial summary. ``n_jobs`` chunks the per-drive scoring
+    over a worker pool without changing any alarm or summary field.
     """
     boundaries = list(range(start_day, end_day, window_days))
     windows: list[MonitoringWindow] = []
@@ -331,12 +360,14 @@ def simulate_operation(
                     dataset, config or MFPAConfig()
                 )
             monitor, windows = load_checkpoint(checkpoint_dir, restore_dataset)
+            monitor.n_jobs = n_jobs
     if monitor is None:
         monitor = FleetMonitor(
             config=config,
             policy=policy,
             alarm_threshold=alarm_threshold,
             allow_degraded=allow_degraded,
+            n_jobs=n_jobs,
         )
         monitor.start(dataset, train_end_day=start_day)
 

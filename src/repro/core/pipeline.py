@@ -32,6 +32,18 @@ def _default_algorithm() -> BaseClassifier:
     return RandomForestClassifier(n_estimators=40, max_depth=12, seed=0)
 
 
+def _with_n_jobs(estimator: BaseClassifier, n_jobs: int) -> BaseClassifier:
+    """Propagate ``n_jobs`` onto estimators that accept it.
+
+    Only overrides the estimator's own setting when the config actually
+    requests parallelism, so an explicitly configured algorithm keeps
+    whatever the caller chose.
+    """
+    if n_jobs != 1 and "n_jobs" in estimator.get_params():
+        estimator.set_params(n_jobs=n_jobs)
+    return estimator
+
+
 @dataclass
 class MFPAConfig:
     """All MFPA knobs, defaulting to the paper's choices.
@@ -75,6 +87,11 @@ class MFPAConfig:
         Alarm probability threshold.
     seed:
         Seed for under-sampling.
+    n_jobs:
+        Worker processes for the parallelizable stages (grid search,
+        forward selection, and estimators that accept ``n_jobs`` such
+        as the random forests). 1 is serial; -1 uses every core. The
+        fitted model is bit-identical at every value.
     """
 
     feature_group_name: str = "SFWB"
@@ -106,6 +123,7 @@ class MFPAConfig:
     min_segment_records: int = 5
     decision_threshold: float = 0.5
     seed: int = 0
+    n_jobs: int = 1
 
     def __post_init__(self) -> None:
         feature_group(self.feature_group_name)  # validate the name
@@ -201,7 +219,7 @@ class MFPA:
             train.row_indices, train.labels, train.days
         )
         order = np.argsort(days, kind="stable")
-        row_indices, labels = row_indices[order], labels[order]
+        row_indices, labels, days = row_indices[order], labels[order], days[order]
 
         columns = config.feature_columns or feature_group(
             config.feature_group_name
@@ -215,7 +233,7 @@ class MFPA:
                 )
             columns = (*columns, *self.derived_columns_)
         if config.feature_selection:
-            columns = self._forward_select(prepared, row_indices, labels, columns)
+            columns = self._forward_select(prepared, row_indices, labels, days, columns)
         self.assembler_ = FeatureAssembler(columns, config.history_length)
         X = self.assembler_.assemble(prepared.columns, row_indices)
         self._record_stage("sampling", started, labels.size)
@@ -225,13 +243,14 @@ class MFPA:
             search = GridSearchCV(
                 config.algorithm,
                 config.param_grid,
-                splitter=TimeSeriesCrossValidator(k=config.cv_k),
+                splitter=TimeSeriesCrossValidator(k=config.cv_k, days=days),
+                n_jobs=config.n_jobs,
             )
             search.fit(X, labels)
             self.model_ = search.best_estimator_
             self.search_ = search
         else:
-            self.model_ = clone(config.algorithm)
+            self.model_ = _with_n_jobs(clone(config.algorithm), config.n_jobs)
             self.model_.fit(X, labels)
         self._record_stage("training", started, labels.size)
         self.train_end_day_ = train_end_day
@@ -242,6 +261,7 @@ class MFPA:
         prepared: TelemetryDataset,
         row_indices: np.ndarray,
         labels: np.ndarray,
+        days: np.ndarray,
         columns: tuple[str, ...],
     ) -> tuple[str, ...]:
         """Sequential forward selection over the candidate columns.
@@ -258,9 +278,10 @@ class MFPA:
         X = assembler.assemble(prepared.columns, row_indices[subsample])
         selector = SequentialForwardSelector(
             config.selection_estimator or config.algorithm,
-            TimeSeriesCrossValidator(k=config.cv_k),
+            TimeSeriesCrossValidator(k=config.cv_k, days=days[subsample]),
             scoring=youden_score,
             max_features=config.selection_max_features,
+            n_jobs=config.n_jobs,
         )
         chosen = selector.select(X, labels[subsample])
         self.selection_history_ = [

@@ -5,6 +5,13 @@ calls out *Available Spare Threshold* as dead weight). Starting from an
 empty set, the selector greedily adds the feature whose inclusion most
 improves the cross-validated score, stopping when no candidate improves
 it by more than a tolerance.
+
+Each selection round evaluates every remaining candidate column
+independently — an embarrassingly parallel inner loop that fans out over
+:class:`repro.parallel.ParallelExecutor` when ``n_jobs > 1``. The CV
+folds are computed once up front and shared with the workers alongside
+the feature matrix, so a round costs one fork instead of
+O(candidates × folds) dataset pickles.
 """
 
 from __future__ import annotations
@@ -15,23 +22,43 @@ import numpy as np
 
 from repro.ml.base import BaseClassifier, clone
 from repro.ml.metrics import accuracy, false_positive_rate, true_positive_rate
-from repro.ml.model_selection import cross_val_score
+from repro.ml.model_selection import mean_defined_score
+from repro.parallel import ParallelExecutor, SharedPayload, share
 
 
 def youden_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
     """TPR - FPR: the balanced objective MFPA's selection optimizes.
 
     Accuracy is useless under heavy class imbalance; Youden's J rewards
-    catching failures and penalizes false alarms symmetrically. NaN
-    components (a fold without positives) contribute 0.
+    catching failures and penalizes false alarms symmetrically. On a
+    single-class fold (no positives, or no negatives) the score is
+    undefined and NaN is returned so aggregation can *skip* the fold —
+    zeroing it instead would drag a good feature's mean toward 0 and
+    stall forward selection on sparse-failure data.
     """
     tpr = true_positive_rate(y_true, y_pred)
     fpr = false_positive_rate(y_true, y_pred)
-    if np.isnan(tpr):
-        tpr = 0.0
-    if np.isnan(fpr):
-        fpr = 0.0
+    if np.isnan(tpr) or np.isnan(fpr):
+        return float("nan")
     return tpr - fpr
+
+
+def _score_candidate(
+    data: SharedPayload,
+    estimator: BaseClassifier,
+    columns: list[int],
+    scoring: Callable[[np.ndarray, np.ndarray], float],
+) -> float:
+    """Cross-validated mean score of one candidate column subset."""
+    X, y, folds = data.get()
+    X_candidate = X[:, columns]
+    scores = []
+    for train_indices, validation_indices in folds:
+        model = clone(estimator)
+        model.fit(X_candidate[train_indices], y[train_indices])
+        predictions = model.predict(X_candidate[validation_indices])
+        scores.append(float(scoring(y[validation_indices], predictions)))
+    return mean_defined_score(scores)
 
 
 class SequentialForwardSelector:
@@ -44,11 +71,16 @@ class SequentialForwardSelector:
     splitter:
         CV splitter (typically the MFPA time-series CV).
     scoring:
-        ``scoring(y_true, y_pred) -> float``, higher is better.
+        ``scoring(y_true, y_pred) -> float``, higher is better. Folds
+        scoring NaN (undefined, e.g. :func:`youden_score` without
+        positives) are skipped in the per-candidate mean.
     max_features:
         Optional cap on the selected subset size.
     tolerance:
         Minimum score improvement to accept another feature.
+    n_jobs:
+        Worker processes for the per-round candidate evaluations; any
+        value selects the same features in the same order.
     """
 
     def __init__(
@@ -58,6 +90,7 @@ class SequentialForwardSelector:
         scoring: Callable[[np.ndarray, np.ndarray], float] = accuracy,
         max_features: int | None = None,
         tolerance: float = 1e-4,
+        n_jobs: int = 1,
     ):
         if max_features is not None and max_features < 1:
             raise ValueError("max_features must be at least 1")
@@ -66,6 +99,7 @@ class SequentialForwardSelector:
         self.scoring = scoring
         self.max_features = max_features
         self.tolerance = tolerance
+        self.n_jobs = n_jobs
 
     def select(self, X: np.ndarray, y: np.ndarray) -> list[int]:
         """Return the selected column indices, in selection order.
@@ -82,31 +116,35 @@ class SequentialForwardSelector:
         best_score = -np.inf
         self.history_: list[tuple[int, float]] = []
 
+        # The fold geometry depends only on the row count (and days), not
+        # on which columns a candidate uses — compute it once.
+        folds = list(self.splitter.split(X, y))
+        executor = ParallelExecutor(self.n_jobs)
+
         limit = self.max_features or n_features
-        while remaining and len(selected) < limit:
-            round_best_score = -np.inf
-            round_best_feature = None
-            for feature in remaining:
-                candidate = selected + [feature]
-                scores = cross_val_score(
-                    clone(self.estimator),
-                    X[:, candidate],
-                    y,
-                    self.splitter,
-                    self.scoring,
+        with share((X, y, folds)) as data:
+            while remaining and len(selected) < limit:
+                candidate_scores = executor.starmap(
+                    _score_candidate,
+                    [
+                        (data, self.estimator, selected + [feature], self.scoring)
+                        for feature in remaining
+                    ],
                 )
-                mean_score = float(np.mean(scores))
-                if mean_score > round_best_score:
-                    round_best_score = mean_score
-                    round_best_feature = feature
-            if round_best_feature is None:
-                break
-            if round_best_score <= best_score + self.tolerance and selected:
-                break
-            selected.append(round_best_feature)
-            remaining.remove(round_best_feature)
-            best_score = round_best_score
-            self.history_.append((round_best_feature, round_best_score))
+                round_best_score = -np.inf
+                round_best_feature = None
+                for feature, mean_score in zip(remaining, candidate_scores):
+                    if mean_score > round_best_score:
+                        round_best_score = mean_score
+                        round_best_feature = feature
+                if round_best_feature is None:
+                    break
+                if round_best_score <= best_score + self.tolerance and selected:
+                    break
+                selected.append(round_best_feature)
+                remaining.remove(round_best_feature)
+                best_score = round_best_score
+                self.history_.append((round_best_feature, round_best_score))
         self.selected_ = selected
         self.best_score_ = best_score
         return selected

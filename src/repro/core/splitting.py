@@ -63,14 +63,23 @@ class TimeSeriesCrossValidator:
     The rows are divided into ``2k`` chronological subsets; fold ``i``
     trains on the ``k`` consecutive subsets starting at ``i`` and
     validates on subset ``i + k``. Rows must already be in chronological
-    order — :meth:`SampleSet.sorted_by_day` provides it; passing raw
-    arrays assumes the caller sorted them.
+    order — :meth:`SampleSet.sorted_by_day` provides it.
+
+    The whole point of this class is that validation data is strictly
+    newer than training data, and that guarantee is silently void if a
+    caller passes unsorted rows. Supplying the per-row ``days`` array
+    turns the assumption into a checked invariant: :meth:`split` raises
+    ``ValueError`` on non-monotonic input instead of leaking the future
+    into the training folds.
     """
 
-    def __init__(self, k: int = 3):
+    def __init__(self, k: int = 3, days: np.ndarray | None = None):
         if k < 1:
             raise ValueError("k must be at least 1")
         self.k = k
+        self.days = None if days is None else np.asarray(days)
+        if self.days is not None and self.days.ndim != 1:
+            raise ValueError("days must be a 1-D per-row array")
 
     @property
     def n_splits(self) -> int:
@@ -81,6 +90,17 @@ class TimeSeriesCrossValidator:
     ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         """Yield ``(train_indices, validation_indices)`` per fold."""
         n_samples = np.asarray(X).shape[0]
+        if self.days is not None:
+            if self.days.shape[0] != n_samples:
+                raise ValueError(
+                    f"days has {self.days.shape[0]} entries for {n_samples} rows"
+                )
+            if np.any(np.diff(self.days) < 0):
+                raise ValueError(
+                    "rows are not in chronological order; sort by day before "
+                    "time-series cross-validation (future data would leak "
+                    "into the training folds)"
+                )
         n_subsets = 2 * self.k
         if n_samples < n_subsets:
             raise ValueError(

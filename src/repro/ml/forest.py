@@ -3,6 +3,12 @@
 Bootstrap-sampled CART trees with per-node feature subsampling, averaged
 class probabilities. The paper finds tree ensembles degrade most
 gracefully on the discontinuous CSS telemetry (§IV-(3)).
+
+Tree growing is embarrassingly parallel: every tree's bootstrap sample
+and seed are pre-derived from the master RNG in a fixed order, then the
+fits fan out over :class:`repro.parallel.ParallelExecutor`. Because the
+randomness is hoisted out of the (possibly out-of-order) workers, the
+fitted forest is bit-identical at every ``n_jobs``.
 """
 
 from __future__ import annotations
@@ -11,6 +17,39 @@ import numpy as np
 
 from repro.ml.base import BaseClassifier, check_X, check_X_y
 from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+from repro.parallel import ParallelExecutor, SharedPayload, share
+
+
+def _derive_tree_plans(
+    rng: np.random.Generator, n_estimators: int, n_samples: int, bootstrap: bool
+) -> list[tuple[np.ndarray, int]]:
+    """Pre-draw every tree's (bootstrap sample, seed) in serial RNG order."""
+    plans = []
+    for _ in range(n_estimators):
+        if bootstrap:
+            sample = rng.integers(0, n_samples, size=n_samples)
+        else:
+            sample = np.arange(n_samples)
+        plans.append((sample, int(rng.integers(0, 2**31 - 1))))
+    return plans
+
+
+def _fit_classifier_tree(
+    data: SharedPayload, sample: np.ndarray, seed: int, params: dict
+) -> DecisionTreeClassifier:
+    X, y = data.get()
+    tree = DecisionTreeClassifier(seed=seed, **params)
+    tree.fit(X[sample], y[sample])
+    return tree
+
+
+def _fit_regressor_tree(
+    data: SharedPayload, sample: np.ndarray, seed: int, params: dict
+) -> DecisionTreeRegressor:
+    X, y = data.get()
+    tree = DecisionTreeRegressor(seed=seed, **params)
+    tree.fit(X[sample], y[sample])
+    return tree
 
 
 class RandomForestClassifier(BaseClassifier):
@@ -30,6 +69,9 @@ class RandomForestClassifier(BaseClassifier):
         every member tree (cost-sensitive forests, cf. CSLE [24]).
     seed:
         Master seed; each tree derives its own stream.
+    n_jobs:
+        Worker processes for tree fitting; 1 is serial, -1 uses every
+        core. Any value yields the same fitted forest.
     """
 
     def __init__(
@@ -42,6 +84,7 @@ class RandomForestClassifier(BaseClassifier):
         bootstrap: bool = True,
         class_weight=None,
         seed: int = 0,
+        n_jobs: int = 1,
     ):
         if n_estimators < 1:
             raise ValueError("n_estimators must be at least 1")
@@ -53,6 +96,7 @@ class RandomForestClassifier(BaseClassifier):
         self.bootstrap = bootstrap
         self.class_weight = class_weight
         self.seed = seed
+        self.n_jobs = n_jobs
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
         X, y = check_X_y(X, y)
@@ -61,41 +105,45 @@ class RandomForestClassifier(BaseClassifier):
         self.classes_ = np.unique(y)
         self.n_features_ = X.shape[1]
         rng = np.random.default_rng(self.seed)
-        n_samples = X.shape[0]
-
-        self.trees_ = []
-        for index in range(self.n_estimators):
-            if self.bootstrap:
-                sample = rng.integers(0, n_samples, size=n_samples)
-            else:
-                sample = np.arange(n_samples)
-            tree = DecisionTreeClassifier(
-                max_depth=self.max_depth,
-                min_samples_split=self.min_samples_split,
-                min_samples_leaf=self.min_samples_leaf,
-                max_features=self.max_features,
-                class_weight=self.class_weight,
-                seed=int(rng.integers(0, 2**31 - 1)),
+        plans = _derive_tree_plans(rng, self.n_estimators, X.shape[0], self.bootstrap)
+        params = {
+            "max_depth": self.max_depth,
+            "min_samples_split": self.min_samples_split,
+            "min_samples_leaf": self.min_samples_leaf,
+            "max_features": self.max_features,
+            "class_weight": self.class_weight,
+        }
+        with share((X, y)) as data:
+            self.trees_ = ParallelExecutor(self.n_jobs).starmap(
+                _fit_classifier_tree,
+                [(data, sample, seed, params) for sample, seed in plans],
             )
-            tree.fit(X[sample], y[sample])
-            self.trees_.append(tree)
 
         self.feature_importances_ = np.mean(
             [tree.feature_importances_ for tree in self.trees_], axis=0
         )
+        # Trees may have seen different class subsets in their bootstrap;
+        # precompute each tree's column alignment onto the forest's class
+        # list once instead of rebuilding it on every predict_proba call.
+        self._tree_columns_ = self._align_tree_columns()
         return self
+
+    def _align_tree_columns(self) -> list[np.ndarray]:
+        class_position = {label: i for i, label in enumerate(self.classes_)}
+        return [
+            np.array([class_position[label] for label in tree.classes_], dtype=np.intp)
+            for tree in self.trees_
+        ]
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         self._check_fitted()
         X = check_X(X, self.n_features_)
-        # Trees may have seen different class subsets in their bootstrap;
-        # align every tree's output onto the forest's class list.
+        tree_columns = getattr(self, "_tree_columns_", None)
+        if tree_columns is None:  # forests unpickled from older checkpoints
+            tree_columns = self._tree_columns_ = self._align_tree_columns()
         aggregate = np.zeros((X.shape[0], self.classes_.size))
-        class_position = {label: i for i, label in enumerate(self.classes_)}
-        for tree in self.trees_:
-            probabilities = tree.predict_proba(X)
-            columns = [class_position[label] for label in tree.classes_]
-            aggregate[:, columns] += probabilities
+        for tree, columns in zip(self.trees_, tree_columns):
+            aggregate[:, columns] += tree.predict_proba(X)
         aggregate /= len(self.trees_)
         return aggregate
 
@@ -104,7 +152,8 @@ class RandomForestRegressor:
     """Bagged ensemble of CART regression trees.
 
     Used by the remaining-useful-life extension
-    (:mod:`repro.core.rul`); mirrors the classifier's configuration.
+    (:mod:`repro.core.rul`); mirrors the classifier's configuration,
+    including bit-identical parallel fitting via ``n_jobs``.
     """
 
     def __init__(
@@ -116,6 +165,7 @@ class RandomForestRegressor:
         max_features="sqrt",
         bootstrap: bool = True,
         seed: int = 0,
+        n_jobs: int = 1,
     ):
         if n_estimators < 1:
             raise ValueError("n_estimators must be at least 1")
@@ -126,6 +176,7 @@ class RandomForestRegressor:
         self.max_features = max_features
         self.bootstrap = bootstrap
         self.seed = seed
+        self.n_jobs = n_jobs
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
         X = np.asarray(X, dtype=float)
@@ -136,22 +187,18 @@ class RandomForestRegressor:
             raise ValueError("inputs contain NaN or infinite values")
         self.n_features_ = X.shape[1]
         rng = np.random.default_rng(self.seed)
-        n_samples = X.shape[0]
-        self.trees_ = []
-        for _ in range(self.n_estimators):
-            if self.bootstrap:
-                sample = rng.integers(0, n_samples, size=n_samples)
-            else:
-                sample = np.arange(n_samples)
-            tree = DecisionTreeRegressor(
-                max_depth=self.max_depth,
-                min_samples_split=self.min_samples_split,
-                min_samples_leaf=self.min_samples_leaf,
-                max_features=self.max_features,
-                seed=int(rng.integers(0, 2**31 - 1)),
+        plans = _derive_tree_plans(rng, self.n_estimators, X.shape[0], self.bootstrap)
+        params = {
+            "max_depth": self.max_depth,
+            "min_samples_split": self.min_samples_split,
+            "min_samples_leaf": self.min_samples_leaf,
+            "max_features": self.max_features,
+        }
+        with share((X, y)) as data:
+            self.trees_ = ParallelExecutor(self.n_jobs).starmap(
+                _fit_regressor_tree,
+                [(data, sample, seed, params) for sample, seed in plans],
             )
-            tree.fit(X[sample], y[sample])
-            self.trees_.append(tree)
         return self
 
     def predict(self, X: np.ndarray) -> np.ndarray:

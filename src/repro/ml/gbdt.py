@@ -79,8 +79,12 @@ class GradientBoostingClassifier(BaseClassifier):
         subsample_size = max(1, int(round(self.subsample * n_samples)))
         self.trees_: list[DecisionTreeRegressor] = []
         self.train_deviance_: list[float] = []
+        # One sigmoid per boosting round: the probabilities used for this
+        # round's deviance are exactly next round's residual base, so
+        # carry them across iterations instead of recomputing _sigmoid(raw)
+        # at the top of every loop.
+        probabilities = _sigmoid(raw)
         for _ in range(self.n_estimators):
-            probabilities = _sigmoid(raw)
             residuals = targets - probabilities
             if self.subsample < 1.0:
                 rows = rng.choice(n_samples, size=subsample_size, replace=False)
@@ -94,9 +98,10 @@ class GradientBoostingClassifier(BaseClassifier):
             tree.fit(X[rows], residuals[rows])
             raw += self.learning_rate * tree.predict(X)
             self.trees_.append(tree)
-            probabilities = np.clip(_sigmoid(raw), 1e-12, 1 - 1e-12)
+            probabilities = _sigmoid(raw)
+            clipped = np.clip(probabilities, 1e-12, 1 - 1e-12)
             deviance = -np.mean(
-                targets * np.log(probabilities) + (1 - targets) * np.log(1 - probabilities)
+                targets * np.log(clipped) + (1 - targets) * np.log(1 - clipped)
             )
             self.train_deviance_.append(float(deviance))
         return self

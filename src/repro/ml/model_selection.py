@@ -15,8 +15,39 @@ import numpy as np
 
 from repro.ml.base import BaseClassifier, clone
 from repro.ml.metrics import accuracy
+from repro.parallel import ParallelExecutor, SharedPayload, share
 
 Splitter = Callable[[np.ndarray, np.ndarray], Iterable[tuple[np.ndarray, np.ndarray]]]
+
+
+def mean_defined_score(scores) -> float:
+    """Mean over the *defined* (non-NaN) fold scores.
+
+    A fold whose score is undefined — e.g. :func:`repro.core.selection.
+    youden_score` on a fold with no positives — is skipped rather than
+    dragged in as 0, so one degenerate fold cannot mask a good
+    candidate. All-NaN folds yield NaN (the candidate is unrankable).
+    """
+    scores = np.asarray(scores, dtype=float)
+    defined = scores[~np.isnan(scores)]
+    if defined.size == 0:
+        return float("nan")
+    return float(defined.mean())
+
+
+def _fit_and_score_fold(
+    data: SharedPayload,
+    estimator: BaseClassifier,
+    train_indices: np.ndarray,
+    validation_indices: np.ndarray,
+    scoring: Callable[[np.ndarray, np.ndarray], float],
+) -> float:
+    """One (estimator, fold) evaluation; the unit of CV parallelism."""
+    X, y = data.get()
+    model = clone(estimator)
+    model.fit(X[train_indices], y[train_indices])
+    predictions = model.predict(X[validation_indices])
+    return float(scoring(y[validation_indices], predictions))
 
 
 class ParameterGrid:
@@ -81,16 +112,22 @@ def cross_val_score(
     y: np.ndarray,
     splitter,
     scoring: Callable[[np.ndarray, np.ndarray], float] = accuracy,
+    n_jobs: int = 1,
 ) -> np.ndarray:
-    """Score a fresh clone of ``estimator`` on every CV fold."""
+    """Score a fresh clone of ``estimator`` on every CV fold.
+
+    With ``n_jobs > 1`` the folds are fitted on a worker pool; ``X``/``y``
+    are handed to the workers fork-inherited (never pickled per fold) and
+    the scores come back in fold order, identical to the serial run.
+    """
     X = np.asarray(X)
     y = np.asarray(y)
-    scores = []
-    for train_indices, validation_indices in splitter.split(X, y):
-        model = clone(estimator)
-        model.fit(X[train_indices], y[train_indices])
-        predictions = model.predict(X[validation_indices])
-        scores.append(scoring(y[validation_indices], predictions))
+    folds = list(splitter.split(X, y))
+    with share((X, y)) as data:
+        scores = ParallelExecutor(n_jobs).starmap(
+            _fit_and_score_fold,
+            [(data, estimator, train, validation, scoring) for train, validation in folds],
+        )
     return np.asarray(scores)
 
 
@@ -110,6 +147,11 @@ class GridSearchCV:
         ``scoring(y_true, y_pred) -> float``; higher is better.
     refit:
         When True, refit the best candidate on all data after the search.
+    n_jobs:
+        Worker processes; the search fans out over every
+        (candidate, fold) pair at once, so even a two-candidate grid
+        saturates the pool when the splitter has several folds. Results
+        (``results_``, ``best_params_``) are identical at every value.
     """
 
     def __init__(
@@ -119,28 +161,47 @@ class GridSearchCV:
         splitter,
         scoring: Callable[[np.ndarray, np.ndarray], float] = accuracy,
         refit: bool = True,
+        n_jobs: int = 1,
     ):
         self.estimator = estimator
         self.param_grid = ParameterGrid(param_grid)
         self.splitter = splitter
         self.scoring = scoring
         self.refit = refit
+        self.n_jobs = n_jobs
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "GridSearchCV":
         X = np.asarray(X)
         y = np.asarray(y)
+        candidates = list(self.param_grid)
+        folds = list(self.splitter.split(X, y))
+        with share((X, y)) as data:
+            flat_scores = ParallelExecutor(self.n_jobs).starmap(
+                _fit_and_score_fold,
+                [
+                    (
+                        data,
+                        clone(self.estimator).set_params(**params),
+                        train,
+                        validation,
+                        self.scoring,
+                    )
+                    for params in candidates
+                    for train, validation in folds
+                ],
+            )
+
         self.results_: list[dict] = []
         best_score = -np.inf
         best_params: dict = {}
-        for params in self.param_grid:
-            candidate = clone(self.estimator).set_params(**params)
-            fold_scores = cross_val_score(candidate, X, y, self.splitter, self.scoring)
-            mean_score = float(np.mean(fold_scores))
+        for index, params in enumerate(candidates):
+            fold_scores = flat_scores[index * len(folds) : (index + 1) * len(folds)]
+            mean_score = mean_defined_score(fold_scores)
             self.results_.append(
                 {
                     "params": params,
                     "mean_score": mean_score,
-                    "fold_scores": fold_scores.tolist(),
+                    "fold_scores": list(fold_scores),
                 }
             )
             if mean_score > best_score:

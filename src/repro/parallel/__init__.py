@@ -1,0 +1,22 @@
+"""Parallel execution layer: process pools with deterministic fallback.
+
+See :mod:`repro.parallel.executor` for the design; ``docs/performance.md``
+documents the seeding discipline that keeps every ``n_jobs`` setting
+bit-identical.
+"""
+
+from repro.parallel.executor import (
+    ParallelExecutor,
+    SharedPayload,
+    effective_n_jobs,
+    fork_available,
+    share,
+)
+
+__all__ = [
+    "ParallelExecutor",
+    "SharedPayload",
+    "effective_n_jobs",
+    "fork_available",
+    "share",
+]

@@ -1,0 +1,157 @@
+"""Process-pool execution substrate for the embarrassingly parallel paths.
+
+The MFPA workload (per-tree forest fitting, per-candidate grid search,
+per-feature forward selection, per-drive fleet scoring) decomposes into
+independent tasks that all read the *same* large arrays. This module
+provides the one primitive everything shares:
+
+* :class:`ParallelExecutor` — ``starmap`` over a task list, either
+  in-process (``n_jobs=1``, the deterministic reference path) or on a
+  fresh ``fork``-context worker pool. Task order is always preserved,
+  so callers that pre-derive per-task seeds get **bit-identical**
+  results at every ``n_jobs``.
+* :func:`share` — registers a payload (feature matrix, fitted model) in
+  a module-level registry *before* the pool forks. Workers inherit the
+  registry through copy-on-write fork memory and dereference a tiny
+  :class:`SharedPayload` token, so the dataset is never pickled per
+  task — only the token and per-task index arrays cross the pipe.
+
+Platforms without ``fork`` (Windows; macOS under spawn-only policies)
+silently fall back to the serial path: correctness never depends on the
+pool, only wall-clock does. Workers themselves are marked so nested
+``ParallelExecutor`` use inside a task (e.g. a forest with ``n_jobs>1``
+cloned inside a parallel grid search) degrades to serial instead of
+forking recursively.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Sequence
+
+__all__ = [
+    "ParallelExecutor",
+    "SharedPayload",
+    "effective_n_jobs",
+    "fork_available",
+    "share",
+]
+
+#: Parent-side payload registry; forked workers see a copy-on-write view.
+_SHARED: dict[int, Any] = {}
+_TOKENS = itertools.count()
+
+#: Set (in the child) by the pool initializer; guards nested pools.
+_IN_WORKER = False
+
+
+def fork_available() -> bool:
+    """True when the ``fork`` start method exists on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def effective_n_jobs(n_jobs: int | None) -> int:
+    """Resolve an ``n_jobs`` request to a concrete worker count.
+
+    ``None`` means 1 (serial); negative values count back from the CPU
+    count joblib-style (``-1`` = all cores, ``-2`` = all but one).
+    """
+    if n_jobs is None:
+        return 1
+    n_jobs = int(n_jobs)
+    if n_jobs == 0:
+        raise ValueError("n_jobs must not be 0; use 1 for serial or -1 for all cores")
+    if n_jobs < 0:
+        return max(1, (os.cpu_count() or 1) + 1 + n_jobs)
+    return n_jobs
+
+
+class SharedPayload:
+    """Pickle-cheap handle to data registered with :func:`share`.
+
+    Only the integer token crosses process boundaries; :meth:`get`
+    dereferences the fork-inherited registry inside the worker (or the
+    live registry when running serially in the parent).
+    """
+
+    __slots__ = ("token",)
+
+    def __init__(self, token: int):
+        self.token = token
+
+    def get(self) -> Any:
+        try:
+            return _SHARED[self.token]
+        except KeyError:  # pragma: no cover - defensive
+            raise RuntimeError(
+                "shared payload is no longer registered; SharedPayload handles "
+                "are only valid inside the share() context that created them"
+            ) from None
+
+    def __getstate__(self) -> int:
+        return self.token
+
+    def __setstate__(self, token: int) -> None:
+        self.token = token
+
+
+@contextmanager
+def share(payload: Any) -> Iterator[SharedPayload]:
+    """Register ``payload`` for fork-inherited hand-off to workers.
+
+    Pools must be created *inside* the context (ParallelExecutor always
+    forks lazily per ``starmap`` call, so this holds by construction).
+    """
+    token = next(_TOKENS)
+    _SHARED[token] = payload
+    try:
+        yield SharedPayload(token)
+    finally:
+        del _SHARED[token]
+
+
+def _init_worker() -> None:
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+class ParallelExecutor:
+    """Ordered ``starmap`` over independent tasks, serial or forked.
+
+    Parameters
+    ----------
+    n_jobs:
+        Worker count; 1 (or ``None``) runs in-process. Negative counts
+        back from the CPU count (``-1`` = all cores).
+
+    The serial path and the pool path execute the *same* task functions
+    on the *same* pre-derived arguments, so any caller that hoists its
+    randomness into the task list (per-tree seeds, fold indices) is
+    bit-identical at every ``n_jobs``.
+    """
+
+    def __init__(self, n_jobs: int | None = 1):
+        self.n_jobs = effective_n_jobs(n_jobs)
+
+    @property
+    def is_parallel(self) -> bool:
+        """Whether ``starmap`` would actually fork a pool here and now."""
+        return self.n_jobs > 1 and fork_available() and not _IN_WORKER
+
+    def starmap(
+        self, task: Callable[..., Any], argument_tuples: Sequence[tuple]
+    ) -> list:
+        """Apply ``task`` to every argument tuple, preserving order."""
+        tasks = list(argument_tuples)
+        if len(tasks) <= 1 or not self.is_parallel:
+            return [task(*arguments) for arguments in tasks]
+        workers = min(self.n_jobs, len(tasks))
+        context = multiprocessing.get_context("fork")
+        # Small chunks keep the pool busy when task durations are skewed
+        # (deep trees next to stumps) without flooding the result pipe.
+        chunksize = max(1, len(tasks) // (workers * 4))
+        with context.Pool(processes=workers, initializer=_init_worker) as pool:
+            return pool.starmap(task, tasks, chunksize=chunksize)

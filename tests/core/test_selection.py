@@ -83,8 +83,67 @@ class TestSequentialForwardSelector:
         # All-positive predictor gains nothing: TPR 1, FPR 1.
         degenerate = youden_score(np.array([1, 0]), np.array([1, 1]))
         assert degenerate == 0.0
-        # Single-class fold: NaN component treated as 0.
-        assert youden_score(np.array([1, 1]), np.array([1, 1])) == 1.0
+        # Single-class folds leave the score undefined: NaN, so that
+        # aggregation skips the fold rather than zeroing it.
+        assert np.isnan(youden_score(np.array([1, 1]), np.array([1, 1])))
+        assert np.isnan(youden_score(np.array([0, 0]), np.array([0, 0])))
+
+    def test_positive_free_fold_skipped_in_aggregation(self):
+        """A fold with no failures must not drag a good feature toward 0.
+
+        Regression: youden_score used to zero the NaN TPR of a
+        positive-free fold, halving a perfect feature's mean score.
+        """
+        import numpy as np
+
+        from repro.core.selection import youden_score
+        from repro.ml.model_selection import mean_defined_score
+
+        fold_scores = [
+            youden_score(np.array([1, 0, 1, 0]), np.array([1, 0, 1, 0])),  # 1.0
+            youden_score(np.array([0, 0, 0, 0]), np.array([0, 0, 0, 0])),  # no positives
+        ]
+        assert mean_defined_score(fold_scores) == 1.0
+        assert np.isnan(mean_defined_score([float("nan"), float("nan")]))
+
+    def test_positive_free_fold_does_not_stall_selection(self):
+        """Forward selection with one positive-free CV fold still finds
+        the informative feature."""
+        import numpy as np
+
+        from repro.core.selection import SequentialForwardSelector, youden_score
+        from repro.core.splitting import TimeSeriesCrossValidator
+        from repro.ml.model_selection import cross_val_score
+
+        generator = np.random.default_rng(3)
+        n = 120
+        X = generator.normal(0, 1, (n, 4))
+        y = np.zeros(n, dtype=int)
+        # k=2 -> four chronological subsets of 30. Failures stop after
+        # day 90, so fold 1's validation subset (rows 90-119) is
+        # positive-free and scores NaN; fold 0 stays informative.
+        y[[5, 15, 25, 35, 45, 55, 65, 70, 75, 80, 85, 88]] = 1
+        X[:, 2] += 3.0 * y
+        selector = SequentialForwardSelector(
+            GaussianNaiveBayes(),
+            TimeSeriesCrossValidator(k=2),
+            scoring=youden_score,
+            max_features=1,
+        )
+        assert selector.select(X, y) == [2]
+        # The NaN fold is skipped, not zeroed: the mean equals the single
+        # defined fold's score instead of being halved by a phantom 0.
+        scores = cross_val_score(
+            GaussianNaiveBayes(),
+            X[:, [2]],
+            y,
+            TimeSeriesCrossValidator(k=2),
+            youden_score,
+        )
+        defined = scores[~np.isnan(scores)]
+        assert np.isnan(scores).sum() == 1
+        assert selector.best_score_ == pytest.approx(defined.mean())
+        assert selector.best_score_ > defined.mean() / 2
 
     def test_invalid_max_features(self):
         with pytest.raises(ValueError):

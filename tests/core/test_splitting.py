@@ -79,6 +79,30 @@ class TestTimeSeriesCrossValidator:
         with pytest.raises(ValueError):
             TimeSeriesCrossValidator(k=0)
 
+    def test_unsorted_days_raise(self):
+        """Regression: shuffled rows used to pass silently, leaking
+        future records into the training folds."""
+        rng = np.random.default_rng(0)
+        days = rng.permutation(40)
+        X = np.arange(40).reshape(-1, 1)
+        cv = TimeSeriesCrossValidator(k=2, days=days)
+        with pytest.raises(ValueError, match="chronological"):
+            list(cv.split(X))
+
+    def test_sorted_days_accepted(self):
+        days = np.repeat(np.arange(20), 2)  # ties are fine, regressions are not
+        cv = TimeSeriesCrossValidator(k=2, days=days)
+        assert len(list(cv.split(np.zeros((40, 1))))) == 2
+
+    def test_days_length_mismatch_raises(self):
+        cv = TimeSeriesCrossValidator(k=2, days=np.arange(10))
+        with pytest.raises(ValueError, match="entries"):
+            list(cv.split(np.zeros((12, 1))))
+
+    def test_days_must_be_1d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            TimeSeriesCrossValidator(k=2, days=np.zeros((4, 2)))
+
     def test_works_with_grid_search(self, binary_blobs):
         from repro.ml.model_selection import GridSearchCV
         from repro.ml.tree import DecisionTreeClassifier

@@ -62,6 +62,39 @@ class TestRandomForest:
         assert probabilities.shape == (52, 2)
         np.testing.assert_allclose(probabilities.sum(axis=1), 1.0)
 
+    def test_single_class_tree_alignment_precomputed(self):
+        """Regression for the fit-time column-alignment precompute.
+
+        Force a tree that saw only the majority class in its bootstrap
+        and check its one probability column maps onto the right forest
+        column — and that the mapping was built once at fit time.
+        """
+        generator = np.random.default_rng(0)
+        X = np.vstack([generator.normal(0, 1, (60, 2)), generator.normal(6, 1, (1, 2))])
+        y = np.array([0] * 60 + [1])
+        model = RandomForestClassifier(n_estimators=25, seed=0).fit(X, y)
+        single_class = [
+            i for i, tree in enumerate(model.trees_) if tree.classes_.size == 1
+        ]
+        assert single_class, "expected at least one bootstrap without the rare class"
+        for i in single_class:
+            assert model.trees_[i].classes_[0] == 0
+            np.testing.assert_array_equal(model._tree_columns_[i], [0])
+        probabilities = model.predict_proba(X)
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0)
+        # Single-class trees vote all their mass on class 0, so the far
+        # positive sample cannot reach probability 1.
+        assert probabilities[-1, 1] < 1.0
+
+    def test_alignment_rebuilt_for_legacy_pickles(self, binary_blobs):
+        """Models unpickled from pre-precompute checkpoints still align."""
+        X, y = binary_blobs
+        model = RandomForestClassifier(n_estimators=5, max_depth=3, seed=0).fit(X, y)
+        expected = model.predict_proba(X[:20])
+        del model._tree_columns_
+        np.testing.assert_array_equal(model.predict_proba(X[:20]), expected)
+        assert hasattr(model, "_tree_columns_")
+
     def test_invalid_n_estimators(self):
         with pytest.raises(ValueError):
             RandomForestClassifier(n_estimators=0)

@@ -67,6 +67,50 @@ class TestGBDT:
         with pytest.raises(ValueError):
             GradientBoostingClassifier(subsample=1.5)
 
+    def test_single_sigmoid_per_round_matches_reference(self, binary_blobs):
+        """The carried-over sigmoid must be bit-identical to the old
+        compute-twice-per-round loop (residuals from sigmoid(raw_t),
+        deviance from sigmoid(raw_{t+1}))."""
+        from repro.ml.gbdt import _sigmoid
+        from repro.ml.tree import DecisionTreeRegressor
+
+        X, y = binary_blobs
+        model = GradientBoostingClassifier(
+            n_estimators=12, subsample=0.8, max_depth=2, seed=5
+        ).fit(X, y)
+
+        # Reference: the naive loop recomputing the sigmoid twice.
+        targets = (y == model.classes_[1]).astype(float)
+        raw = np.full(X.shape[0], model.initial_score_)
+        rng = np.random.default_rng(5)
+        n_samples = X.shape[0]
+        subsample_size = max(1, int(round(0.8 * n_samples)))
+        deviances = []
+        for _ in range(12):
+            probabilities = _sigmoid(raw)
+            residuals = targets - probabilities
+            rows = rng.choice(n_samples, size=subsample_size, replace=False)
+            tree = DecisionTreeRegressor(
+                max_depth=2, min_samples_leaf=1, seed=int(rng.integers(0, 2**31 - 1))
+            )
+            tree.fit(X[rows], residuals[rows])
+            raw += 0.1 * tree.predict(X)
+            clipped = np.clip(_sigmoid(raw), 1e-12, 1 - 1e-12)
+            deviances.append(
+                float(
+                    -np.mean(
+                        targets * np.log(clipped)
+                        + (1 - targets) * np.log(1 - clipped)
+                    )
+                )
+            )
+        np.testing.assert_array_equal(model.train_deviance_, deviances)
+        np.testing.assert_array_equal(
+            model.predict_proba(X)[:, 1],
+            _sigmoid(model.decision_function(X)),
+        )
+        np.testing.assert_allclose(model.decision_function(X), raw, atol=1e-12)
+
     def test_deterministic_by_seed(self, binary_blobs):
         X, y = binary_blobs
         a = GradientBoostingClassifier(n_estimators=8, subsample=0.7, seed=4).fit(X, y)

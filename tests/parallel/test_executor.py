@@ -1,0 +1,109 @@
+"""Unit tests for the process-pool execution layer."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    ParallelExecutor,
+    effective_n_jobs,
+    fork_available,
+    share,
+)
+from repro.parallel import executor as executor_module
+
+pytestmark = pytest.mark.smoke
+
+
+def _square(x):
+    return x * x
+
+
+def _payload_sum(data, scale):
+    return float(data.get().sum()) * scale
+
+
+def _nested_probe(_):
+    # Inside a worker, a nested executor must degrade to serial instead
+    # of forking recursively.
+    return ParallelExecutor(4).is_parallel
+
+
+class TestEffectiveNJobs:
+    def test_none_and_one_are_serial(self):
+        assert effective_n_jobs(None) == 1
+        assert effective_n_jobs(1) == 1
+
+    def test_positive_passthrough(self):
+        assert effective_n_jobs(7) == 7
+
+    def test_minus_one_is_all_cores(self):
+        assert effective_n_jobs(-1) == (os.cpu_count() or 1)
+
+    def test_negative_counts_back_with_floor(self):
+        assert effective_n_jobs(-((os.cpu_count() or 1) + 5)) == 1
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError, match="n_jobs"):
+            effective_n_jobs(0)
+
+
+class TestSharedPayload:
+    def test_roundtrip_inside_context(self):
+        with share({"x": 1}) as handle:
+            assert handle.get() == {"x": 1}
+
+    def test_handle_invalid_after_context(self):
+        with share([1, 2]) as handle:
+            pass
+        with pytest.raises(RuntimeError, match="no longer registered"):
+            handle.get()
+
+    def test_handles_are_independent(self):
+        with share("a") as first, share("b") as second:
+            assert first.get() == "a"
+            assert second.get() == "b"
+
+
+class TestParallelExecutor:
+    def test_serial_preserves_order(self):
+        assert ParallelExecutor(1).starmap(_square, [(i,) for i in range(6)]) == [
+            0,
+            1,
+            4,
+            9,
+            16,
+            25,
+        ]
+
+    def test_single_task_never_forks(self):
+        # Even at n_jobs=8 a single task runs in-process.
+        assert ParallelExecutor(8).starmap(_square, [(3,)]) == [9]
+
+    @pytest.mark.skipif(not fork_available(), reason="requires fork")
+    def test_parallel_preserves_order(self):
+        result = ParallelExecutor(4).starmap(_square, [(i,) for i in range(20)])
+        assert result == [i * i for i in range(20)]
+
+    @pytest.mark.skipif(not fork_available(), reason="requires fork")
+    def test_workers_see_shared_payload(self):
+        array = np.arange(100.0)
+        with share(array) as data:
+            results = ParallelExecutor(2).starmap(
+                _payload_sum, [(data, scale) for scale in (1.0, 2.0, 3.0)]
+            )
+        assert results == [4950.0, 9900.0, 14850.0]
+
+    @pytest.mark.skipif(not fork_available(), reason="requires fork")
+    def test_nested_executor_degrades_to_serial(self):
+        flags = ParallelExecutor(2).starmap(_nested_probe, [(i,) for i in range(4)])
+        assert flags == [False, False, False, False]
+        # The parent itself is unaffected by worker-side flags.
+        assert not executor_module._IN_WORKER
+
+    def test_serial_when_fork_unavailable(self, monkeypatch):
+        monkeypatch.setattr(executor_module, "fork_available", lambda: False)
+        executor = ParallelExecutor(4)
+        assert not executor.is_parallel
+        assert executor.starmap(_square, [(2,), (3,)]) == [4, 9]

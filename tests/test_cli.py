@@ -42,6 +42,12 @@ class TestParser:
         assert args.feature_group == "SFWB"
         assert args.theta == 7
 
+    def test_n_jobs_flag_on_parallel_subcommands(self):
+        assert build_parser().parse_args(["train", "d"]).n_jobs == 1
+        for command in ("train", "monitor", "chaos"):
+            args = build_parser().parse_args([command, "d", "--n-jobs", "4"])
+            assert args.n_jobs == 4
+
 
 class TestSimulate:
     def test_writes_loadable_dataset(self, saved_fleet):
@@ -72,6 +78,19 @@ class TestTrain:
         out = capsys.readouterr().out
         assert "TPR" in out
         assert "drive" in out and "record" in out
+
+    def test_train_with_n_jobs_matches_serial(self, saved_fleet, capsys):
+        from repro.parallel import fork_available
+
+        if not fork_available():
+            pytest.skip("parallel path requires fork")
+        main(["train", str(saved_fleet), "--train-end-day", "140",
+              "--eval-end-day", "200"])
+        serial_out = capsys.readouterr().out
+        main(["train", str(saved_fleet), "--train-end-day", "140",
+              "--eval-end-day", "200", "--n-jobs", "2"])
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out
 
 
 class TestSummary:
