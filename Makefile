@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test smoke bench bench-parallel chaos examples exhibits clean
+.PHONY: install test smoke bench bench-parallel bench-obs chaos obs-smoke lint-obs examples exhibits clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -18,8 +18,18 @@ bench-parallel:
 	PYTHONPATH=src pytest benchmarks/test_parallel_speedup.py -m parallel_bench -s
 	@echo "results in benchmarks/results/parallel_speedup.json"
 
+bench-obs:
+	PYTHONPATH=src pytest benchmarks/test_obs_overhead.py -m obs_bench -s
+	@echo "results in benchmarks/results/obs_overhead.json"
+
 chaos:
 	PYTHONPATH=src pytest benchmarks/test_chaos_robustness.py -m chaos
+
+obs-smoke:
+	PYTHONPATH=src python tools/obs_smoke.py
+
+lint-obs:
+	PYTHONPATH=src python tools/lint_obs.py
 
 examples:
 	python examples/quickstart.py

@@ -1,0 +1,134 @@
+"""Observability overhead budget (``make bench-obs``).
+
+Times the forest-fit benchmark from ``test_parallel_speedup.py`` with
+observability off vs fully on (tracing + metric capture) and asserts
+the overhead stays under 5% — the instrumentation contract. Uses
+min-of-repeats on both sides so scheduler noise doesn't flip the
+verdict, verifies the fitted models predict bit-identically, and writes
+machine-readable numbers plus the instrumented span/metric dump to
+``benchmarks/results/obs_overhead.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks._util import RESULTS_DIR, save_exhibit
+from repro.ml.forest import RandomForestClassifier
+from repro.obs import (
+    disable_observability,
+    enable_observability,
+    get_registry,
+    get_tracer,
+    trace_span,
+)
+from repro.reporting import render_table
+
+pytestmark = pytest.mark.obs_bench
+
+REPEATS = 3
+OVERHEAD_BUDGET = 0.05
+
+
+def _training_data(n_samples=6000, n_features=16, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(0, 1, (n_samples, n_features))
+    y = (X[:, 0] + 0.5 * X[:, 3] - X[:, 7] + rng.normal(0, 0.7, n_samples) > 0).astype(
+        int
+    )
+    return X, y
+
+
+def _fit(X, y):
+    return RandomForestClassifier(
+        n_estimators=24, max_depth=None, seed=0, n_jobs=1
+    ).fit(X, y)
+
+
+def _best_of(fn, repeats=REPEATS):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return result, best
+
+
+def test_tracing_overhead_under_budget():
+    X, y = _training_data()
+
+    disable_observability()
+    plain_model, plain_seconds = _best_of(lambda: _fit(X, y))
+
+    enable_observability()
+    # Collection is always on, so the untraced fits above also counted
+    # trees; zero the registry so the assertions below see only the
+    # traced phase.
+    get_registry().reset()
+
+    def traced_fit():
+        with trace_span("bench.forest_fit"):
+            return _fit(X, y)
+
+    traced_model, traced_seconds = _best_of(traced_fit)
+    spans = get_tracer().span_records()
+    tree_counter = get_registry().counter("forest_trees_fitted_total").value
+    metrics = [
+        entry
+        for entry in get_registry().dump()
+        if any(
+            sample.get("value") or sample.get("count")
+            for sample in entry["samples"]
+        )
+    ]
+    disable_observability()
+
+    # Observability never perturbs outputs.
+    np.testing.assert_array_equal(
+        plain_model.predict_proba(X[:200]), traced_model.predict_proba(X[:200])
+    )
+    # All REPEATS * 24 trees were observed.
+    assert tree_counter == REPEATS * 24
+    assert any(record["name"] == "forest.fit_tree" for record in spans)
+
+    overhead = traced_seconds / plain_seconds - 1.0
+    payload = {
+        "cpu_count": os.cpu_count(),
+        "repeats": REPEATS,
+        "benchmark": "forest_fit (6000x16, 24 trees, n_jobs=1)",
+        "untraced_seconds": round(plain_seconds, 4),
+        "traced_seconds": round(traced_seconds, 4),
+        "overhead_fraction": round(overhead, 4),
+        "budget_fraction": OVERHEAD_BUDGET,
+        "spans": spans,
+        "metrics": metrics,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "obs_overhead.json").write_text(json.dumps(payload, indent=2))
+
+    save_exhibit(
+        "obs_overhead",
+        render_table(
+            ["Benchmark", "Untraced (s)", "Traced (s)", "Overhead"],
+            [
+                [
+                    "forest_fit",
+                    f"{plain_seconds:.3f}",
+                    f"{traced_seconds:.3f}",
+                    f"{overhead:+.2%}",
+                ]
+            ],
+            title=f"Observability overhead (budget {OVERHEAD_BUDGET:.0%})",
+        ),
+    )
+
+    assert overhead < OVERHEAD_BUDGET, (
+        f"tracing overhead {overhead:.2%} exceeds the {OVERHEAD_BUDGET:.0%} "
+        f"budget ({plain_seconds:.3f}s -> {traced_seconds:.3f}s)"
+    )

@@ -8,6 +8,16 @@ monitor     replay a monitored deployment over a saved fleet
 summary     print Table-VI style statistics of a saved fleet
 chaos       corrupt a fleet with fault injectors, sanitize, and
             measure the monitored pipeline's degradation
+obs         observability utilities (``obs report <run-dir>``)
+
+Observability
+-------------
+``train``/``monitor``/``chaos`` accept ``--trace`` (span tracing),
+``--metrics-out PATH`` (JSONL events, or Prometheus text when PATH ends
+with ``.prom``), ``--log-level``/``--log-json`` (structured logging) and
+``--run-dir DIR`` (write ``DIR/manifest.json`` stamping config hash,
+dataset fingerprint, span tree, metrics and results). Default output is
+unchanged when none of these flags are given.
 """
 
 from __future__ import annotations
@@ -18,10 +28,28 @@ import sys
 from repro.analysis.dataset_summary import dataset_summary_rows
 from repro.core.deployment import simulate_operation
 from repro.core.pipeline import MFPA, MFPAConfig
+from repro.obs import (
+    annotate_run,
+    config_hash,
+    configure_logging,
+    dataset_fingerprint,
+    disable_observability,
+    enable_observability,
+    get_logger,
+    get_registry,
+    get_tracer,
+    record_result,
+    set_current_run,
+    start_run,
+    trace_span,
+)
+from repro.obs.logs import LEVELS
 from repro.reporting import render_table
 from repro.telemetry.fleet import FleetConfig, VendorMix, simulate_fleet
 from repro.telemetry.io import load_dataset, save_dataset
 from repro.telemetry.models import VENDORS
+
+log = get_logger("repro.cli")
 
 
 def _add_simulate(subparsers) -> None:
@@ -63,6 +91,38 @@ def _add_loading_flags(parser) -> None:
     )
 
 
+def _add_obs_flags(parser) -> None:
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record a span tree (wall/CPU per stage); printed at exit "
+        "unless --run-dir captures it into the manifest",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the run's metrics as JSONL events "
+        "(Prometheus text format when PATH ends with .prom)",
+    )
+    parser.add_argument(
+        "--log-level",
+        default="info",
+        choices=sorted(LEVELS, key=LEVELS.get),
+        help="structured-logging threshold (default: info)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit log records as JSON lines instead of plain text",
+    )
+    parser.add_argument(
+        "--run-dir",
+        metavar="DIR",
+        help="stamp this run: write DIR/manifest.json (config hash, dataset "
+        "fingerprint, span tree, metrics, results) plus DIR/metrics.prom",
+    )
+
+
 def _add_train(subparsers) -> None:
     parser = subparsers.add_parser("train", help="train MFPA on a saved fleet")
     parser.add_argument("dataset", help="directory written by `simulate`")
@@ -75,6 +135,7 @@ def _add_train(subparsers) -> None:
     parser.add_argument("--feature-selection", action="store_true")
     _add_n_jobs_flag(parser)
     _add_loading_flags(parser)
+    _add_obs_flags(parser)
 
 
 def _add_monitor(subparsers) -> None:
@@ -100,6 +161,7 @@ def _add_monitor(subparsers) -> None:
     )
     _add_n_jobs_flag(parser)
     _add_loading_flags(parser)
+    _add_obs_flags(parser)
 
 
 def _add_summary(subparsers) -> None:
@@ -134,6 +196,16 @@ def _add_chaos(subparsers) -> None:
         "ingestion (most faults will then crash it — that is the point)",
     )
     _add_n_jobs_flag(parser)
+    _add_obs_flags(parser)
+
+
+def _add_obs(subparsers) -> None:
+    parser = subparsers.add_parser("obs", help="observability utilities")
+    obs_subparsers = parser.add_subparsers(dest="obs_command", required=True)
+    report = obs_subparsers.add_parser(
+        "report", help="render a run manifest's span tree and metrics"
+    )
+    report.add_argument("run_dir", help="directory a run wrote with --run-dir")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -147,6 +219,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_monitor(subparsers)
     _add_summary(subparsers)
     _add_chaos(subparsers)
+    _add_obs(subparsers)
     return parser
 
 
@@ -171,19 +244,33 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     )
     dataset = simulate_fleet(config)
     path = save_dataset(dataset, args.output)
-    print(
+    log.info(
         f"simulated {dataset.n_drives} drives / {dataset.n_records} records "
-        f"/ {len(dataset.tickets)} tickets -> {path}"
+        f"/ {len(dataset.tickets)} tickets -> {path}",
+        n_drives=dataset.n_drives,
+        n_records=dataset.n_records,
+        n_tickets=len(dataset.tickets),
+        path=str(path),
     )
     return 0
 
 
 def _load(args: argparse.Namespace):
-    return load_dataset(
-        args.dataset,
-        validate=getattr(args, "validate", False),
-        sanitize=getattr(args, "sanitize", False),
-    )
+    with trace_span("load_dataset"):
+        dataset = load_dataset(
+            args.dataset,
+            validate=getattr(args, "validate", False),
+            sanitize=getattr(args, "sanitize", False),
+        )
+    annotate_run(dataset_fingerprint=dataset_fingerprint(dataset))
+    return dataset
+
+
+def _format_lead_time(summary) -> str:
+    """Explicit empty-alarms guard: "n/a", never a printed NaN."""
+    if not summary.has_lead_times:
+        return "n/a (no true alarms)"
+    return f"{summary.median_lead_time:.0f} days"
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
@@ -196,10 +283,19 @@ def _cmd_train(args: argparse.Namespace) -> int:
         feature_selection=args.feature_selection,
         n_jobs=args.n_jobs,
     )
+    annotate_run(
+        config_hash=config_hash(config), seed=config.seed, n_jobs=args.n_jobs
+    )
     model = MFPA(config)
     model.fit(dataset, train_end_day=args.train_end_day)
     result = model.evaluate(args.train_end_day, args.eval_end_day)
-    print(
+    for level, report in (
+        ("drive", result.drive_report),
+        ("record", result.record_report),
+    ):
+        for metric in ("tpr", "fpr", "accuracy", "pdr", "auc"):
+            record_result(f"{level}_{metric}", getattr(report, metric))
+    log.info(
         render_table(
             ["Level", "TPR", "FPR", "ACC", "PDR", "AUC"],
             [
@@ -217,6 +313,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 def _cmd_monitor(args: argparse.Namespace) -> int:
     dataset = _load(args)
+    annotate_run(n_jobs=args.n_jobs)
     summary = simulate_operation(
         dataset,
         start_day=args.start_day,
@@ -228,7 +325,14 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         resume=args.resume,
         n_jobs=args.n_jobs,
     )
-    print(
+    record_result("n_alarms", summary.n_alarms)
+    record_result("true_alarms", summary.true_alarms)
+    record_result("false_alarms", summary.false_alarms)
+    record_result("missed_failures", summary.missed_failures)
+    record_result("precision", summary.precision)
+    record_result("recall", summary.recall)
+    record_result("median_lead_time_days", summary.median_lead_time)
+    log.info(
         render_table(
             ["Window", "Alarms", "Scored", "Retrained"],
             [
@@ -238,14 +342,14 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             title="Monitored operation",
         )
     )
-    print(
+    log.info(
         f"\nalarms: {summary.n_alarms} ({summary.true_alarms} true, "
         f"{summary.false_alarms} false); precision {summary.precision:.2%}, "
         f"recall {summary.recall:.2%}, median lead time "
-        f"{summary.median_lead_time:.0f} days"
+        f"{_format_lead_time(summary)}"
     )
     if summary.unknown_serial_alarms:
-        print(f"unknown-serial alarms: {summary.unknown_serial_alarms}")
+        log.warning(f"unknown-serial alarms: {summary.unknown_serial_alarms}")
     return 0
 
 
@@ -254,6 +358,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
     clean = _load(args)
     fault_names = args.fault or sorted(FAULT_REGISTRY)
+    annotate_run(seed=args.seed, n_jobs=args.n_jobs, faults=fault_names)
 
     def run(dataset):
         summary = simulate_operation(
@@ -268,26 +373,36 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         fpr = summary.false_alarms / fpr_denominator if fpr_denominator else float("nan")
         return summary.recall, fpr, summary.median_lead_time
 
+    def fmt(value: float, fmt_spec: str) -> str:
+        return "n/a" if value != value else format(value, fmt_spec)
+
     baseline = run(clean)
-    rows = [["(clean)", f"{baseline[0]:.3f}", f"{baseline[1]:.3f}", f"{baseline[2]:.0f}", "-", "-", "-"]]
+    record_result(
+        "baseline", {"tpr": baseline[0], "fpr": baseline[1], "lead": baseline[2]}
+    )
+    rows = [
+        ["(clean)", fmt(baseline[0], ".3f"), fmt(baseline[1], ".3f"),
+         fmt(baseline[2], ".0f"), "-", "-", "-"]
+    ]
     for name in fault_names:
         corrupted = inject(clean, [make_fault(name)], seed=args.seed)
         if not args.no_sanitize:
             corrupted, report = sanitize_dataset(corrupted)
-            print(f"[{name}] quarantine: {report.summary()}")
+            log.info(f"[{name}] quarantine: {report.summary()}")
         tpr, fpr, lead = run(corrupted)
+        record_result(name, {"tpr": tpr, "fpr": fpr, "lead": lead})
         rows.append(
             [
                 name,
-                f"{tpr:.3f}",
-                f"{fpr:.3f}",
-                f"{lead:.0f}",
-                f"{tpr - baseline[0]:+.3f}",
-                f"{fpr - baseline[1]:+.3f}",
-                f"{lead - baseline[2]:+.0f}",
+                fmt(tpr, ".3f"),
+                fmt(fpr, ".3f"),
+                fmt(lead, ".0f"),
+                fmt(tpr - baseline[0], "+.3f"),
+                fmt(fpr - baseline[1], "+.3f"),
+                fmt(lead - baseline[2], "+.0f"),
             ]
         )
-    print(
+    log.info(
         render_table(
             ["Fault", "TPR", "FPR", "Lead", "dTPR", "dFPR", "dLead"],
             rows,
@@ -300,7 +415,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 def _cmd_summary(args: argparse.Namespace) -> int:
     dataset = _load(args)
     rows = dataset_summary_rows(dataset)
-    print(
+    log.info(
         render_table(
             ["Manu.", "Total", "Sum_failure", "Sum_RR", "Paper RR"],
             [
@@ -313,18 +428,94 @@ def _cmd_summary(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs.report import render_run_report
+
+    log.info(render_run_report(args.run_dir))
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "train": _cmd_train,
     "monitor": _cmd_monitor,
     "summary": _cmd_summary,
     "chaos": _cmd_chaos,
+    "obs": _cmd_obs,
 }
+
+
+#: Commands carrying the obs flags. ``obs report`` itself is excluded —
+#: its ``run_dir`` positional must never be mistaken for ``--run-dir``
+#: (that would overwrite the manifest being rendered).
+_OBSERVABLE_COMMANDS = frozenset({"train", "monitor", "chaos"})
+
+
+def _begin_observability(args: argparse.Namespace):
+    """Enable tracing/metrics per the obs flags; open a run context
+    when ``--run-dir`` asks for a manifest."""
+    wants_obs = args.command in _OBSERVABLE_COMMANDS and (
+        getattr(args, "trace", False)
+        or getattr(args, "metrics_out", None)
+        or getattr(args, "run_dir", None)
+    )
+    if not wants_obs:
+        return None
+    enable_observability()
+    run = None
+    if getattr(args, "run_dir", None):
+        cli_args = {
+            k: v for k, v in vars(args).items() if k not in ("command", "run_dir")
+        }
+        run = start_run(args.run_dir, command=args.command, args=cli_args)
+        set_current_run(run)
+    return run
+
+
+def _finish_observability(args: argparse.Namespace, run, status: str) -> None:
+    """Export metrics / manifest / span tree, then reset all obs state
+    so repeated ``main()`` calls in one process start clean."""
+    try:
+        metrics_out = getattr(args, "metrics_out", None)
+        if metrics_out:
+            registry = get_registry()
+            text = (
+                registry.to_prometheus()
+                if str(metrics_out).endswith(".prom")
+                else registry.to_jsonl()
+            )
+            from pathlib import Path
+
+            path = Path(metrics_out)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text)
+            log.info(f"metrics written to {path}")
+        if run is not None:
+            manifest_path = run.finalize(get_tracer(), get_registry(), status=status)
+            log.info(f"run manifest written to {manifest_path}")
+        elif getattr(args, "trace", False):
+            from repro.obs.report import render_span_tree
+
+            log.info("\n" + render_span_tree(get_tracer().span_records()))
+    finally:
+        disable_observability()
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    configure_logging(
+        level=getattr(args, "log_level", "info"),
+        json_lines=getattr(args, "log_json", False),
+    )
+    run = _begin_observability(args)
+    status = "error"
+    try:
+        with trace_span(args.command):
+            code = _COMMANDS[args.command](args)
+        status = "ok" if code == 0 else "error"
+        return code
+    finally:
+        _finish_observability(args, run, status)
 
 
 if __name__ == "__main__":

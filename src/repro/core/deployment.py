@@ -16,11 +16,13 @@ This module packages that loop:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.pipeline import MFPA, MFPAConfig
+from repro.obs import inc_counter, observe_histogram, trace_span
 from repro.parallel import ParallelExecutor, SharedPayload, share
 from repro.telemetry.dataset import TelemetryDataset
 
@@ -102,7 +104,24 @@ class OperationSummary:
         return caught / total
 
     @property
+    def has_lead_times(self) -> bool:
+        """Whether any true alarm produced a lead-time measurement.
+
+        Check this before formatting :attr:`median_lead_time` — an
+        operation with no true alarms has no lead time, and callers
+        should render that as "n/a" rather than ``nan``.
+        """
+        return bool(self.lead_times)
+
+    @property
     def median_lead_time(self) -> float:
+        """Median days of warning across true alarms.
+
+        Explicitly NaN when no true alarm was raised (the empty-alarms
+        case) — see :attr:`has_lead_times` for a printable guard;
+        ``summarize_windows`` counts the underlying empty windows in
+        the ``monitor_windows_empty_total`` metric.
+        """
         if not self.lead_times:
             return float("nan")
         return float(np.median(self.lead_times))
@@ -154,15 +173,16 @@ class FleetMonitor:
         supports (the paper's Table-5 reduced groups) and records the
         missing dimensions in ``degraded_dimensions_``.
         """
-        if self.allow_degraded:
-            from repro.robustness.degraded import adapt_for_missing_dimensions
+        with trace_span("monitor.start"):
+            if self.allow_degraded:
+                from repro.robustness.degraded import adapt_for_missing_dimensions
 
-            dataset, self.config, self.degraded_dimensions_ = (
-                adapt_for_missing_dimensions(dataset, self.config)
-            )
-        self.dataset = dataset
-        self.model = MFPA(self.config)
-        self.model.fit(dataset, train_end_day=train_end_day)
+                dataset, self.config, self.degraded_dimensions_ = (
+                    adapt_for_missing_dimensions(dataset, self.config)
+                )
+            self.dataset = dataset
+            self.model = MFPA(self.config)
+            self.model.fit(dataset, train_end_day=train_end_day)
         self._last_trained_day = train_end_day
         self._failures_at_training = sum(
             1 for day in self.model.failure_times_.values() if day < train_end_day
@@ -180,8 +200,10 @@ class FleetMonitor:
         )
         if known_failures - self._failures_at_training < self.policy.min_new_failures:
             return False
-        self.model = MFPA(self.config)
-        self.model.fit(self.dataset, train_end_day=day)
+        with trace_span("monitor.retrain"):
+            self.model = MFPA(self.config)
+            self.model.fit(self.dataset, train_end_day=day)
+        inc_counter("monitor_retrains_total")
         self._last_trained_day = day
         self._failures_at_training = known_failures
         return True
@@ -213,10 +235,24 @@ class FleetMonitor:
         (an alarmed drive is assumed pulled for backup/replacement).
         Retraining, when due, happens *before* scoring using only data
         prior to ``start_day``.
+
+        Every call emits a ``window_score_seconds`` observation plus
+        window/drive/alarm counters, and runs inside a
+        ``monitor.score_window`` span.
         """
         self._check_started()
         if end_day <= start_day:
             raise ValueError("end_day must exceed start_day")
+        started = time.perf_counter()
+        with trace_span("monitor.score_window"):
+            window = self._score_window(start_day, end_day)
+        observe_histogram("window_score_seconds", time.perf_counter() - started)
+        inc_counter("monitor_windows_scored_total")
+        inc_counter("monitor_drives_scored_total", window.n_drives_scored)
+        inc_counter("monitor_alarms_raised_total", len(window.alarms))
+        return window
+
+    def _score_window(self, start_day: int, end_day: int) -> MonitoringWindow:
         retrained = self._maybe_retrain(start_day)
 
         prepared = self.model.dataset_
@@ -285,22 +321,36 @@ def summarize_windows(
     with no preceding alarm is *missed*. Alarms for serials absent from
     ``dataset.drives`` are counted as ``unknown_serial_alarms`` rather
     than folded into the false alarms.
+
+    Grading emits the ``monitor_alarms_total{kind=tp|fp|unknown_serial}``
+    counters, a ``monitor_lead_time_days`` observation per true alarm,
+    and ``monitor_windows_empty_total`` for every alarm-free window —
+    the explicit signal for "no alarms, hence no lead time" replacing a
+    silently NaN median.
     """
     true_alarms = 0
     false_alarms = 0
     unknown = 0
     lead_times = []
     alarmed_serials = set()
+    for window in windows:
+        if not window.alarms:
+            inc_counter("monitor_windows_empty_total")
     for alarm in (alarm for window in windows for alarm in window.alarms):
         meta = dataset.drives.get(alarm.serial)
         alarmed_serials.add(alarm.serial)
         if meta is None:
             unknown += 1
+            inc_counter("monitor_alarms_total", kind="unknown_serial")
         elif meta.failed and meta.failure_day >= alarm.day:
             true_alarms += 1
-            lead_times.append(int(meta.failure_day - alarm.day))
+            lead_time = int(meta.failure_day - alarm.day)
+            lead_times.append(lead_time)
+            inc_counter("monitor_alarms_total", kind="tp")
+            observe_histogram("monitor_lead_time_days", lead_time)
         else:
             false_alarms += 1
+            inc_counter("monitor_alarms_total", kind="fp")
     missed = sum(
         1
         for meta in dataset.drives.values()
@@ -308,6 +358,7 @@ def summarize_windows(
         and start_day <= meta.failure_day < end_day
         and meta.serial not in alarmed_serials
     )
+    inc_counter("monitor_missed_failures_total", missed)
     return OperationSummary(
         windows=windows,
         true_alarms=true_alarms,

@@ -25,6 +25,7 @@ from repro.ml.forest import RandomForestClassifier
 from repro.ml.metrics import ClassificationReport, classification_report
 from repro.ml.model_selection import GridSearchCV
 from repro.ml.resampling import RandomUnderSampler
+from repro.obs import trace_span
 from repro.telemetry.dataset import TelemetryDataset
 
 
@@ -169,35 +170,48 @@ class MFPA:
     # Training
     # ------------------------------------------------------------------
     def fit(self, dataset: TelemetryDataset, train_end_day: int) -> "MFPA":
-        """Preprocess, label and train on records before ``train_end_day``."""
+        """Preprocess, label and train on records before ``train_end_day``.
+
+        Each stage runs inside a ``trace_span`` (nested under
+        ``pipeline.fit``) mirroring the ``stage_stats_`` keys, so traced
+        runs show exactly where fit wall-clock goes.
+        """
+        with trace_span("pipeline.fit"):
+            return self._fit(dataset, train_end_day)
+
+    def _fit(self, dataset: TelemetryDataset, train_end_day: int) -> "MFPA":
         config = self.config
 
         started = time.perf_counter()
-        prepared, report, encoder = preprocess(
-            dataset,
-            max_gap=config.max_gap,
-            fill_gap=config.fill_gap,
-            min_segment_records=config.min_segment_records,
-        )
-        if config.derived_features:
-            from repro.core.derived import add_derived_features
+        with trace_span("feature_engineering"):
+            prepared, report, encoder = preprocess(
+                dataset,
+                max_gap=config.max_gap,
+                fill_gap=config.fill_gap,
+                min_segment_records=config.min_segment_records,
+            )
+            if config.derived_features:
+                from repro.core.derived import add_derived_features
 
-            prepared, self.derived_columns_ = add_derived_features(prepared)
-        else:
-            self.derived_columns_ = ()
+                prepared, self.derived_columns_ = add_derived_features(prepared)
+            else:
+                self.derived_columns_ = ()
         self._record_stage("feature_engineering", started, prepared.n_records)
         self.dataset_ = prepared
         self.preprocess_report_ = report
         self.firmware_encoder_ = encoder
 
         started = time.perf_counter()
-        self.failure_times_ = FailureTimeIdentifier(config.theta).identify(prepared)
-        samples = build_samples(
-            prepared,
-            self.failure_times_,
-            positive_window=config.positive_window,
-            lookahead=config.lookahead,
-        )
+        with trace_span("labeling"):
+            self.failure_times_ = FailureTimeIdentifier(config.theta).identify(
+                prepared
+            )
+            samples = build_samples(
+                prepared,
+                self.failure_times_,
+                positive_window=config.positive_window,
+                lookahead=config.lookahead,
+            )
         self._record_stage("labeling", started, samples.n_samples)
 
         train_mask = samples.days < train_end_day
@@ -214,44 +228,54 @@ class MFPA:
             raise ValueError("no positive samples in the training window")
 
         started = time.perf_counter()
-        sampler = RandomUnderSampler(ratio=config.negative_ratio, seed=config.seed)
-        row_indices, labels, days = sampler.fit_resample(
-            train.row_indices, train.labels, train.days
-        )
-        order = np.argsort(days, kind="stable")
-        row_indices, labels, days = row_indices[order], labels[order], days[order]
+        with trace_span("sampling"):
+            sampler = RandomUnderSampler(
+                ratio=config.negative_ratio, seed=config.seed
+            )
+            row_indices, labels, days = sampler.fit_resample(
+                train.row_indices, train.labels, train.days
+            )
+            order = np.argsort(days, kind="stable")
+            row_indices, labels, days = (
+                row_indices[order],
+                labels[order],
+                days[order],
+            )
 
-        columns = config.feature_columns or feature_group(
-            config.feature_group_name
-        ).columns
-        if self.derived_columns_:
-            if config.derived_mode == "replace":
-                from repro.core.derived import DEFAULT_DERIVE_COLUMNS
+            columns = config.feature_columns or feature_group(
+                config.feature_group_name
+            ).columns
+            if self.derived_columns_:
+                if config.derived_mode == "replace":
+                    from repro.core.derived import DEFAULT_DERIVE_COLUMNS
 
-                columns = tuple(
-                    c for c in columns if c not in DEFAULT_DERIVE_COLUMNS
+                    columns = tuple(
+                        c for c in columns if c not in DEFAULT_DERIVE_COLUMNS
+                    )
+                columns = (*columns, *self.derived_columns_)
+            if config.feature_selection:
+                columns = self._forward_select(
+                    prepared, row_indices, labels, days, columns
                 )
-            columns = (*columns, *self.derived_columns_)
-        if config.feature_selection:
-            columns = self._forward_select(prepared, row_indices, labels, days, columns)
-        self.assembler_ = FeatureAssembler(columns, config.history_length)
-        X = self.assembler_.assemble(prepared.columns, row_indices)
+            self.assembler_ = FeatureAssembler(columns, config.history_length)
+            X = self.assembler_.assemble(prepared.columns, row_indices)
         self._record_stage("sampling", started, labels.size)
 
         started = time.perf_counter()
-        if config.param_grid:
-            search = GridSearchCV(
-                config.algorithm,
-                config.param_grid,
-                splitter=TimeSeriesCrossValidator(k=config.cv_k, days=days),
-                n_jobs=config.n_jobs,
-            )
-            search.fit(X, labels)
-            self.model_ = search.best_estimator_
-            self.search_ = search
-        else:
-            self.model_ = _with_n_jobs(clone(config.algorithm), config.n_jobs)
-            self.model_.fit(X, labels)
+        with trace_span("training"):
+            if config.param_grid:
+                search = GridSearchCV(
+                    config.algorithm,
+                    config.param_grid,
+                    splitter=TimeSeriesCrossValidator(k=config.cv_k, days=days),
+                    n_jobs=config.n_jobs,
+                )
+                search.fit(X, labels)
+                self.model_ = search.best_estimator_
+                self.search_ = search
+            else:
+                self.model_ = _with_n_jobs(clone(config.algorithm), config.n_jobs)
+                self.model_.fit(X, labels)
         self._record_stage("training", started, labels.size)
         self.train_end_day_ = train_end_day
         return self
@@ -271,19 +295,20 @@ class MFPA:
         ``self.selection_history_`` (the data behind Fig 17).
         """
         config = self.config
-        assembler = FeatureAssembler(columns, history_length=1)
-        cap = min(config.selection_max_rows, row_indices.size)
-        step = max(1, row_indices.size // cap)
-        subsample = np.arange(0, row_indices.size, step)[:cap]
-        X = assembler.assemble(prepared.columns, row_indices[subsample])
-        selector = SequentialForwardSelector(
-            config.selection_estimator or config.algorithm,
-            TimeSeriesCrossValidator(k=config.cv_k, days=days[subsample]),
-            scoring=youden_score,
-            max_features=config.selection_max_features,
-            n_jobs=config.n_jobs,
-        )
-        chosen = selector.select(X, labels[subsample])
+        with trace_span("feature_selection"):
+            assembler = FeatureAssembler(columns, history_length=1)
+            cap = min(config.selection_max_rows, row_indices.size)
+            step = max(1, row_indices.size // cap)
+            subsample = np.arange(0, row_indices.size, step)[:cap]
+            X = assembler.assemble(prepared.columns, row_indices[subsample])
+            selector = SequentialForwardSelector(
+                config.selection_estimator or config.algorithm,
+                TimeSeriesCrossValidator(k=config.cv_k, days=days[subsample]),
+                scoring=youden_score,
+                max_features=config.selection_max_features,
+                n_jobs=config.n_jobs,
+            )
+            chosen = selector.select(X, labels[subsample])
         self.selection_history_ = [
             (columns[index], score) for index, score in selector.history_
         ]
@@ -429,17 +454,18 @@ class MFPA:
         their records in the period.
         """
         started = time.perf_counter()
-        (
-            drive_truth_arr,
-            drive_scores_arr,
-            record_truth_arr,
-            record_scores_arr,
-            n_faulty,
-            n_healthy,
-        ) = self._collect_drive_scores(start_day, end_day)
-        threshold = self.config.decision_threshold
-        drive_predictions = (drive_scores_arr >= threshold).astype(int)
-        record_predictions = (record_scores_arr >= threshold).astype(int)
+        with trace_span("pipeline.evaluate"), trace_span("prediction"):
+            (
+                drive_truth_arr,
+                drive_scores_arr,
+                record_truth_arr,
+                record_scores_arr,
+                n_faulty,
+                n_healthy,
+            ) = self._collect_drive_scores(start_day, end_day)
+            threshold = self.config.decision_threshold
+            drive_predictions = (drive_scores_arr >= threshold).astype(int)
+            record_predictions = (record_scores_arr >= threshold).astype(int)
         self._record_stage("prediction", started, record_truth_arr.size)
 
         return EvaluationResult(

@@ -16,6 +16,7 @@ O(candidates × folds) dataset pickles.
 
 from __future__ import annotations
 
+import time
 from typing import Callable
 
 import numpy as np
@@ -23,6 +24,7 @@ import numpy as np
 from repro.ml.base import BaseClassifier, clone
 from repro.ml.metrics import accuracy, false_positive_rate, true_positive_rate
 from repro.ml.model_selection import mean_defined_score
+from repro.obs import inc_counter, observe_histogram, trace_span
 from repro.parallel import ParallelExecutor, SharedPayload, share
 
 
@@ -50,14 +52,17 @@ def _score_candidate(
     scoring: Callable[[np.ndarray, np.ndarray], float],
 ) -> float:
     """Cross-validated mean score of one candidate column subset."""
-    X, y, folds = data.get()
-    X_candidate = X[:, columns]
-    scores = []
-    for train_indices, validation_indices in folds:
-        model = clone(estimator)
-        model.fit(X_candidate[train_indices], y[train_indices])
-        predictions = model.predict(X_candidate[validation_indices])
-        scores.append(float(scoring(y[validation_indices], predictions)))
+    started = time.perf_counter()
+    with trace_span("selection.score_candidate"):
+        X, y, folds = data.get()
+        X_candidate = X[:, columns]
+        scores = []
+        for train_indices, validation_indices in folds:
+            model = clone(estimator)
+            model.fit(X_candidate[train_indices], y[train_indices])
+            predictions = model.predict(X_candidate[validation_indices])
+            scores.append(float(scoring(y[validation_indices], predictions)))
+    observe_histogram("selection_candidate_seconds", time.perf_counter() - started)
     return mean_defined_score(scores)
 
 
@@ -124,13 +129,16 @@ class SequentialForwardSelector:
         limit = self.max_features or n_features
         with share((X, y, folds)) as data:
             while remaining and len(selected) < limit:
-                candidate_scores = executor.starmap(
-                    _score_candidate,
-                    [
-                        (data, self.estimator, selected + [feature], self.scoring)
-                        for feature in remaining
-                    ],
-                )
+                inc_counter("mfpa_selection_rounds_total")
+                inc_counter("mfpa_selection_candidate_fits_total", len(remaining))
+                with trace_span("selection.round"):
+                    candidate_scores = executor.starmap(
+                        _score_candidate,
+                        [
+                            (data, self.estimator, selected + [feature], self.scoring)
+                            for feature in remaining
+                        ],
+                    )
                 round_best_score = -np.inf
                 round_best_feature = None
                 for feature, mean_score in zip(remaining, candidate_scores):

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.ml.base import BaseClassifier, check_X, check_X_y
 from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+from repro.obs import inc_counter, trace_span
 from repro.parallel import ParallelExecutor, SharedPayload, share
 
 
@@ -37,18 +38,22 @@ def _derive_tree_plans(
 def _fit_classifier_tree(
     data: SharedPayload, sample: np.ndarray, seed: int, params: dict
 ) -> DecisionTreeClassifier:
-    X, y = data.get()
-    tree = DecisionTreeClassifier(seed=seed, **params)
-    tree.fit(X[sample], y[sample])
+    with trace_span("forest.fit_tree"):
+        X, y = data.get()
+        tree = DecisionTreeClassifier(seed=seed, **params)
+        tree.fit(X[sample], y[sample])
+    inc_counter("forest_trees_fitted_total")
     return tree
 
 
 def _fit_regressor_tree(
     data: SharedPayload, sample: np.ndarray, seed: int, params: dict
 ) -> DecisionTreeRegressor:
-    X, y = data.get()
-    tree = DecisionTreeRegressor(seed=seed, **params)
-    tree.fit(X[sample], y[sample])
+    with trace_span("forest.fit_tree"):
+        X, y = data.get()
+        tree = DecisionTreeRegressor(seed=seed, **params)
+        tree.fit(X[sample], y[sample])
+    inc_counter("forest_trees_fitted_total")
     return tree
 
 
@@ -113,7 +118,7 @@ class RandomForestClassifier(BaseClassifier):
             "max_features": self.max_features,
             "class_weight": self.class_weight,
         }
-        with share((X, y)) as data:
+        with trace_span("forest.fit"), share((X, y)) as data:
             self.trees_ = ParallelExecutor(self.n_jobs).starmap(
                 _fit_classifier_tree,
                 [(data, sample, seed, params) for sample, seed in plans],
@@ -194,7 +199,7 @@ class RandomForestRegressor:
             "min_samples_leaf": self.min_samples_leaf,
             "max_features": self.max_features,
         }
-        with share((X, y)) as data:
+        with trace_span("forest.fit"), share((X, y)) as data:
             self.trees_ = ParallelExecutor(self.n_jobs).starmap(
                 _fit_regressor_tree,
                 [(data, sample, seed, params) for sample, seed in plans],

@@ -11,6 +11,7 @@ import numpy as np
 
 from repro.ml.base import BaseClassifier, check_X, check_X_y
 from repro.ml.tree import DecisionTreeRegressor
+from repro.obs import inc_counter, trace_span
 
 
 def _sigmoid(z: np.ndarray) -> np.ndarray:
@@ -60,6 +61,12 @@ class GradientBoostingClassifier(BaseClassifier):
         self.seed = seed
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "GradientBoostingClassifier":
+        with trace_span("gbdt.fit"):
+            self._fit(X, y)
+        inc_counter("gbdt_boosting_rounds_total", len(self.trees_))
+        return self
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
         X, y = check_X_y(X, y)
         if X.ndim != 2:
             raise ValueError("GradientBoostingClassifier expects 2-D input")
@@ -104,7 +111,6 @@ class GradientBoostingClassifier(BaseClassifier):
                 targets * np.log(clipped) + (1 - targets) * np.log(1 - clipped)
             )
             self.train_deviance_.append(float(deviance))
-        return self
 
     def decision_function(self, X: np.ndarray) -> np.ndarray:
         """Raw additive score (log-odds scale)."""

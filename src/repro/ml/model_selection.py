@@ -9,12 +9,14 @@ the same grid search runs with either the naive k-fold here or
 from __future__ import annotations
 
 import itertools
+import time
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
 from repro.ml.base import BaseClassifier, clone
 from repro.ml.metrics import accuracy
+from repro.obs import inc_counter, observe_histogram, trace_span
 from repro.parallel import ParallelExecutor, SharedPayload, share
 
 Splitter = Callable[[np.ndarray, np.ndarray], Iterable[tuple[np.ndarray, np.ndarray]]]
@@ -43,11 +45,15 @@ def _fit_and_score_fold(
     scoring: Callable[[np.ndarray, np.ndarray], float],
 ) -> float:
     """One (estimator, fold) evaluation; the unit of CV parallelism."""
-    X, y = data.get()
-    model = clone(estimator)
-    model.fit(X[train_indices], y[train_indices])
-    predictions = model.predict(X[validation_indices])
-    return float(scoring(y[validation_indices], predictions))
+    started = time.perf_counter()
+    with trace_span("cv.fit_fold"):
+        X, y = data.get()
+        model = clone(estimator)
+        model.fit(X[train_indices], y[train_indices])
+        predictions = model.predict(X[validation_indices])
+        score = float(scoring(y[validation_indices], predictions))
+    observe_histogram("cv_fold_fit_seconds", time.perf_counter() - started)
+    return score
 
 
 class ParameterGrid:
@@ -171,10 +177,16 @@ class GridSearchCV:
         self.n_jobs = n_jobs
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "GridSearchCV":
-        X = np.asarray(X)
-        y = np.asarray(y)
+        with trace_span("grid_search.fit"):
+            return self._fit(np.asarray(X), np.asarray(y))
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> "GridSearchCV":
         candidates = list(self.param_grid)
         folds = list(self.splitter.split(X, y))
+        # Counted parent-side so the totals are exact at every n_jobs,
+        # even when metric capture (worker shipping) is off.
+        inc_counter("mfpa_grid_search_candidates_total", len(candidates))
+        inc_counter("mfpa_grid_search_fits_total", len(candidates) * len(folds))
         with share((X, y)) as data:
             flat_scores = ParallelExecutor(self.n_jobs).starmap(
                 _fit_and_score_fold,

@@ -1,0 +1,115 @@
+"""Leveled, JSON-capable structured logging for the CLI and runtime.
+
+Replaces the bare ``print()`` calls: every emission carries a level, a
+logger name and optional key=value fields. Two output modes:
+
+* **plain** (default) — writes exactly the message followed by a
+  newline to ``sys.stdout``, byte-identical to the ``print()`` calls it
+  replaced, so default CLI output (and the tests pinning it) does not
+  change;
+* **jsonl** — one JSON record per emission with timestamp, level,
+  logger and the structured fields, for machine consumption.
+
+The stream is resolved at *emit* time (``sys.stdout`` lookup per call),
+so pytest's ``capsys`` and any other stdout redirection see the output.
+Deliberately not built on :mod:`logging`: stdlib handlers bind their
+stream at configuration time, which breaks exactly that redirection,
+and the repro runtime needs no handler fan-out.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import dataclass
+
+__all__ = [
+    "LEVELS",
+    "StructuredLogger",
+    "configure_logging",
+    "get_logger",
+    "logging_config",
+]
+
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+_LEVEL_NAMES = {number: name for name, number in LEVELS.items()}
+
+
+@dataclass
+class LogConfig:
+    level: int = LEVELS["info"]
+    json_lines: bool = False
+
+
+_CONFIG = LogConfig()
+_LOGGERS: dict[str, "StructuredLogger"] = {}
+
+
+def configure_logging(level: str | int = "info", json_lines: bool = False) -> None:
+    """Set the global log level and output mode.
+
+    ``level`` is a name from :data:`LEVELS` or a numeric threshold.
+    """
+    if isinstance(level, str):
+        try:
+            level_number = LEVELS[level.lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown log level {level!r}; known: {sorted(LEVELS)}"
+            ) from None
+    else:
+        level_number = int(level)
+    _CONFIG.level = level_number
+    _CONFIG.json_lines = bool(json_lines)
+
+
+def logging_config() -> LogConfig:
+    """The live global configuration (mutating it takes effect)."""
+    return _CONFIG
+
+
+class StructuredLogger:
+    """Named logger writing through the global :class:`LogConfig`."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def _emit(self, level: int, message: str, fields: dict) -> None:
+        if level < _CONFIG.level:
+            return
+        stream = sys.stdout  # resolved per call: capsys/redirect safe
+        if _CONFIG.json_lines:
+            record = {
+                "ts": round(time.time(), 3),
+                "level": _LEVEL_NAMES.get(level, str(level)),
+                "logger": self.name,
+                "message": message,
+            }
+            if fields:
+                record["fields"] = fields
+            stream.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+        else:
+            stream.write(message + "\n")
+
+    def debug(self, message: str, **fields) -> None:
+        self._emit(LEVELS["debug"], message, fields)
+
+    def info(self, message: str, **fields) -> None:
+        self._emit(LEVELS["info"], message, fields)
+
+    def warning(self, message: str, **fields) -> None:
+        self._emit(LEVELS["warning"], message, fields)
+
+    def error(self, message: str, **fields) -> None:
+        self._emit(LEVELS["error"], message, fields)
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """Named logger (cached; same name returns the same instance)."""
+    logger = _LOGGERS.get(name)
+    if logger is None:
+        logger = _LOGGERS[name] = StructuredLogger(name)
+    return logger

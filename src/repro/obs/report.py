@@ -1,0 +1,130 @@
+"""Human-readable rendering of run manifests (``repro obs report``).
+
+Turns the span tree and metric families a run recorded into the same
+fixed-width ASCII tables the benchmark exhibits use, so a run directory
+is inspectable without any tooling beyond the CLI itself.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.obs.manifest import load_manifest
+from repro.reporting import render_table
+
+__all__ = ["render_metrics", "render_run_report", "render_span_tree"]
+
+
+def render_span_tree(spans: Sequence[Mapping], title: str = "Span tree") -> str:
+    """Render span records (see ``Tracer.span_records``) as a tree table.
+
+    Nesting is shown by indentation; the share column is each span's
+    wall-clock as a fraction of its root span (inclusive timings).
+    """
+    if not spans:
+        return f"{title}\n(no spans recorded — was tracing enabled?)"
+    ordered = sorted(spans, key=lambda record: tuple(record["path"]))
+    root_walls = {
+        tuple(record["path"])[0]: record["wall_seconds"]
+        for record in ordered
+        if len(record["path"]) == 1
+    }
+    rows = []
+    for record in ordered:
+        path = tuple(record["path"])
+        root_wall = root_walls.get(path[0], 0.0)
+        share = record["wall_seconds"] / root_wall if root_wall else float("nan")
+        rows.append(
+            [
+                "  " * (len(path) - 1) + record["name"],
+                record["count"],
+                f"{record['wall_seconds']:.3f}",
+                f"{record['cpu_seconds']:.3f}",
+                f"{share:6.1%}" if share == share else "-",
+            ]
+        )
+    return render_table(
+        ["Span", "Count", "Wall (s)", "CPU (s)", "% of root"], rows, title=title
+    )
+
+
+def render_metrics(
+    metrics: Sequence[Mapping], top: int = 20, title: str = "Top metrics"
+) -> str:
+    """Render metric families: counters/gauges by value, histograms by
+    count/total/mean. Zero-valued samples are elided below the top."""
+
+    def label_text(labels: Mapping) -> str:
+        if not labels:
+            return ""
+        return "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+
+    scalar_rows = []
+    histogram_rows = []
+    for family in metrics:
+        for sample in family["samples"]:
+            qualified = family["name"] + label_text(sample["labels"])
+            if family["type"] == "histogram":
+                histogram_rows.append(
+                    [
+                        qualified,
+                        sample["count"],
+                        f"{sample['sum']:.3f}",
+                        f"{sample['sum'] / sample['count']:.4f}"
+                        if sample["count"]
+                        else "-",
+                    ]
+                )
+            else:
+                scalar_rows.append((sample["value"], qualified, family["type"]))
+    scalar_rows.sort(key=lambda row: (-row[0], row[1]))
+    shown = scalar_rows[:top]
+    parts = []
+    if shown:
+        parts.append(
+            render_table(
+                ["Metric", "Type", "Value"],
+                [[name, kind, value] for value, name, kind in shown],
+                title=title,
+            )
+        )
+        if len(scalar_rows) > top:
+            parts.append(f"(+{len(scalar_rows) - top} more counters/gauges)")
+    if histogram_rows:
+        parts.append(
+            render_table(
+                ["Histogram", "Count", "Sum", "Mean"],
+                histogram_rows,
+                title="Histograms",
+            )
+        )
+    return "\n\n".join(parts) if parts else "(no metrics recorded)"
+
+
+def render_run_report(run_dir: str) -> str:
+    """Full report for one run directory's manifest."""
+    manifest = load_manifest(run_dir)
+    annotations = manifest.get("annotations", {})
+    header = [
+        f"run      {manifest['run_id']}  [{manifest['status']}]",
+        f"command  {manifest['command']}"
+        + (f"  (config {annotations['config_hash']})" if "config_hash" in annotations else ""),
+        f"duration {manifest['duration_seconds']:.2f}s",
+    ]
+    if "dataset_fingerprint" in annotations:
+        header.append(f"dataset  {annotations['dataset_fingerprint']}")
+    results = manifest.get("results", {})
+    parts = [
+        "\n".join(header),
+        render_span_tree(manifest.get("spans", [])),
+        render_metrics(manifest.get("metrics", [])),
+    ]
+    if results:
+        parts.append(
+            render_table(
+                ["Result", "Value"],
+                [[key, results[key]] for key in sorted(results)],
+                title="Results",
+            )
+        )
+    return "\n\n".join(parts)

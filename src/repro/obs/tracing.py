@@ -1,0 +1,198 @@
+"""Structured span tracing for the MFPA pipeline.
+
+A *span* is one timed section of work ("pipeline.fit", "forest.fit_tree")
+with wall-clock and CPU time. Spans nest: entering a span while another
+is open records the child under the parent's path, so a whole run
+aggregates into a tree keyed by ``("train", "pipeline.fit", "training",
+"forest.fit", ...)`` paths. Timings are *inclusive* (a parent's time
+contains its children's).
+
+The tracer aggregates rather than streams: repeated spans with the same
+path fold into one :class:`SpanStats` (count, total wall, total CPU), so
+tracing a 40-tree forest costs 40 tiny dict updates, not an event log.
+
+Process safety
+--------------
+Fork workers inherit the enabled tracer. :class:`repro.parallel.executor.
+ParallelExecutor` resets the worker-local totals before each task (via
+:func:`repro.obs.worker_begin`), collects the per-task snapshot with the
+task's result, and the parent merges it under its *current* span path
+with :meth:`Tracer.absorb` — so spans recorded inside workers land in the
+same place in the tree as they would have in a serial run, and
+totals-per-name are identical at every ``n_jobs``.
+
+Tracing is off by default and :func:`trace_span` is a cheap no-op then;
+instrumented code never changes results, only records timings.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping
+
+__all__ = [
+    "SpanStats",
+    "Tracer",
+    "get_tracer",
+    "set_tracing",
+    "trace_span",
+    "traced",
+]
+
+#: A span's position in the tree: the names of every open ancestor plus
+#: its own, root first.
+SpanPath = tuple[str, ...]
+
+
+@dataclass
+class SpanStats:
+    """Aggregated timings for every occurrence of one span path."""
+
+    count: int = 0
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+
+    def add(self, count: int, wall_seconds: float, cpu_seconds: float) -> None:
+        self.count += count
+        self.wall_seconds += wall_seconds
+        self.cpu_seconds += cpu_seconds
+
+
+class Tracer:
+    """Aggregating span recorder.
+
+    Parameters
+    ----------
+    enabled:
+        When False (the default for the global tracer), :meth:`span` is a
+        no-op context manager and nothing is recorded.
+    """
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self.totals: dict[SpanPath, SpanStats] = {}
+        self._stack: list[str] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def current_path(self) -> SpanPath:
+        """Path of the innermost open span (empty at the root)."""
+        return tuple(self._stack)
+
+    def reset(self) -> None:
+        """Drop all recorded spans and any (stale) open-span stack."""
+        self.totals.clear()
+        self._stack.clear()
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Time a section under ``name``, nested below any open span."""
+        if not self.enabled:
+            yield
+            return
+        self._stack.append(name)
+        path = tuple(self._stack)
+        wall_start = time.perf_counter()
+        cpu_start = time.process_time()
+        try:
+            yield
+        finally:
+            stats = self.totals.get(path)
+            if stats is None:
+                stats = self.totals[path] = SpanStats()
+            stats.add(
+                1,
+                time.perf_counter() - wall_start,
+                time.process_time() - cpu_start,
+            )
+            self._stack.pop()
+
+    # ------------------------------------------------------------------
+    # Cross-process aggregation
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[SpanPath, tuple[int, float, float]]:
+        """Picklable copy of the totals (for shipping out of a worker)."""
+        return {
+            path: (stats.count, stats.wall_seconds, stats.cpu_seconds)
+            for path, stats in self.totals.items()
+        }
+
+    def absorb(
+        self,
+        snapshot: Mapping[SpanPath, tuple[int, float, float]],
+        prefix: SpanPath | None = None,
+    ) -> None:
+        """Merge a worker snapshot under ``prefix`` (default: the
+        currently open span path), as if those spans had run here."""
+        if not self.enabled or not snapshot:
+            return
+        base = self.current_path if prefix is None else tuple(prefix)
+        for path, (count, wall, cpu) in snapshot.items():
+            full = base + tuple(path)
+            stats = self.totals.get(full)
+            if stats is None:
+                stats = self.totals[full] = SpanStats()
+            stats.add(count, wall, cpu)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def span_records(self) -> list[dict]:
+        """JSON-ready span rows, sorted so parents precede children."""
+        return [
+            {
+                "path": list(path),
+                "name": path[-1],
+                "count": stats.count,
+                "wall_seconds": round(stats.wall_seconds, 6),
+                "cpu_seconds": round(stats.cpu_seconds, 6),
+            }
+            for path, stats in sorted(self.totals.items())
+        ]
+
+
+#: The process-global tracer every ``trace_span`` call records into.
+_GLOBAL = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer."""
+    return _GLOBAL
+
+
+def set_tracing(enabled: bool) -> None:
+    """Enable or disable the global tracer (disabling also resets it)."""
+    _GLOBAL.enabled = enabled
+    if not enabled:
+        _GLOBAL.reset()
+
+
+def trace_span(name: str):
+    """Context manager timing a section on the global tracer.
+
+    Usage::
+
+        with trace_span("pipeline.fit"):
+            ...
+    """
+    return _GLOBAL.span(name)
+
+
+def traced(name: str | None = None) -> Callable:
+    """Decorator form of :func:`trace_span` (span named after the
+    function unless ``name`` is given)."""
+
+    def decorate(function: Callable) -> Callable:
+        label = name or function.__qualname__
+
+        @functools.wraps(function)
+        def wrapper(*args, **kwargs):
+            with _GLOBAL.span(label):
+                return function(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

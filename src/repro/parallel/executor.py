@@ -29,8 +29,19 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import os
+import time
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator, Sequence
+
+from repro.obs import (
+    absorb_worker,
+    capture_active,
+    inc_counter,
+    observe_histogram,
+    trace_span,
+    worker_begin,
+    worker_collect,
+)
 
 __all__ = [
     "ParallelExecutor",
@@ -118,6 +129,18 @@ def _init_worker() -> None:
     _IN_WORKER = True
 
 
+def _observed_call(task: Callable[..., Any], arguments: tuple) -> tuple[Any, dict]:
+    """Worker-side wrapper when observability capture is on.
+
+    Resets the fork-inherited tracer/registry so this task's spans and
+    metrics are a clean delta, and ships that delta back alongside the
+    task's (unchanged) result for the parent to absorb.
+    """
+    worker_begin()
+    result = task(*arguments)
+    return result, worker_collect()
+
+
 class ParallelExecutor:
     """Ordered ``starmap`` over independent tasks, serial or forked.
 
@@ -144,14 +167,45 @@ class ParallelExecutor:
     def starmap(
         self, task: Callable[..., Any], argument_tuples: Sequence[tuple]
     ) -> list:
-        """Apply ``task`` to every argument tuple, preserving order."""
+        """Apply ``task`` to every argument tuple, preserving order.
+
+        Spans and metrics recorded inside tasks behave identically at
+        every ``n_jobs``: on the serial path they land in the live
+        tracer/registry directly; on the pool path each task ships its
+        observation delta back with its result and the parent absorbs
+        it under the currently open span (see :mod:`repro.obs`).
+        Shipping only happens while observability capture is active, so
+        the default result protocol is untouched.
+        """
         tasks = list(argument_tuples)
-        if len(tasks) <= 1 or not self.is_parallel:
-            return [task(*arguments) for arguments in tasks]
-        workers = min(self.n_jobs, len(tasks))
-        context = multiprocessing.get_context("fork")
-        # Small chunks keep the pool busy when task durations are skewed
-        # (deep trees next to stumps) without flooding the result pipe.
-        chunksize = max(1, len(tasks) // (workers * 4))
-        with context.Pool(processes=workers, initializer=_init_worker) as pool:
-            return pool.starmap(task, tasks, chunksize=chunksize)
+        started = time.perf_counter()
+        with trace_span("parallel.starmap"):
+            inc_counter("parallel_tasks_total", len(tasks))
+            if len(tasks) <= 1 or not self.is_parallel:
+                results = [task(*arguments) for arguments in tasks]
+                observe_histogram(
+                    "parallel_starmap_seconds", time.perf_counter() - started
+                )
+                return results
+            inc_counter("parallel_pool_forks_total")
+            workers = min(self.n_jobs, len(tasks))
+            context = multiprocessing.get_context("fork")
+            # Small chunks keep the pool busy when task durations are skewed
+            # (deep trees next to stumps) without flooding the result pipe.
+            chunksize = max(1, len(tasks) // (workers * 4))
+            capture = capture_active()
+            pool_task = _observed_call if capture else task
+            pool_args = [(task, arguments) for arguments in tasks] if capture else tasks
+            with context.Pool(processes=workers, initializer=_init_worker) as pool:
+                raw = pool.starmap(pool_task, pool_args, chunksize=chunksize)
+            if capture:
+                results = []
+                for result, observations in raw:
+                    absorb_worker(observations)
+                    results.append(result)
+            else:
+                results = raw
+            observe_histogram(
+                "parallel_starmap_seconds", time.perf_counter() - started
+            )
+            return results

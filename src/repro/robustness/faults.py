@@ -20,6 +20,7 @@ from typing import ClassVar
 
 import numpy as np
 
+from repro.obs import inc_counter, trace_span
 from repro.telemetry.dataset import B_COLUMNS, TelemetryDataset, W_COLUMNS
 from repro.telemetry.smart import SMART_COLUMNS
 from repro.telemetry.validation import _MONOTONE_COLUMNS
@@ -260,10 +261,17 @@ def inject(
     injectors: list[FaultInjector],
     seed: int = 0,
 ) -> TelemetryDataset:
-    """Apply injectors in order with one seeded generator."""
+    """Apply injectors in order with one seeded generator.
+
+    Every application increments ``faults_injected_total{fault=<name>}``
+    so chaos runs are auditable from their manifests: which corruptions
+    ran, how many times, against which dataset fingerprint.
+    """
     rng = np.random.default_rng(seed)
-    for injector in injectors:
-        dataset = injector.apply(dataset, rng)
+    with trace_span("faults.inject"):
+        for injector in injectors:
+            dataset = injector.apply(dataset, rng)
+            inc_counter("faults_injected_total", fault=injector.name)
     return dataset
 
 
@@ -272,8 +280,10 @@ def inject_stream(
     injectors: list[FaultInjector],
     seed: int = 0,
 ) -> list[Reading]:
-    """Stream counterpart of :func:`inject`."""
+    """Stream counterpart of :func:`inject` (same audit counters)."""
     rng = np.random.default_rng(seed)
-    for injector in injectors:
-        readings = injector.apply_stream(readings, rng)
+    with trace_span("faults.inject_stream"):
+        for injector in injectors:
+            readings = injector.apply_stream(readings, rng)
+            inc_counter("faults_injected_total", fault=injector.name)
     return readings

@@ -1,0 +1,19 @@
+"""Observability tests share one invariant: no state leaks between
+tests. The tracer, registry, run context and logging config are all
+process-global, so every test runs against a clean slate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import disable_observability
+from repro.obs.logs import configure_logging
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    disable_observability()
+    configure_logging(level="info", json_lines=False)
+    yield
+    disable_observability()
+    configure_logging(level="info", json_lines=False)

@@ -1,0 +1,188 @@
+"""End-to-end CLI observability: obs flags, run manifests and the
+``repro obs report`` renderer."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.obs import get_tracer, load_manifest, validate_manifest
+
+pytestmark = pytest.mark.smoke
+
+
+@pytest.fixture(scope="module")
+def saved_fleet(tmp_path_factory):
+    path = tmp_path_factory.mktemp("obs_cli") / "fleet"
+    code = main(
+        [
+            "simulate", str(path),
+            "--vendor", "I=120",
+            "--horizon-days", "200",
+            "--failure-boost", "30",
+            "--seed", "5",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+def _train(saved_fleet, *extra):
+    return main(
+        [
+            "train", str(saved_fleet),
+            "--train-end-day", "140",
+            "--eval-end-day", "200",
+            *extra,
+        ]
+    )
+
+
+class TestFlags:
+    def test_obs_flags_on_instrumented_commands(self):
+        for command in ("train", "monitor", "chaos"):
+            args = build_parser().parse_args(
+                [command, "d", "--trace", "--run-dir", "r", "--log-level", "debug"]
+            )
+            assert args.trace and args.run_dir == "r"
+            assert args.log_level == "debug"
+
+    def test_obs_report_parses(self):
+        args = build_parser().parse_args(["obs", "report", "runs/demo"])
+        assert args.obs_command == "report"
+        assert args.run_dir == "runs/demo"
+
+
+class TestRunManifest:
+    @pytest.fixture(scope="class")
+    def train_run(self, saved_fleet, tmp_path_factory):
+        run_dir = tmp_path_factory.mktemp("obs_cli") / "run"
+        code = _train(saved_fleet, "--trace", "--run-dir", str(run_dir))
+        assert code == 0
+        return run_dir
+
+    def test_manifest_written_and_valid(self, train_run):
+        manifest = load_manifest(train_run)
+        assert validate_manifest(manifest) == []
+        assert manifest["command"] == "train"
+        assert manifest["status"] == "ok"
+
+    def test_span_tree_covers_pipeline_stages(self, train_run):
+        manifest = load_manifest(train_run)
+        names = {record["name"] for record in manifest["spans"]}
+        assert names.issuperset(
+            {
+                "train",
+                "load_dataset",
+                "pipeline.fit",
+                "feature_engineering",
+                "labeling",
+                "sampling",
+                "training",
+                "pipeline.evaluate",
+            }
+        )
+        for record in manifest["spans"]:
+            assert record["wall_seconds"] >= 0
+            assert record["cpu_seconds"] >= 0
+
+    def test_provenance_annotations(self, train_run):
+        annotations = load_manifest(train_run)["annotations"]
+        assert len(annotations["config_hash"]) == 16
+        assert len(annotations["dataset_fingerprint"]) == 16
+        assert annotations["n_jobs"] == 1
+
+    def test_headline_results_recorded(self, train_run):
+        results = load_manifest(train_run)["results"]
+        assert 0 <= results["drive_tpr"] <= 1
+        assert "record_auc" in results
+
+    def test_grid_and_forest_counters_present(self, train_run):
+        manifest = load_manifest(train_run)
+        families = {f["name"]: f for f in manifest["metrics"]}
+        assert "mfpa_grid_search_fits_total" in families
+        trees = families["forest_trees_fitted_total"]["samples"][0]["value"]
+        assert trees > 0
+
+    def test_prometheus_snapshot_next_to_manifest(self, train_run):
+        prom = (train_run / "metrics.prom").read_text()
+        assert "# TYPE forest_trees_fitted_total counter" in prom
+
+    def test_obs_report_renders(self, train_run, capsys):
+        code = main(["obs", "report", str(train_run)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Span tree" in out
+        assert "pipeline.fit" in out
+        assert "forest_trees_fitted_total" in out
+
+    def test_obs_report_does_not_rewrite_manifest(self, train_run):
+        before = (train_run / "manifest.json").read_bytes()
+        assert main(["obs", "report", str(train_run)]) == 0
+        assert (train_run / "manifest.json").read_bytes() == before
+
+
+class TestMetricsOut:
+    def test_jsonl_export(self, saved_fleet, tmp_path):
+        out = tmp_path / "metrics.jsonl"
+        assert _train(saved_fleet, "--metrics-out", str(out)) == 0
+        records = [json.loads(line) for line in out.read_text().splitlines()]
+        by_name = {r["name"]: r for r in records}
+        assert by_name["forest_trees_fitted_total"]["value"] > 0
+
+    def test_prom_export_by_extension(self, saved_fleet, tmp_path):
+        out = tmp_path / "metrics.prom"
+        assert _train(saved_fleet, "--metrics-out", str(out)) == 0
+        assert "# TYPE forest_trees_fitted_total counter" in out.read_text()
+
+
+class TestMonitorManifest:
+    def test_alarm_and_window_counters(self, saved_fleet, tmp_path):
+        run_dir = tmp_path / "mon"
+        code = main(
+            [
+                "monitor", str(saved_fleet),
+                "--start-day", "100",
+                "--end-day", "200",
+                "--window-days", "30",
+                "--run-dir", str(run_dir),
+            ]
+        )
+        assert code == 0
+        manifest = load_manifest(run_dir)
+        assert validate_manifest(manifest) == []
+        families = {f["name"]: f for f in manifest["metrics"]}
+        windows = families["monitor_windows_scored_total"]["samples"][0]["value"]
+        assert windows > 0
+        graded = {
+            s["labels"].get("kind"): s["value"]
+            for s in families["monitor_alarms_total"]["samples"]
+        }
+        raised = families["monitor_alarms_raised_total"]["samples"][0]["value"]
+        assert sum(graded.values()) == raised
+        assert manifest["results"]["n_alarms"] == raised
+
+
+class TestStateHygiene:
+    def test_default_run_leaves_observability_off(self, saved_fleet):
+        assert _train(saved_fleet) == 0
+        assert not get_tracer().enabled
+        assert get_tracer().totals == {}
+
+    def test_traced_run_resets_after_exit(self, saved_fleet, tmp_path):
+        assert _train(saved_fleet, "--run-dir", str(tmp_path / "r")) == 0
+        assert not get_tracer().enabled
+        assert get_tracer().totals == {}
+
+    def test_default_output_unchanged_by_prior_traced_run(
+        self, saved_fleet, capsys
+    ):
+        assert _train(saved_fleet) == 0
+        plain = capsys.readouterr().out
+        assert _train(saved_fleet, "--trace") == 0
+        traced_out = capsys.readouterr().out
+        assert _train(saved_fleet) == 0
+        plain_again = capsys.readouterr().out
+        assert plain_again == plain
+        assert "Span tree" in traced_out
+        assert traced_out.startswith(plain)

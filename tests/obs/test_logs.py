@@ -1,0 +1,79 @@
+"""Unit tests for structured logging.
+
+The central contract: at the default level in plain mode, ``log.info``
+output is byte-identical to the ``print()`` it replaced — that is what
+keeps the CLI's pinned stdout tests green.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.logs import configure_logging, get_logger
+
+pytestmark = pytest.mark.smoke
+
+
+class TestPlainMode:
+    def test_info_matches_print_exactly(self, capsys):
+        message = "simulated 120 drives / 12810 records -> fleet"
+        print(message)
+        printed = capsys.readouterr().out
+        get_logger("repro.cli").info(message)
+        assert capsys.readouterr().out == printed
+
+    def test_fields_invisible_in_plain_mode(self, capsys):
+        get_logger("t").info("hello", n_drives=120)
+        assert capsys.readouterr().out == "hello\n"
+
+    def test_multiline_message_preserved(self, capsys):
+        table = "a | b\n--+--\n1 | 2"
+        print(table)
+        printed = capsys.readouterr().out
+        get_logger("t").info(table)
+        assert capsys.readouterr().out == printed
+
+
+class TestLevels:
+    def test_debug_suppressed_at_info(self, capsys):
+        get_logger("t").debug("hidden")
+        assert capsys.readouterr().out == ""
+
+    def test_debug_shown_when_configured(self, capsys):
+        configure_logging(level="debug")
+        get_logger("t").debug("visible")
+        assert capsys.readouterr().out == "visible\n"
+
+    def test_warning_threshold_hides_info(self, capsys):
+        configure_logging(level="warning")
+        logger = get_logger("t")
+        logger.info("hidden")
+        logger.warning("shown")
+        assert capsys.readouterr().out == "shown\n"
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging(level="chatty")
+
+
+class TestJsonMode:
+    def test_record_shape(self, capsys):
+        configure_logging(level="info", json_lines=True)
+        get_logger("repro.cli").info("saved", path="/tmp/x", n=3)
+        record = json.loads(capsys.readouterr().out)
+        assert record["level"] == "info"
+        assert record["logger"] == "repro.cli"
+        assert record["message"] == "saved"
+        assert record["fields"] == {"path": "/tmp/x", "n": 3}
+        assert isinstance(record["ts"], float)
+
+    def test_no_fields_key_when_empty(self, capsys):
+        configure_logging(json_lines=True)
+        get_logger("t").info("bare")
+        assert "fields" not in json.loads(capsys.readouterr().out)
+
+
+class TestCaching:
+    def test_same_name_same_instance(self):
+        assert get_logger("x") is get_logger("x")
+        assert get_logger("x") is not get_logger("y")

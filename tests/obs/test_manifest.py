@@ -1,0 +1,149 @@
+"""Unit tests for run manifests: provenance digests, the writer and
+the checked-in schema."""
+
+import json
+
+import pytest
+
+from repro.core.pipeline import MFPAConfig
+from repro.obs import (
+    config_hash,
+    dataset_fingerprint,
+    load_manifest,
+    start_run,
+    validate_manifest,
+)
+from repro.obs.manifest import load_schema
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+pytestmark = pytest.mark.smoke
+
+
+class TestConfigHash:
+    def test_stable_for_equal_configs(self):
+        assert config_hash(MFPAConfig()) == config_hash(MFPAConfig())
+
+    def test_changes_with_any_knob(self):
+        base = config_hash(MFPAConfig())
+        assert config_hash(MFPAConfig(theta=14)) != base
+        assert config_hash(MFPAConfig(feature_group_name="SF")) != base
+
+    def test_n_jobs_changes_hash_but_format_is_stable(self):
+        # n_jobs is part of the config dataclass, so it participates; the
+        # digest itself is 16 hex chars either way.
+        for config in (MFPAConfig(), MFPAConfig(n_jobs=4)):
+            digest = config_hash(config)
+            assert len(digest) == 16
+            int(digest, 16)
+
+    def test_accepts_plain_mappings(self):
+        assert config_hash({"a": 1}) == config_hash({"a": 1})
+        assert config_hash({"a": 1}) != config_hash({"a": 2})
+
+
+class TestDatasetFingerprint:
+    def test_deterministic(self, small_fleet):
+        assert dataset_fingerprint(small_fleet) == dataset_fingerprint(small_fleet)
+
+    def test_sensitive_to_content_change(self, small_fleet):
+        from repro.telemetry.dataset import TelemetryDataset
+
+        columns = {
+            name: values.copy() for name, values in small_fleet.columns.items()
+        }
+        columns["s12_power_on_hours"][0] += 1.0
+        mutated = TelemetryDataset(
+            columns, dict(small_fleet.drives), list(small_fleet.tickets)
+        )
+        assert dataset_fingerprint(mutated) != dataset_fingerprint(small_fleet)
+
+    def test_sensitive_to_dropped_rows(self, small_fleet):
+        import numpy as np
+
+        keep = np.ones(small_fleet.n_records, dtype=bool)
+        keep[:10] = False
+        assert dataset_fingerprint(small_fleet.select_rows(keep)) != (
+            dataset_fingerprint(small_fleet)
+        )
+
+
+class TestRunContext:
+    def _finalized(self, tmp_path, status="ok"):
+        run = start_run(tmp_path / "run", command="train", args={"theta": 7})
+        run.annotate(config_hash="abc", seed=0)
+        run.record_result("tpr", 0.9)
+        tracer = Tracer(enabled=True)
+        with tracer.span("train"):
+            pass
+        registry = MetricsRegistry()
+        registry.counter("mfpa_grid_search_fits_total").inc(3)
+        run.finalize(tracer, registry, status=status)
+        return run
+
+    def test_finalize_writes_valid_manifest(self, tmp_path):
+        self._finalized(tmp_path)
+        manifest = load_manifest(tmp_path / "run")
+        assert validate_manifest(manifest) == []
+        assert manifest["command"] == "train"
+        assert manifest["annotations"] == {"config_hash": "abc", "seed": 0}
+        assert manifest["results"] == {"tpr": 0.9}
+        assert manifest["spans"][0]["path"] == ["train"]
+
+    def test_finalize_writes_prometheus_snapshot(self, tmp_path):
+        self._finalized(tmp_path)
+        prom = (tmp_path / "run" / "metrics.prom").read_text()
+        assert "mfpa_grid_search_fits_total 3" in prom
+
+    def test_error_status_recorded(self, tmp_path):
+        self._finalized(tmp_path, status="error")
+        assert load_manifest(tmp_path / "run")["status"] == "error"
+
+    def test_nan_results_become_null(self, tmp_path):
+        run = start_run(tmp_path / "run", command="monitor", args={})
+        run.record_result("median_lead_time_days", float("nan"))
+        run.finalize(Tracer(), MetricsRegistry())
+        manifest = load_manifest(tmp_path / "run")
+        assert manifest["results"]["median_lead_time_days"] is None
+        # and the file is strict JSON (json.loads above would have
+        # accepted NaN; the raw text must not contain it)
+        raw = (tmp_path / "run" / "manifest.json").read_text()
+        assert "NaN" not in raw
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        self._finalized(tmp_path)
+        assert sorted(p.name for p in (tmp_path / "run").iterdir()) == [
+            "manifest.json",
+            "metrics.prom",
+        ]
+
+    def test_load_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="--run-dir"):
+            load_manifest(tmp_path)
+
+
+class TestSchemaValidation:
+    def test_schema_is_checked_in_and_loads(self):
+        schema = load_schema()
+        assert "manifest_version" in schema["required"]
+
+    def test_missing_required_key_caught(self, tmp_path):
+        run = start_run(tmp_path / "run", command="train", args={})
+        manifest = run.build(Tracer(), MetricsRegistry())
+        del manifest["run_id"]
+        errors = validate_manifest(manifest)
+        assert any("run_id" in error for error in errors)
+
+    def test_bad_status_caught(self, tmp_path):
+        run = start_run(tmp_path / "run", command="train", args={})
+        manifest = run.build(Tracer(), MetricsRegistry())
+        manifest["status"] = "exploded"
+        errors = validate_manifest(manifest)
+        assert any("status" in error for error in errors)
+
+    def test_bad_span_row_caught(self, tmp_path):
+        run = start_run(tmp_path / "run", command="train", args={})
+        manifest = run.build(Tracer(), MetricsRegistry())
+        manifest["spans"] = [{"path": ["x"], "name": "x"}]  # missing counts
+        errors = validate_manifest(manifest)
+        assert errors

@@ -1,0 +1,144 @@
+"""Unit tests for the aggregating span tracer."""
+
+import time
+
+import pytest
+
+from repro.obs import get_tracer, set_tracing, trace_span, traced
+from repro.obs.tracing import Tracer
+
+pytestmark = pytest.mark.smoke
+
+
+class TestNesting:
+    def test_spans_nest_into_paths(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("inner"):
+                pass
+        assert tracer.totals[("outer",)].count == 1
+        assert tracer.totals[("outer", "inner")].count == 2
+
+    def test_sibling_spans_do_not_nest(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert set(tracer.totals) == {("a",), ("b",)}
+
+    def test_timings_inclusive_and_positive(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                time.sleep(0.01)
+        outer = tracer.totals[("outer",)]
+        inner = tracer.totals[("outer", "inner")]
+        assert inner.wall_seconds >= 0.01
+        assert outer.wall_seconds >= inner.wall_seconds
+
+    def test_exception_still_records_and_unwinds(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        assert tracer.totals[("outer", "inner")].count == 1
+        assert tracer.totals[("outer",)].count == 1
+        assert tracer.current_path == ()
+
+
+class TestDisabled:
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("ignored"):
+            pass
+        assert tracer.totals == {}
+
+    def test_global_tracer_off_by_default(self):
+        with trace_span("ignored"):
+            pass
+        assert get_tracer().totals == {}
+
+    def test_set_tracing_false_resets(self):
+        set_tracing(True)
+        with trace_span("kept"):
+            pass
+        assert get_tracer().totals
+        set_tracing(False)
+        assert get_tracer().totals == {}
+
+
+class TestDecorator:
+    def test_traced_uses_qualname_by_default(self):
+        set_tracing(True)
+
+        @traced()
+        def work():
+            return 42
+
+        assert work() == 42
+        paths = list(get_tracer().totals)
+        assert len(paths) == 1
+        assert "work" in paths[0][-1]
+
+    def test_traced_with_explicit_name(self):
+        set_tracing(True)
+
+        @traced("custom.name")
+        def work():
+            return "ok"
+
+        assert work() == "ok"
+        assert get_tracer().totals[("custom.name",)].count == 1
+
+
+class TestAbsorb:
+    def test_absorb_under_open_span(self):
+        tracer = Tracer(enabled=True)
+        worker = {("task",): (3, 0.5, 0.4)}
+        with tracer.span("starmap"):
+            tracer.absorb(worker)
+        assert tracer.totals[("starmap", "task")].count == 3
+        assert tracer.totals[("starmap", "task")].wall_seconds == pytest.approx(0.5)
+
+    def test_absorb_with_explicit_prefix(self):
+        tracer = Tracer(enabled=True)
+        tracer.absorb({("task",): (1, 0.1, 0.1)}, prefix=("root", "stage"))
+        assert ("root", "stage", "task") in tracer.totals
+
+    def test_absorb_accumulates_across_workers(self):
+        tracer = Tracer(enabled=True)
+        for _ in range(4):
+            tracer.absorb({("task",): (1, 0.25, 0.2)})
+        stats = tracer.totals[("task",)]
+        assert stats.count == 4
+        assert stats.wall_seconds == pytest.approx(1.0)
+
+    def test_absorb_noop_when_disabled(self):
+        tracer = Tracer(enabled=False)
+        tracer.absorb({("task",): (1, 0.1, 0.1)})
+        assert tracer.totals == {}
+
+
+class TestSerialization:
+    def test_snapshot_roundtrips_through_absorb(self):
+        source = Tracer(enabled=True)
+        with source.span("a"):
+            with source.span("b"):
+                pass
+        sink = Tracer(enabled=True)
+        sink.absorb(source.snapshot())
+        assert set(sink.totals) == set(source.totals)
+
+    def test_span_records_sorted_parent_first(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("z"):
+            with tracer.span("a"):
+                pass
+        records = tracer.span_records()
+        assert [r["path"] for r in records] == [["z"], ["z", "a"]]
+        assert records[0]["name"] == "z"
+        assert records[1]["count"] == 1

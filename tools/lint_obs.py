@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Lint: no stray ``print()`` in the library (``make lint-obs``).
+
+Library output must flow through ``repro.obs.get_logger`` so it carries
+a level and respects ``--log-level`` / ``--log-json``. This walks the
+AST of every module under ``src/repro`` and fails on any ``print(...)``
+call outside the allowlisted CLI entry point. AST-based on purpose: the
+docstrings contain ``print()`` usage examples that a grep would
+false-positive on.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Files (relative to src/repro) where print() remains acceptable.
+ALLOWED = {
+    Path("cli.py"),  # argparse entry point; output goes through get_logger,
+    # but SystemExit-adjacent fallbacks may print
+}
+
+
+def find_prints(path: Path) -> list[int]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    return [
+        node.lineno
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "print"
+    ]
+
+
+def main() -> int:
+    offenders: list[str] = []
+    for path in sorted(SRC.rglob("*.py")):
+        relative = path.relative_to(SRC)
+        if relative in ALLOWED:
+            continue
+        for lineno in find_prints(path):
+            offenders.append(f"src/repro/{relative}:{lineno}: print() call")
+    if offenders:
+        print("\n".join(offenders))
+        print(
+            f"\n{len(offenders)} stray print() call(s) — use "
+            "repro.obs.get_logger(...) instead"
+        )
+        return 1
+    print("lint-obs: no stray print() calls in src/repro")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
