@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test smoke bench bench-parallel bench-obs chaos obs-smoke lint-obs examples exhibits clean
+.PHONY: install test smoke bench bench-parallel bench-obs bench-hist chaos obs-smoke lint-obs examples exhibits clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -21,6 +21,10 @@ bench-parallel:
 bench-obs:
 	PYTHONPATH=src pytest benchmarks/test_obs_overhead.py -m obs_bench -s
 	@echo "results in benchmarks/results/obs_overhead.json"
+
+bench-hist:
+	PYTHONPATH=src pytest benchmarks/test_hist_speedup.py -m hist_bench -s
+	@echo "results in benchmarks/results/hist_speedup.json"
 
 chaos:
 	PYTHONPATH=src pytest benchmarks/test_chaos_robustness.py -m chaos

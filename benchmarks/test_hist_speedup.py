@@ -1,0 +1,213 @@
+"""Exact-vs-histogram split-backend wall-clock (``make bench-hist``).
+
+Times forest and GBDT training with ``split_algorithm="exact"`` vs
+``"hist"`` at ``n_jobs=1``, reruns the Table-V SFWB experiment under
+both backends to record the drive-level TPR/FPR deltas, and writes
+machine-readable JSON under ``benchmarks/results/hist_speedup.json``
+(same shape as ``parallel_speedup.json``) so the speedup and the
+accuracy cost of binning are tracked alongside the paper exhibits.
+
+The hist timings include the quantile bin build (the cache is cleared
+first), so the recorded speedups are end-to-end, not marginal. Three
+training shapes are covered because the backend's advantage differs by
+an order of magnitude across them:
+
+- ``forest_fit_sqrt`` — ``max_features="sqrt"`` disables the
+  parent-minus-sibling histogram subtraction (children sample different
+  feature subsets), so every node pays a fresh ``bincount``.
+- ``forest_fit_full`` — all features per split enables subtraction;
+  each right child's histogram is derived instead of recomputed.
+- ``gbdt_fit`` — many shallow trees over the *same* rows: one bin
+  build is amortized across every boosting round.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks._util import RESULTS_DIR, save_exhibit
+from repro.core import MFPA, MFPAConfig
+from repro.ml.binning import clear_binned_cache
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.gbdt import GradientBoostingClassifier
+from repro.obs import get_registry
+from repro.parallel import fork_available
+from repro.reporting import render_table
+
+from benchmarks.conftest import EVAL_END, TRAIN_END
+
+pytestmark = pytest.mark.hist_bench
+
+#: The drive-level Table-V deltas the hist backend must stay within.
+PARITY_TOLERANCE = 0.005
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+def _training_data(n_samples=6000, n_features=16, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(0, 1, (n_samples, n_features))
+    y = (X[:, 0] + 0.5 * X[:, 3] - X[:, 7] + rng.normal(0, 0.7, n_samples) > 0).astype(
+        int
+    )
+    return X, y
+
+
+def _bench_forest(max_features, n_estimators):
+    X, y = _training_data()
+
+    def fit(split_algorithm):
+        clear_binned_cache()
+        return RandomForestClassifier(
+            n_estimators=n_estimators,
+            max_depth=None,
+            max_features=max_features,
+            split_algorithm=split_algorithm,
+            seed=0,
+            n_jobs=1,
+        ).fit(X, y)
+
+    exact, exact_seconds = _timed(lambda: fit("exact"))
+    hist, hist_seconds = _timed(lambda: fit("hist"))
+    agreement = (exact.predict(X) == hist.predict(X)).mean()
+    assert agreement >= 0.99, f"forest backends disagree: {agreement:.3f}"
+    return exact_seconds, hist_seconds
+
+
+def _bench_gbdt():
+    X, y = _training_data()
+
+    def fit(split_algorithm):
+        clear_binned_cache()
+        return GradientBoostingClassifier(
+            n_estimators=60, max_depth=3, split_algorithm=split_algorithm, seed=0
+        ).fit(X, y)
+
+    exact, exact_seconds = _timed(lambda: fit("exact"))
+    hist, hist_seconds = _timed(lambda: fit("hist"))
+    # Continuous gaussian features make the 64-bin quantile grid lossy,
+    # so boosted stumps near the decision boundary may flip; this is a
+    # sanity check, the accuracy pin is the Table-V parity section.
+    agreement = (exact.predict(X) == hist.predict(X)).mean()
+    assert agreement >= 0.95, f"gbdt backends disagree: {agreement:.3f}"
+    return exact_seconds, hist_seconds
+
+
+def _table_v_reports(fleet_vendor_i):
+    """Fit the Table-V SFWB model under both backends; return reports."""
+    out = {}
+    for split_algorithm in ("exact", "hist"):
+        clear_binned_cache()
+        model = MFPA(
+            MFPAConfig(feature_group_name="SFWB", split_algorithm=split_algorithm)
+        )
+        _, fit_seconds = _timed(lambda: model.fit(fleet_vendor_i, TRAIN_END))
+        result = model.evaluate(TRAIN_END, EVAL_END)
+        out[split_algorithm] = (result, fit_seconds)
+    return out
+
+
+def test_hist_speedup(fleet_vendor_i):
+    bin_build = get_registry().histogram("tree_bin_build_seconds")
+    builds0, build_seconds0 = bin_build.count, bin_build.sum
+
+    # Table-V first: the fit timings there are the paper-workload
+    # numbers, so keep them clear of allocator pressure from the large
+    # synthetic benches below.
+    reports = _table_v_reports(fleet_vendor_i)
+
+    benches = {
+        "forest_fit_sqrt": lambda: _bench_forest("sqrt", 24),
+        "forest_fit_full": lambda: _bench_forest(None, 12),
+        "gbdt_fit": _bench_gbdt,
+    }
+    records = []
+    for name, bench in benches.items():
+        exact_seconds, hist_seconds = bench()
+        records.append(
+            {
+                "name": name,
+                "n_jobs": 1,
+                "exact_seconds": round(exact_seconds, 4),
+                "hist_seconds": round(hist_seconds, 4),
+                "speedup": round(exact_seconds / hist_seconds, 3),
+            }
+        )
+    combined = sum(r["exact_seconds"] for r in records) / sum(
+        r["hist_seconds"] for r in records
+    )
+
+    exact_drive = reports["exact"][0].drive_report
+    hist_drive = reports["hist"][0].drive_report
+    delta_tpr = abs(exact_drive.tpr - hist_drive.tpr)
+    delta_fpr = abs(exact_drive.fpr - hist_drive.fpr)
+    delta_auc = abs(
+        reports["exact"][0].record_report.auc - reports["hist"][0].record_report.auc
+    )
+
+    payload = {
+        "cpu_count": os.cpu_count(),
+        "fork_available": fork_available(),
+        "n_jobs": 1,
+        "benchmarks": records,
+        "combined_speedup": round(combined, 3),
+        "table_v_parity": {
+            "exact": {
+                "tpr": round(exact_drive.tpr, 4),
+                "fpr": round(exact_drive.fpr, 4),
+                "fit_seconds": round(reports["exact"][1], 4),
+            },
+            "hist": {
+                "tpr": round(hist_drive.tpr, 4),
+                "fpr": round(hist_drive.fpr, 4),
+                "fit_seconds": round(reports["hist"][1], 4),
+            },
+            "delta_tpr": round(delta_tpr, 4),
+            "delta_fpr": round(delta_fpr, 4),
+            "delta_record_auc": round(delta_auc, 4),
+            "tolerance": PARITY_TOLERANCE,
+        },
+        "bin_build": {
+            "builds": bin_build.count - builds0,
+            "seconds_total": round(bin_build.sum - build_seconds0, 4),
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "hist_speedup.json").write_text(json.dumps(payload, indent=2))
+
+    save_exhibit(
+        "hist_speedup",
+        render_table(
+            ["Benchmark", "Exact (s)", "Hist (s)", "Speedup"],
+            [
+                [
+                    r["name"],
+                    f"{r['exact_seconds']:.2f}",
+                    f"{r['hist_seconds']:.2f}",
+                    f"{r['speedup']:.2f}x",
+                ]
+                for r in records
+            ]
+            + [
+                ["combined", "", "", f"{combined:.2f}x"],
+                ["table_v dTPR/dFPR", "", "", f"{delta_tpr:.4f}/{delta_fpr:.4f}"],
+            ],
+            title="Histogram split backend (n_jobs=1)",
+        ),
+    )
+
+    assert combined >= 3.0, (
+        f"expected >=3x combined forest+GBDT speedup at n_jobs=1, "
+        f"got {combined:.2f}x ({records})"
+    )
+    assert delta_tpr <= PARITY_TOLERANCE + 1e-9, f"Table-V TPR drift: {delta_tpr:.4f}"
+    assert delta_fpr <= PARITY_TOLERANCE + 1e-9, f"Table-V FPR drift: {delta_fpr:.4f}"

@@ -18,6 +18,13 @@ with ``.prom``), ``--log-level``/``--log-json`` (structured logging) and
 ``--run-dir DIR`` (write ``DIR/manifest.json`` stamping config hash,
 dataset fingerprint, span tree, metrics and results). Default output is
 unchanged when none of these flags are given.
+
+Performance
+-----------
+``train``/``monitor``/``chaos`` accept ``--split-algorithm hist`` to
+swap the tree learners' exact sort-based split search for the
+histogram-binned backend (see docs/performance.md); the default
+``exact`` is bit-identical to previous releases.
 """
 
 from __future__ import annotations
@@ -78,6 +85,17 @@ def _add_n_jobs_flag(parser) -> None:
     )
 
 
+def _add_split_algorithm_flag(parser) -> None:
+    parser.add_argument(
+        "--split-algorithm",
+        choices=("exact", "hist"),
+        default="exact",
+        help="tree split search: 'exact' (bit-reproducible per-node sorts) or "
+        "'hist' (quantile-binned histogram accumulation, faster on large "
+        "fleets; see docs/performance.md)",
+    )
+
+
 def _add_loading_flags(parser) -> None:
     parser.add_argument(
         "--sanitize",
@@ -134,6 +152,7 @@ def _add_train(subparsers) -> None:
     parser.add_argument("--lookahead", type=int, default=0)
     parser.add_argument("--feature-selection", action="store_true")
     _add_n_jobs_flag(parser)
+    _add_split_algorithm_flag(parser)
     _add_loading_flags(parser)
     _add_obs_flags(parser)
 
@@ -160,6 +179,7 @@ def _add_monitor(subparsers) -> None:
         help="fall back to a reduced feature group when dimensions are missing",
     )
     _add_n_jobs_flag(parser)
+    _add_split_algorithm_flag(parser)
     _add_loading_flags(parser)
     _add_obs_flags(parser)
 
@@ -196,6 +216,7 @@ def _add_chaos(subparsers) -> None:
         "ingestion (most faults will then crash it — that is the point)",
     )
     _add_n_jobs_flag(parser)
+    _add_split_algorithm_flag(parser)
     _add_obs_flags(parser)
 
 
@@ -282,6 +303,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         lookahead=args.lookahead,
         feature_selection=args.feature_selection,
         n_jobs=args.n_jobs,
+        split_algorithm=args.split_algorithm,
     )
     annotate_run(
         config_hash=config_hash(config), seed=config.seed, n_jobs=args.n_jobs
@@ -311,11 +333,19 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _monitor_config(args: argparse.Namespace) -> MFPAConfig | None:
+    """Monitor/chaos MFPA config; None keeps the all-defaults path."""
+    if args.split_algorithm == "exact":
+        return None
+    return MFPAConfig(split_algorithm=args.split_algorithm)
+
+
 def _cmd_monitor(args: argparse.Namespace) -> int:
     dataset = _load(args)
-    annotate_run(n_jobs=args.n_jobs)
+    annotate_run(n_jobs=args.n_jobs, split_algorithm=args.split_algorithm)
     summary = simulate_operation(
         dataset,
+        config=_monitor_config(args),
         start_day=args.start_day,
         end_day=args.end_day,
         window_days=args.window_days,
@@ -363,6 +393,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     def run(dataset):
         summary = simulate_operation(
             dataset,
+            config=_monitor_config(args),
             start_day=args.start_day,
             end_day=args.end_day,
             window_days=args.window_days,

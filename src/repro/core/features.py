@@ -133,15 +133,16 @@ class FeatureAssembler:
             return base[row_indices]
 
         serial = np.asarray(dataset_columns["serial"])
-        blocks = []
-        for offset in range(self.history_length - 1, -1, -1):
-            candidate = row_indices - offset
-            # Walk back only while we stay inside the same drive's rows;
-            # otherwise clamp to the drive's earliest available record.
-            candidate = np.maximum(candidate, 0)
-            same_drive = serial[candidate] == serial[row_indices]
-            while not np.all(same_drive):
-                candidate = np.where(same_drive, candidate, candidate + 1)
-                same_drive = serial[candidate] == serial[row_indices]
-            blocks.append(base[candidate])
+        # Rows are sorted by (serial, day), so each drive is one
+        # contiguous run; its first row bounds how far history may walk
+        # back. Clamping to that start replaces the data-dependent
+        # walk-forward loop with one searchsorted over the run starts.
+        drive_starts = np.flatnonzero(np.r_[True, serial[1:] != serial[:-1]])
+        row_starts = drive_starts[
+            np.searchsorted(drive_starts, row_indices, side="right") - 1
+        ]
+        blocks = [
+            base[np.maximum(row_indices - offset, row_starts)]
+            for offset in range(self.history_length - 1, -1, -1)
+        ]
         return np.concatenate(blocks, axis=1)

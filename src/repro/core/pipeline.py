@@ -25,6 +25,7 @@ from repro.ml.forest import RandomForestClassifier
 from repro.ml.metrics import ClassificationReport, classification_report
 from repro.ml.model_selection import GridSearchCV
 from repro.ml.resampling import RandomUnderSampler
+from repro.ml.tree import _check_split_algorithm
 from repro.obs import trace_span
 from repro.telemetry.dataset import TelemetryDataset
 
@@ -42,6 +43,23 @@ def _with_n_jobs(estimator: BaseClassifier, n_jobs: int) -> BaseClassifier:
     """
     if n_jobs != 1 and "n_jobs" in estimator.get_params():
         estimator.set_params(n_jobs=n_jobs)
+    return estimator
+
+
+def _with_split_algorithm(
+    estimator: BaseClassifier, split_algorithm: str
+) -> BaseClassifier:
+    """Propagate ``split_algorithm`` onto estimators that accept it.
+
+    Same contract as :func:`_with_n_jobs`: the default ("exact") never
+    overrides an explicitly configured estimator, and estimators without
+    the knob (Bayes, SVM, ...) are left untouched.
+    """
+    if (
+        split_algorithm != "exact"
+        and "split_algorithm" in estimator.get_params()
+    ):
+        estimator.set_params(split_algorithm=split_algorithm)
     return estimator
 
 
@@ -93,6 +111,11 @@ class MFPAConfig:
         forward selection, and estimators that accept ``n_jobs`` such
         as the random forests). 1 is serial; -1 uses every core. The
         fitted model is bit-identical at every value.
+    split_algorithm:
+        Tree split-search backend for estimators that accept it
+        ("exact" or "hist", see :mod:`repro.ml.binning`). "exact" is
+        the bit-identical reference; "hist" trades per-node sorts for
+        histogram accumulation over a shared pre-binned dataset cache.
     """
 
     feature_group_name: str = "SFWB"
@@ -125,9 +148,11 @@ class MFPAConfig:
     decision_threshold: float = 0.5
     seed: int = 0
     n_jobs: int = 1
+    split_algorithm: str = "exact"
 
     def __post_init__(self) -> None:
         feature_group(self.feature_group_name)  # validate the name
+        _check_split_algorithm(self.split_algorithm)
         if not 0 < self.decision_threshold < 1:
             raise ValueError("decision_threshold must be in (0, 1)")
         if self.derived_mode not in ("append", "replace"):
@@ -265,7 +290,9 @@ class MFPA:
         with trace_span("training"):
             if config.param_grid:
                 search = GridSearchCV(
-                    config.algorithm,
+                    _with_split_algorithm(
+                        clone(config.algorithm), config.split_algorithm
+                    ),
                     config.param_grid,
                     splitter=TimeSeriesCrossValidator(k=config.cv_k, days=days),
                     n_jobs=config.n_jobs,
@@ -274,7 +301,10 @@ class MFPA:
                 self.model_ = search.best_estimator_
                 self.search_ = search
             else:
-                self.model_ = _with_n_jobs(clone(config.algorithm), config.n_jobs)
+                self.model_ = _with_split_algorithm(
+                    _with_n_jobs(clone(config.algorithm), config.n_jobs),
+                    config.split_algorithm,
+                )
                 self.model_.fit(X, labels)
         self._record_stage("training", started, labels.size)
         self.train_end_day_ = train_end_day
@@ -302,7 +332,10 @@ class MFPA:
             subsample = np.arange(0, row_indices.size, step)[:cap]
             X = assembler.assemble(prepared.columns, row_indices[subsample])
             selector = SequentialForwardSelector(
-                config.selection_estimator or config.algorithm,
+                _with_split_algorithm(
+                    clone(config.selection_estimator or config.algorithm),
+                    config.split_algorithm,
+                ),
                 TimeSeriesCrossValidator(k=config.cv_k, days=days[subsample]),
                 scoring=youden_score,
                 max_features=config.selection_max_features,

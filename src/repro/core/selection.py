@@ -22,6 +22,7 @@ from typing import Callable
 import numpy as np
 
 from repro.ml.base import BaseClassifier, clone
+from repro.ml.binning import get_binned
 from repro.ml.metrics import accuracy, false_positive_rate, true_positive_rate
 from repro.ml.model_selection import mean_defined_score
 from repro.obs import inc_counter, observe_histogram, trace_span
@@ -54,12 +55,21 @@ def _score_candidate(
     """Cross-validated mean score of one candidate column subset."""
     started = time.perf_counter()
     with trace_span("selection.score_candidate"):
-        X, y, folds = data.get()
+        X, y, folds, fold_binned = data.get()
         X_candidate = X[:, columns]
         scores = []
-        for train_indices, validation_indices in folds:
+        for fold, (train_indices, validation_indices) in enumerate(folds):
             model = clone(estimator)
-            model.fit(X_candidate[train_indices], y[train_indices])
+            if fold_binned is not None:
+                # Column-subset view of the fold's shared binned dataset:
+                # candidate evaluation never re-bins anything.
+                model.fit(
+                    X_candidate[train_indices],
+                    y[train_indices],
+                    binned=fold_binned[fold].column_view(columns),
+                )
+            else:
+                model.fit(X_candidate[train_indices], y[train_indices])
             predictions = model.predict(X_candidate[validation_indices])
             scores.append(float(scoring(y[validation_indices], predictions)))
     observe_histogram("selection_candidate_seconds", time.perf_counter() - started)
@@ -126,8 +136,15 @@ class SequentialForwardSelector:
         folds = list(self.splitter.split(X, y))
         executor = ParallelExecutor(self.n_jobs)
 
+        # With a hist estimator, bin each train fold once up front; every
+        # candidate subset in every round is a column view of these.
+        if getattr(self.estimator, "split_algorithm", "exact") == "hist":
+            fold_binned = tuple(get_binned(X, train) for train, _ in folds)
+        else:
+            fold_binned = None
+
         limit = self.max_features or n_features
-        with share((X, y, folds)) as data:
+        with share((X, y, folds, fold_binned)) as data:
             while remaining and len(selected) < limit:
                 inc_counter("mfpa_selection_rounds_total")
                 inc_counter("mfpa_selection_candidate_fits_total", len(remaining))

@@ -1,0 +1,252 @@
+"""Quantile pre-binning for histogram-based tree training.
+
+``split_algorithm="hist"`` trades the exact sort-based split search in
+:mod:`repro.ml.tree` for LightGBM-style histogram accumulation: each
+feature is quantile-binned **once** into ``uint8`` codes, and every
+node's split search becomes a pair of ``np.bincount`` calls plus an
+O(n_bins) cut scan instead of an O(n log n) sort per feature.
+
+The binning itself is the only O(n log n) step left, so it must never be
+repeated. :class:`BinnedDataset` is therefore built through a
+process-global, fingerprint-keyed LRU cache (:func:`get_binned`):
+
+* a forest bins once and every tree takes a ``uint8`` row gather;
+* GBDT bins once and reuses the codes across all boosting rounds
+  (residuals change, the feature matrix does not);
+* a grid search pre-warms the cache with one entry per CV fold — edges
+  are fitted on the **train fold only**, mirroring the future-leak guard
+  of ``TimeSeriesCrossValidator`` — and every candidate's fit is a cache
+  hit;
+* forward selection reuses the per-fold entries through
+  :meth:`BinnedDataset.column_view` — a column subset never re-bins.
+
+Fork workers inherit the parent's cache through copy-on-write memory
+(see :mod:`repro.parallel`), so pre-warmed entries are hits inside the
+pool too and the codes never cross a pipe.
+
+Binning semantics
+-----------------
+Each feature gets at most ``max_bins`` (default 64, cap 255) value bins. When a
+feature has fewer distinct values than ``max_bins`` the edges are the
+midpoints between consecutive distinct values, which makes the binning
+**lossless**: the hist backend then grows exactly the trees the exact
+backend grows. Otherwise edges are the interior quantiles of the
+training column. Code ``len(edges) + 1`` is the reserved NaN bin; it
+sorts above every value bin so missing values always route right, which
+matches ``NaN <= threshold == False`` at predict time. (Current inputs
+are validated finite upstream; the bin exists so degraded-mode inputs
+have defined semantics.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.obs import inc_counter, observe_histogram
+
+__all__ = [
+    "BinnedDataset",
+    "DEFAULT_BINS",
+    "MAX_BINS",
+    "binned_fingerprint",
+    "build_binned",
+    "clear_binned_cache",
+    "get_binned",
+]
+
+#: Hard cap on value bins per feature (uint8 code space, one extra
+#: code above them is the NaN bin).
+MAX_BINS = 255
+
+#: Default value-bin budget. MFPA telemetry is dominated by small-
+#: cardinality counters that bin losslessly far below this, and for the
+#: remaining continuous columns 64 quantile bins split statistically as
+#: well as 255 while costing a quarter of the per-node cut scan.
+DEFAULT_BINS = 64
+
+#: Cached BinnedDatasets kept alive at once (LRU eviction).
+_CACHE_ENTRIES = 32
+
+
+class BinnedDataset:
+    """Pre-binned view of a feature matrix for histogram split search.
+
+    Attributes
+    ----------
+    codes:
+        ``(n_rows, n_features)`` uint8 bin codes.
+    bin_edges:
+        Per-feature ascending edge values; ``code(v) = searchsorted(
+        edges, v, side="left")`` so ``code <= b  <=>  v <= edges[b]``.
+    n_bins:
+        Uniform per-feature bin count (max value bins + the NaN bin
+        across features) — uniform so node histograms are one dense
+        ``(n_features, n_bins, ...)`` block and the cut scan vectorizes
+        across features.
+    cut_thresholds:
+        ``(n_features, n_bins - 1)`` real-unit threshold for every cut
+        ``code <= b``; padded with ``+inf`` past a feature's last edge
+        (the all-values-left / NaN-right cut).
+    fingerprint:
+        Cache key this dataset was built under (None when built
+        directly).
+    """
+
+    __slots__ = ("codes", "bin_edges", "n_bins", "cut_thresholds", "fingerprint")
+
+    def __init__(
+        self,
+        codes: np.ndarray,
+        bin_edges: tuple[np.ndarray, ...],
+        n_bins: int,
+        cut_thresholds: np.ndarray,
+        fingerprint: str | None = None,
+    ):
+        self.codes = codes
+        self.bin_edges = bin_edges
+        self.n_bins = n_bins
+        self.cut_thresholds = cut_thresholds
+        self.fingerprint = fingerprint
+
+    @property
+    def n_rows(self) -> int:
+        return self.codes.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        return self.codes.shape[1]
+
+    def take(self, rows: np.ndarray) -> "BinnedDataset":
+        """Row-subset view (uint8 gather); edges are shared, not refit.
+
+        This is what keeps a forest's bootstrap samples and GBDT's
+        subsampled rounds O(n) per tree instead of O(n log n).
+        """
+        return BinnedDataset(
+            self.codes[rows], self.bin_edges, self.n_bins, self.cut_thresholds
+        )
+
+    def column_view(self, columns) -> "BinnedDataset":
+        """Feature-subset view for forward selection — no re-binning."""
+        columns = np.asarray(columns, dtype=np.intp)
+        return BinnedDataset(
+            self.codes[:, columns],
+            tuple(self.bin_edges[c] for c in columns),
+            self.n_bins,
+            self.cut_thresholds[columns],
+        )
+
+
+def _feature_edges(values: np.ndarray, max_bins: int) -> np.ndarray:
+    """Ascending bin edges for one feature column.
+
+    Midpoints between distinct values when they fit in ``max_bins``
+    (lossless), interior quantiles otherwise.
+    """
+    finite = values[np.isfinite(values)]
+    if finite.size == 0:
+        return np.empty(0)
+    distinct = np.unique(finite)
+    if distinct.size <= max_bins:
+        return (distinct[:-1] + distinct[1:]) / 2.0
+    quantiles = np.quantile(finite, np.linspace(0.0, 1.0, max_bins + 1)[1:-1])
+    return np.unique(quantiles)
+
+
+def build_binned(
+    X: np.ndarray, max_bins: int = DEFAULT_BINS, fingerprint: str | None = None
+) -> BinnedDataset:
+    """Bin every column of ``X`` into uint8 codes (the expensive step)."""
+    if not 2 <= max_bins <= MAX_BINS:
+        raise ValueError(f"max_bins must be in [2, {MAX_BINS}], got {max_bins}")
+    X = np.asarray(X, dtype=float)
+    if X.ndim != 2:
+        raise ValueError("binning expects a 2-D feature matrix")
+    n_rows, n_features = X.shape
+    started = time.perf_counter()
+    edges: list[np.ndarray] = []
+    per_feature_codes: list[np.ndarray] = []
+    for j in range(n_features):
+        column = X[:, j]
+        feature_edges = _feature_edges(column, max_bins)
+        codes = np.searchsorted(feature_edges, column, side="left")
+        nan_rows = np.isnan(column)
+        if nan_rows.any():
+            codes = np.where(nan_rows, feature_edges.size + 1, codes)
+        edges.append(feature_edges)
+        per_feature_codes.append(codes)
+    # Uniform bin count across features (value bins + the NaN bin) keeps
+    # node histograms a single dense block.
+    n_bins = max((e.size + 2) for e in edges) if edges else 2
+    cut_thresholds = np.full((n_features, n_bins - 1), np.inf)
+    for j, feature_edges in enumerate(edges):
+        cut_thresholds[j, : feature_edges.size] = feature_edges
+    codes = np.empty((n_rows, n_features), dtype=np.uint8)
+    for j, column_codes in enumerate(per_feature_codes):
+        codes[:, j] = column_codes
+    observe_histogram("tree_bin_build_seconds", time.perf_counter() - started)
+    return BinnedDataset(codes, tuple(edges), n_bins, cut_thresholds, fingerprint)
+
+
+def binned_fingerprint(
+    X: np.ndarray, rows: np.ndarray | None = None, max_bins: int = DEFAULT_BINS
+) -> str:
+    """Content fingerprint of ``(X[rows], max_bins)`` — the cache key.
+
+    Like the run-manifest dataset fingerprint, this hashes the shape
+    plus a strided row sample rather than every byte, so a lookup is
+    O(n_features) with a small constant. ``rows`` is hashed in full
+    (it is what distinguishes one CV fold from another).
+    """
+    X = np.asarray(X)
+    digest = hashlib.sha256()
+    digest.update(f"{X.shape}:{X.dtype.str}:{max_bins}".encode())
+    stride = max(1, X.shape[0] // 64)
+    digest.update(np.ascontiguousarray(X[::stride]).tobytes())
+    if rows is None:
+        digest.update(b"rows:all")
+    else:
+        rows = np.asarray(rows)
+        digest.update(f"rows:{rows.shape}:{rows.dtype.str}".encode())
+        digest.update(np.ascontiguousarray(rows).tobytes())
+    return digest.hexdigest()[:16]
+
+
+#: Process-global fingerprint -> BinnedDataset LRU. Fork workers see a
+#: copy-on-write snapshot: parent pre-warmed entries are hits, worker
+#: inserts stay worker-local.
+_CACHE: OrderedDict[str, BinnedDataset] = OrderedDict()
+
+
+def get_binned(
+    X: np.ndarray, rows: np.ndarray | None = None, max_bins: int = DEFAULT_BINS
+) -> BinnedDataset:
+    """Cached binning of ``X`` (or of the ``rows`` subset).
+
+    ``rows`` selects the rows to *fit edges on and encode* — a CV train
+    fold bins through ``get_binned(X, train_indices)`` so its edges see
+    no future data, and every later request for the same fold is a
+    cache hit (`tree_bin_cache_hits_total`).
+    """
+    key = binned_fingerprint(X, rows, max_bins)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        _CACHE.move_to_end(key)
+        inc_counter("tree_bin_cache_hits_total")
+        return cached
+    inc_counter("tree_bin_cache_misses_total")
+    data = X if rows is None else np.asarray(X)[rows]
+    binned = build_binned(data, max_bins, fingerprint=key)
+    _CACHE[key] = binned
+    while len(_CACHE) > _CACHE_ENTRIES:
+        _CACHE.popitem(last=False)
+    return binned
+
+
+def clear_binned_cache() -> None:
+    """Drop every cached BinnedDataset (tests and memory pressure)."""
+    _CACHE.clear()

@@ -16,7 +16,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ml.base import BaseClassifier, check_X, check_X_y
-from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+from repro.ml.binning import BinnedDataset, get_binned
+from repro.ml.tree import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    _check_split_algorithm,
+)
 from repro.obs import inc_counter, trace_span
 from repro.parallel import ParallelExecutor, SharedPayload, share
 
@@ -35,13 +40,24 @@ def _derive_tree_plans(
     return plans
 
 
+def _tree_binned(binned: BinnedDataset | None, sample: np.ndarray):
+    """Bootstrap view of the forest's shared binned dataset (hist only).
+
+    A uint8 row gather — the expensive quantile binning happened once in
+    the parent and reached this worker copy-on-write.
+    """
+    if binned is None:
+        return None
+    return binned.take(sample)
+
+
 def _fit_classifier_tree(
     data: SharedPayload, sample: np.ndarray, seed: int, params: dict
 ) -> DecisionTreeClassifier:
     with trace_span("forest.fit_tree"):
-        X, y = data.get()
+        X, y, binned = data.get()
         tree = DecisionTreeClassifier(seed=seed, **params)
-        tree.fit(X[sample], y[sample])
+        tree.fit(X[sample], y[sample], binned=_tree_binned(binned, sample))
     inc_counter("forest_trees_fitted_total")
     return tree
 
@@ -50,9 +66,9 @@ def _fit_regressor_tree(
     data: SharedPayload, sample: np.ndarray, seed: int, params: dict
 ) -> DecisionTreeRegressor:
     with trace_span("forest.fit_tree"):
-        X, y = data.get()
+        X, y, binned = data.get()
         tree = DecisionTreeRegressor(seed=seed, **params)
-        tree.fit(X[sample], y[sample])
+        tree.fit(X[sample], y[sample], binned=_tree_binned(binned, sample))
     inc_counter("forest_trees_fitted_total")
     return tree
 
@@ -72,6 +88,10 @@ class RandomForestClassifier(BaseClassifier):
     class_weight:
         ``None``, ``"balanced"``, or a label -> weight dict; passed to
         every member tree (cost-sensitive forests, cf. CSLE [24]).
+    split_algorithm:
+        ``"exact"`` (default) or ``"hist"`` — histogram split search
+        over a quantile-binned dataset computed once per fit and shared
+        by every tree (see :mod:`repro.ml.binning`).
     seed:
         Master seed; each tree derives its own stream.
     n_jobs:
@@ -88,6 +108,7 @@ class RandomForestClassifier(BaseClassifier):
         max_features="sqrt",
         bootstrap: bool = True,
         class_weight=None,
+        split_algorithm: str = "exact",
         seed: int = 0,
         n_jobs: int = 1,
     ):
@@ -100,10 +121,13 @@ class RandomForestClassifier(BaseClassifier):
         self.max_features = max_features
         self.bootstrap = bootstrap
         self.class_weight = class_weight
+        self.split_algorithm = _check_split_algorithm(split_algorithm)
         self.seed = seed
         self.n_jobs = n_jobs
 
-    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+    def fit(
+        self, X: np.ndarray, y: np.ndarray, binned: BinnedDataset | None = None
+    ) -> "RandomForestClassifier":
         X, y = check_X_y(X, y)
         if X.ndim != 2:
             raise ValueError("RandomForestClassifier expects 2-D input")
@@ -117,8 +141,15 @@ class RandomForestClassifier(BaseClassifier):
             "min_samples_leaf": self.min_samples_leaf,
             "max_features": self.max_features,
             "class_weight": self.class_weight,
+            "split_algorithm": self.split_algorithm,
         }
-        with trace_span("forest.fit"), share((X, y)) as data:
+        # Quantile-bin once in the parent; every tree (and every fork
+        # worker, via copy-on-write) reuses the same codes.
+        if self.split_algorithm == "hist" and binned is None:
+            binned = get_binned(X)
+        elif self.split_algorithm != "hist":
+            binned = None
+        with trace_span("forest.fit"), share((X, y, binned)) as data:
             self.trees_ = ParallelExecutor(self.n_jobs).starmap(
                 _fit_classifier_tree,
                 [(data, sample, seed, params) for sample, seed in plans],
@@ -169,6 +200,7 @@ class RandomForestRegressor:
         min_samples_leaf: int = 1,
         max_features="sqrt",
         bootstrap: bool = True,
+        split_algorithm: str = "exact",
         seed: int = 0,
         n_jobs: int = 1,
     ):
@@ -180,10 +212,13 @@ class RandomForestRegressor:
         self.min_samples_leaf = min_samples_leaf
         self.max_features = max_features
         self.bootstrap = bootstrap
+        self.split_algorithm = _check_split_algorithm(split_algorithm)
         self.seed = seed
         self.n_jobs = n_jobs
 
-    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+    def fit(
+        self, X: np.ndarray, y: np.ndarray, binned: BinnedDataset | None = None
+    ) -> "RandomForestRegressor":
         X = np.asarray(X, dtype=float)
         y = np.asarray(y, dtype=float)
         if X.ndim != 2 or X.shape[0] != y.shape[0] or X.shape[0] == 0:
@@ -198,8 +233,13 @@ class RandomForestRegressor:
             "min_samples_split": self.min_samples_split,
             "min_samples_leaf": self.min_samples_leaf,
             "max_features": self.max_features,
+            "split_algorithm": self.split_algorithm,
         }
-        with trace_span("forest.fit"), share((X, y)) as data:
+        if self.split_algorithm == "hist" and binned is None:
+            binned = get_binned(X)
+        elif self.split_algorithm != "hist":
+            binned = None
+        with trace_span("forest.fit"), share((X, y, binned)) as data:
             self.trees_ = ParallelExecutor(self.n_jobs).starmap(
                 _fit_regressor_tree,
                 [(data, sample, seed, params) for sample, seed in plans],

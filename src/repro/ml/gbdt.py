@@ -10,7 +10,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ml.base import BaseClassifier, check_X, check_X_y
-from repro.ml.tree import DecisionTreeRegressor
+from repro.ml.binning import BinnedDataset, get_binned
+from repro.ml.tree import DecisionTreeRegressor, _check_split_algorithm
 from repro.obs import inc_counter, trace_span
 
 
@@ -34,6 +35,10 @@ class GradientBoostingClassifier(BaseClassifier):
         ``1.0`` disables stochastic boosting.
     min_samples_leaf:
         Leaf-size floor for the weak learners.
+    split_algorithm:
+        ``"exact"`` (default) or ``"hist"``. With ``"hist"`` the feature
+        matrix is quantile-binned once and every boosting round reuses
+        the codes — residuals change each round, the bins do not.
     seed:
         RNG seed for subsampling.
     """
@@ -45,6 +50,7 @@ class GradientBoostingClassifier(BaseClassifier):
         max_depth: int = 3,
         subsample: float = 1.0,
         min_samples_leaf: int = 1,
+        split_algorithm: str = "exact",
         seed: int = 0,
     ):
         if n_estimators < 1:
@@ -58,15 +64,20 @@ class GradientBoostingClassifier(BaseClassifier):
         self.max_depth = max_depth
         self.subsample = subsample
         self.min_samples_leaf = min_samples_leaf
+        self.split_algorithm = _check_split_algorithm(split_algorithm)
         self.seed = seed
 
-    def fit(self, X: np.ndarray, y: np.ndarray) -> "GradientBoostingClassifier":
+    def fit(
+        self, X: np.ndarray, y: np.ndarray, binned: BinnedDataset | None = None
+    ) -> "GradientBoostingClassifier":
         with trace_span("gbdt.fit"):
-            self._fit(X, y)
+            self._fit(X, y, binned)
         inc_counter("gbdt_boosting_rounds_total", len(self.trees_))
         return self
 
-    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+    def _fit(
+        self, X: np.ndarray, y: np.ndarray, binned: BinnedDataset | None = None
+    ) -> None:
         X, y = check_X_y(X, y)
         if X.ndim != 2:
             raise ValueError("GradientBoostingClassifier expects 2-D input")
@@ -84,6 +95,12 @@ class GradientBoostingClassifier(BaseClassifier):
         rng = np.random.default_rng(self.seed)
         n_samples = X.shape[0]
         subsample_size = max(1, int(round(self.subsample * n_samples)))
+        # Bin once; all boosting rounds reuse the codes (the residual
+        # targets change, the feature matrix never does).
+        if self.split_algorithm == "hist" and binned is None:
+            binned = get_binned(X)
+        elif self.split_algorithm != "hist":
+            binned = None
         self.trees_: list[DecisionTreeRegressor] = []
         self.train_deviance_: list[float] = []
         # One sigmoid per boosting round: the probabilities used for this
@@ -100,9 +117,16 @@ class GradientBoostingClassifier(BaseClassifier):
             tree = DecisionTreeRegressor(
                 max_depth=self.max_depth,
                 min_samples_leaf=self.min_samples_leaf,
+                split_algorithm=self.split_algorithm,
                 seed=int(rng.integers(0, 2**31 - 1)),
             )
-            tree.fit(X[rows], residuals[rows])
+            if binned is None:
+                tree.fit(X[rows], residuals[rows])
+            elif self.subsample < 1.0:
+                tree.fit(X[rows], residuals[rows], binned=binned.take(rows))
+            else:
+                # rows is the identity permutation; skip the row gather.
+                tree.fit(X, residuals, binned=binned)
             raw += self.learning_rate * tree.predict(X)
             self.trees_.append(tree)
             probabilities = _sigmoid(raw)

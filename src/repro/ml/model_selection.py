@@ -15,6 +15,7 @@ from typing import Callable, Iterable, Iterator, Mapping, Sequence
 import numpy as np
 
 from repro.ml.base import BaseClassifier, clone
+from repro.ml.binning import get_binned
 from repro.ml.metrics import accuracy
 from repro.obs import inc_counter, observe_histogram, trace_span
 from repro.parallel import ParallelExecutor, SharedPayload, share
@@ -37,6 +38,23 @@ def mean_defined_score(scores) -> float:
     return float(defined.mean())
 
 
+def _uses_hist(estimator: BaseClassifier) -> bool:
+    return getattr(estimator, "split_algorithm", "exact") == "hist"
+
+
+def _prewarm_fold_bins(X: np.ndarray, folds) -> None:
+    """Bin every CV train fold once, parent-side, before any fan-out.
+
+    Edges are fitted on the train fold only (no future leak — the same
+    guard ``TimeSeriesCrossValidator`` enforces on the fold geometry).
+    Every later (candidate, fold) fit looks the entry up by fingerprint:
+    a hit in-process at ``n_jobs=1``, and a hit through the fork-
+    inherited copy-on-write cache inside pool workers.
+    """
+    for train_indices, _ in folds:
+        get_binned(X, train_indices)
+
+
 def _fit_and_score_fold(
     data: SharedPayload,
     estimator: BaseClassifier,
@@ -49,7 +67,14 @@ def _fit_and_score_fold(
     with trace_span("cv.fit_fold"):
         X, y = data.get()
         model = clone(estimator)
-        model.fit(X[train_indices], y[train_indices])
+        if _uses_hist(model):
+            model.fit(
+                X[train_indices],
+                y[train_indices],
+                binned=get_binned(X, train_indices),
+            )
+        else:
+            model.fit(X[train_indices], y[train_indices])
         predictions = model.predict(X[validation_indices])
         score = float(scoring(y[validation_indices], predictions))
     observe_histogram("cv_fold_fit_seconds", time.perf_counter() - started)
@@ -129,6 +154,8 @@ def cross_val_score(
     X = np.asarray(X)
     y = np.asarray(y)
     folds = list(splitter.split(X, y))
+    if _uses_hist(estimator):
+        _prewarm_fold_bins(X, folds)
     with share((X, y)) as data:
         scores = ParallelExecutor(n_jobs).starmap(
             _fit_and_score_fold,
@@ -187,6 +214,10 @@ class GridSearchCV:
         # even when metric capture (worker shipping) is off.
         inc_counter("mfpa_grid_search_candidates_total", len(candidates))
         inc_counter("mfpa_grid_search_fits_total", len(candidates) * len(folds))
+        if _uses_hist(self.estimator) or any(
+            params.get("split_algorithm") == "hist" for params in candidates
+        ):
+            _prewarm_fold_bins(X, folds)
         with share((X, y)) as data:
             flat_scores = ParallelExecutor(self.n_jobs).starmap(
                 _fit_and_score_fold,

@@ -1,9 +1,19 @@
 """CART decision trees (classification and regression).
 
 These trees power :class:`repro.ml.forest.RandomForestClassifier` and
-:class:`repro.ml.gbdt.GradientBoostingClassifier`. Split search is
-vectorized per feature (sort once, evaluate every cut with prefix sums),
-which keeps fleet-scale training tractable in pure numpy.
+:class:`repro.ml.gbdt.GradientBoostingClassifier`. Two split-search
+backends are available:
+
+* ``split_algorithm="exact"`` (default) — sort once per feature per
+  node, evaluate every cut with prefix sums. Bit-reproducible reference.
+* ``split_algorithm="hist"`` — LightGBM-style histogram search over a
+  :class:`repro.ml.binning.BinnedDataset`: features are quantile-binned
+  once into uint8 codes, each node accumulates per-bin class masses
+  with ``np.bincount`` and scans O(n_bins) cuts, and when every feature
+  is a candidate (``max_features=None``) a child's histograms are
+  derived by subtracting its sibling's from the parent's instead of
+  being rebuilt. A node costs O(n_node · n_features_sub + n_bins ·
+  n_features_sub) instead of O(n_node log n_node · n_features_sub).
 """
 
 from __future__ import annotations
@@ -11,8 +21,25 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ml.base import BaseClassifier, check_X, check_X_y
+from repro.ml.binning import BinnedDataset, get_binned
+from repro.obs import inc_counter
 
 _NO_SPLIT = -1
+
+#: Below this size the smaller child's histograms are cheaper to rebuild
+#: on demand than to precompute and carry on the growth stack.
+_SUBTRACTION_MIN_ROWS = 64
+
+_SPLIT_ALGORITHMS = ("exact", "hist")
+
+
+def _check_split_algorithm(split_algorithm: str) -> str:
+    if split_algorithm not in _SPLIT_ALGORITHMS:
+        raise ValueError(
+            f"split_algorithm must be one of {_SPLIT_ALGORITHMS}, "
+            f"got {split_algorithm!r}"
+        )
+    return split_algorithm
 
 
 class _Tree:
@@ -193,10 +220,241 @@ def _best_split_regression(
     return best_feature, best_threshold, min(best_gain, parent_sse)
 
 
+# ----------------------------------------------------------------------
+# Histogram backend
+# ----------------------------------------------------------------------
+def _code_block(
+    binned: BinnedDataset, indices: np.ndarray, features: np.ndarray | None
+) -> np.ndarray:
+    """Gather the node's ``(n_node, n_features_sub)`` uint8 codes."""
+    if features is None:
+        return binned.codes[indices]
+    return binned.codes[indices[:, None], features[None, :]]
+
+
+def _class_histograms(
+    codes_block: np.ndarray,
+    node_y: np.ndarray,
+    weights: np.ndarray | None,
+    n_bins: int,
+    n_classes: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-(feature, bin) class masses and raw sample counts.
+
+    One ``bincount`` over the offset-flattened codes covers every
+    feature at once — the per-node cost is O(n_node · n_features_sub),
+    with no per-feature Python loop.
+    """
+    n_features = codes_block.shape[1]
+    flat = codes_block.astype(np.intp)
+    flat += np.arange(n_features, dtype=np.intp) * n_bins
+    counts = np.bincount(
+        flat.ravel(), minlength=n_features * n_bins
+    ).reshape(n_features, n_bins)
+    keys = flat * n_classes + node_y[:, None]
+    if weights is None:
+        mass = np.bincount(
+            keys.ravel(), minlength=n_features * n_bins * n_classes
+        ).astype(float)
+    else:
+        tiled = np.broadcast_to(weights[:, None], keys.shape).ravel()
+        mass = np.bincount(
+            keys.ravel(), weights=tiled, minlength=n_features * n_bins * n_classes
+        )
+    return mass.reshape(n_features, n_bins, n_classes), counts
+
+
+def _binary_class_histograms(
+    codes_block: np.ndarray, node_y: np.ndarray, n_bins: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Unweighted two-class histograms as ``(mass0, mass1, counts)``.
+
+    The common MFPA case (binary labels, no class weights) needs only
+    one extra bincount over the positive rows — the negative class is
+    the complement — instead of the general per-class key expansion.
+    """
+    n_features = codes_block.shape[1]
+    flat = codes_block.astype(np.intp)
+    flat += np.arange(n_features, dtype=np.intp) * n_bins
+    counts = np.bincount(
+        flat.ravel(), minlength=n_features * n_bins
+    ).reshape(n_features, n_bins)
+    positives = np.bincount(
+        flat[node_y == 1].ravel(), minlength=n_features * n_bins
+    ).reshape(n_features, n_bins)
+    return (counts - positives).astype(float), positives.astype(float), counts
+
+
+def _regression_histograms(
+    codes_block: np.ndarray, node_y: np.ndarray, n_bins: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-(feature, bin) target sums and raw sample counts."""
+    n_features = codes_block.shape[1]
+    flat = codes_block.astype(np.intp)
+    flat += np.arange(n_features, dtype=np.intp) * n_bins
+    raveled = flat.ravel()
+    counts = np.bincount(raveled, minlength=n_features * n_bins).reshape(
+        n_features, n_bins
+    )
+    tiled = np.broadcast_to(node_y[:, None], flat.shape).ravel()
+    sums = np.bincount(raveled, weights=tiled, minlength=n_features * n_bins).reshape(
+        n_features, n_bins
+    )
+    return sums, counts
+
+
+def _scan_classification_cuts(
+    mass: np.ndarray,
+    counts: np.ndarray,
+    class_mass: np.ndarray,
+    total_mass: float,
+    parent_impurity: float,
+    n: int,
+    min_samples_leaf: int,
+) -> tuple[int, int, float] | None:
+    """Best gini cut over every (feature, bin) at once.
+
+    The gain grid is feature-major, so ``argmax`` keeps the exact
+    backend's tie-break: the first candidate feature reaching the
+    maximum wins, and within a feature the lowest threshold wins.
+    """
+    left_counts = np.cumsum(mass[:, :-1, :], axis=1)
+    left_mass = left_counts.sum(axis=2)
+    right_mass = total_mass - left_mass
+    left_n = np.cumsum(counts[:, :-1], axis=1)
+    valid = (left_n >= min_samples_leaf) & (n - left_n >= min_samples_leaf)
+    valid &= (left_mass > 0) & (right_mass > 0)
+    if not np.any(valid):
+        return None
+    right_counts = class_mass[None, None, :] - left_counts
+    with np.errstate(divide="ignore", invalid="ignore"):
+        left_impurity = 1.0 - np.sum(
+            (left_counts / left_mass[..., None]) ** 2, axis=2
+        )
+        right_impurity = 1.0 - np.sum(
+            (right_counts / right_mass[..., None]) ** 2, axis=2
+        )
+        weighted = (
+            left_mass * left_impurity + right_mass * right_impurity
+        ) / total_mass
+    gain = np.where(valid, parent_impurity - weighted, -np.inf)
+    best = int(np.argmax(gain))
+    local_feature, cut_bin = divmod(best, gain.shape[1])
+    return local_feature, cut_bin, float(gain[local_feature, cut_bin])
+
+
+def _scan_binary_cuts(
+    mass0: np.ndarray,
+    mass1: np.ndarray,
+    class_mass: np.ndarray,
+    total_mass: float,
+    parent_impurity: float,
+    min_samples_leaf: int,
+) -> tuple[int, int, float, np.ndarray] | None:
+    """Two-class unweighted cut scan.
+
+    Same arithmetic (in the same float operation order) as
+    :func:`_scan_classification_cuts` with the class axis unrolled, so
+    the chosen cut is bit-identical — just without the per-node
+    ``(f, n_bins, 2)`` temporaries and axis reductions. Unweighted means
+    the class masses double as sample counts for the leaf-size floor.
+
+    Also returns the left partition's per-class counts at the chosen
+    cut: they determine both children's leaf values and purity, sparing
+    the caller a pass over the node's rows.
+    """
+    left0 = np.cumsum(mass0[:, :-1], axis=1)
+    left1 = np.cumsum(mass1[:, :-1], axis=1)
+    left_mass = left0 + left1
+    right_mass = total_mass - left_mass
+    valid = (left_mass >= min_samples_leaf) & (right_mass >= min_samples_leaf)
+    if not np.any(valid):
+        return None
+    right0 = class_mass[0] - left0
+    right1 = class_mass[1] - left1
+    with np.errstate(divide="ignore", invalid="ignore"):
+        left_impurity = 1.0 - ((left0 / left_mass) ** 2 + (left1 / left_mass) ** 2)
+        right_impurity = 1.0 - (
+            (right0 / right_mass) ** 2 + (right1 / right_mass) ** 2
+        )
+        weighted = (
+            left_mass * left_impurity + right_mass * right_impurity
+        ) / total_mass
+    gain = np.where(valid, parent_impurity - weighted, -np.inf)
+    best = int(np.argmax(gain))
+    local_feature, cut_bin = divmod(best, gain.shape[1])
+    left_class_mass = np.array(
+        [left0[local_feature, cut_bin], left1[local_feature, cut_bin]]
+    )
+    return local_feature, cut_bin, float(gain[local_feature, cut_bin]), left_class_mass
+
+
+def _scan_regression_cuts(
+    sums: np.ndarray,
+    counts: np.ndarray,
+    total: float,
+    n: int,
+    min_samples_leaf: int,
+) -> tuple[int, int, float] | None:
+    """Best variance-reduction cut over every (feature, bin) at once."""
+    left_sum = np.cumsum(sums[:, :-1], axis=1)
+    left_n = np.cumsum(counts[:, :-1], axis=1)
+    right_n = n - left_n
+    valid = (left_n >= min_samples_leaf) & (right_n >= min_samples_leaf)
+    if not np.any(valid):
+        return None
+    right_sum = total - left_sum
+    with np.errstate(divide="ignore", invalid="ignore"):
+        score = left_sum**2 / left_n + right_sum**2 / right_n
+    gain = np.where(valid, score - total**2 / n, -np.inf)
+    best = int(np.argmax(gain))
+    local_feature, cut_bin = divmod(best, gain.shape[1])
+    return local_feature, cut_bin, float(gain[local_feature, cut_bin])
+
+
+def _node_threshold(
+    X: np.ndarray,
+    indices: np.ndarray,
+    feature: int,
+    go_left: np.ndarray,
+    fallback: float,
+) -> float:
+    """Real-unit threshold for a histogram cut.
+
+    The midpoint between the left partition's maximum and the right
+    partition's minimum *within the node* — the same value the exact
+    backend derives from its sort, so lossless binning reproduces exact
+    trees threshold-for-threshold (and quantile binning generalizes at
+    the margin between observed values instead of at an arbitrary global
+    edge). Falls back to the bin edge if the node holds non-finite
+    values (the NaN bin).
+    """
+    values = X[indices, feature]
+    threshold = float((values[go_left].max() + values[~go_left].min()) / 2.0)
+    if not np.isfinite(threshold):
+        return fallback
+    return threshold
+
+
+def _check_binned(binned: BinnedDataset, X: np.ndarray) -> None:
+    if binned.codes.shape != X.shape:
+        raise ValueError(
+            f"binned dataset shape {binned.codes.shape} does not match "
+            f"X shape {X.shape}"
+        )
+
+
 def _resolve_max_features(max_features, n_features: int) -> int:
     """Translate a max_features spec into a concrete count."""
     if max_features is None:
         return n_features
+    if isinstance(max_features, (bool, np.bool_)):
+        # bool is an int subclass: True would silently mean "1 feature
+        # per split" and False would be rejected confusingly below.
+        raise ValueError(
+            f"invalid max_features: {max_features!r}; booleans are not "
+            "accepted (use None for all features or an explicit count)"
+        )
     if max_features == "sqrt":
         return max(1, int(np.sqrt(n_features)))
     if max_features == "log2":
@@ -227,6 +485,10 @@ class DecisionTreeClassifier(BaseClassifier):
         frequency), or a label -> weight dict. Weights enter the gini
         criterion and the leaf probabilities, making the tree
         cost-sensitive (cf. CSLE, DATE 2022 [24]).
+    split_algorithm:
+        ``"exact"`` (sort-based, bit-reproducible default) or ``"hist"``
+        (quantile-binned histogram search; pass a pre-built ``binned``
+        to :meth:`fit` to amortize binning across trees).
     seed:
         RNG seed for feature subsampling.
     """
@@ -238,6 +500,7 @@ class DecisionTreeClassifier(BaseClassifier):
         min_samples_leaf: int = 1,
         max_features=None,
         class_weight=None,
+        split_algorithm: str = "exact",
         seed: int = 0,
     ):
         if max_depth is not None and max_depth < 1:
@@ -251,6 +514,7 @@ class DecisionTreeClassifier(BaseClassifier):
         self.min_samples_leaf = min_samples_leaf
         self.max_features = max_features
         self.class_weight = class_weight
+        self.split_algorithm = _check_split_algorithm(split_algorithm)
         self.seed = seed
 
     def _sample_weights(self, y: np.ndarray, y_codes: np.ndarray) -> np.ndarray | None:
@@ -275,7 +539,11 @@ class DecisionTreeClassifier(BaseClassifier):
         raise ValueError(f"invalid class_weight: {self.class_weight!r}")
 
     def fit(
-        self, X: np.ndarray, y: np.ndarray, sample_weight: np.ndarray | None = None
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+        binned: BinnedDataset | None = None,
     ) -> "DecisionTreeClassifier":
         X, y = check_X_y(X, y)
         if X.ndim != 2:
@@ -287,6 +555,17 @@ class DecisionTreeClassifier(BaseClassifier):
         n_candidate_features = _resolve_max_features(self.max_features, n_features)
         rng = np.random.default_rng(self.seed)
 
+        use_hist = self.split_algorithm == "hist"
+        if use_hist:
+            if binned is None:
+                binned = get_binned(X)
+            _check_binned(binned, X)
+        # The parent-sibling subtraction trick needs the parent's
+        # histograms to cover the child's candidate features; that holds
+        # exactly when every node considers every feature.
+        subtraction = use_hist and n_candidate_features == n_features
+        hist_nodes = 0
+
         if sample_weight is None:
             sample_weight = self._sample_weights(y, y_codes)
         if sample_weight is not None and np.ptp(sample_weight) == 0:
@@ -294,6 +573,11 @@ class DecisionTreeClassifier(BaseClassifier):
             # the unweighted path keeps the grown tree bit-identical
             # instead of letting float rescaling flip split tie-breaks.
             sample_weight = None
+        # Unweighted binary labels (the MFPA case) take a leaner
+        # histogram layout: (mass0, mass1, counts) instead of a dense
+        # (f, n_bins, n_classes) block. Same arithmetic, fewer
+        # temporaries.
+        binary = n_classes == 2 and sample_weight is None
 
         tree = _Tree(n_outputs=n_classes)
         self.feature_importances_ = np.zeros(n_features)
@@ -312,42 +596,192 @@ class DecisionTreeClassifier(BaseClassifier):
                 )
             return counts / counts.sum()
 
-        # Iterative depth-first growth avoids recursion limits on deep trees.
+        def searchable(indices: np.ndarray, depth: int) -> bool:
+            """Whether a node will reach the split search when popped."""
+            if indices.size < self.min_samples_split:
+                return False
+            if self.max_depth is not None and depth >= self.max_depth:
+                return False
+            # Codes are contiguous 0..n_classes-1, so a pure node is
+            # exactly a zero peak-to-peak — no sort needed.
+            return np.ptp(y_codes[indices]) != 0
+
+        def hist_child_searchable(size: int, depth: int, pair: np.ndarray) -> bool:
+            """`searchable` from split-scan byproducts — no row pass."""
+            if size < self.min_samples_split:
+                return False
+            if self.max_depth is not None and depth >= self.max_depth:
+                return False
+            return pair[0] != 0 and pair[1] != 0
+
+        # Iterative depth-first growth avoids recursion limits on deep
+        # trees. Stack entries carry the node's pre-derived histograms
+        # when the subtraction trick produced them, plus a `vetted` flag
+        # set when the parent's split scan already proved the node
+        # searchable (binary hist path) so the pop-time re-check is
+        # skipped.
         root = tree.add_node(leaf_value(np.arange(total_samples)))
-        stack = [(root, np.arange(total_samples), 0)]
+        stack = [(root, np.arange(total_samples), 0, None, False)]
         while stack:
-            node, indices, depth = stack.pop()
-            if (
-                indices.size < self.min_samples_split
-                or (self.max_depth is not None and depth >= self.max_depth)
-                or np.unique(y_codes[indices]).size == 1
-            ):
+            node, indices, depth, inherited, vetted = stack.pop()
+            if not vetted and not searchable(indices, depth):
                 continue
             if n_candidate_features < n_features:
                 candidates = rng.choice(n_features, size=n_candidate_features, replace=False)
             else:
                 candidates = np.arange(n_features)
-            feature, threshold, gain = _best_split_classification(
-                X,
-                y_codes,
-                indices,
-                candidates,
-                n_classes,
-                self.min_samples_leaf,
-                sample_weight,
-            )
-            if feature == _NO_SPLIT or gain <= 0:
-                continue
-            go_left = X[indices, feature] <= threshold
+            hists = None
+            left_class_mass = None
+            if not use_hist:
+                feature, threshold, gain = _best_split_classification(
+                    X,
+                    y_codes,
+                    indices,
+                    candidates,
+                    n_classes,
+                    self.min_samples_leaf,
+                    sample_weight,
+                )
+                if feature == _NO_SPLIT or gain <= 0:
+                    continue
+                go_left = X[indices, feature] <= threshold
+            else:
+                hist_nodes += 1
+                node_y = y_codes[indices]
+                node_weights = (
+                    None if sample_weight is None else sample_weight[indices]
+                )
+                if node_weights is None:
+                    class_mass = np.bincount(node_y, minlength=n_classes).astype(
+                        float
+                    )
+                else:
+                    class_mass = np.bincount(
+                        node_y, weights=node_weights, minlength=n_classes
+                    )
+                total_mass = class_mass.sum()
+                parent_impurity = 1.0 - np.sum((class_mass / total_mass) ** 2)
+                if inherited is not None:
+                    hists = inherited
+                else:
+                    block = _code_block(
+                        binned, indices, None if subtraction else candidates
+                    )
+                    if binary:
+                        hists = _binary_class_histograms(
+                            block, node_y, binned.n_bins
+                        )
+                    else:
+                        hists = _class_histograms(
+                            block, node_y, node_weights, binned.n_bins, n_classes
+                        )
+                if binary:
+                    cut = _scan_binary_cuts(
+                        hists[0],
+                        hists[1],
+                        class_mass,
+                        total_mass,
+                        parent_impurity,
+                        self.min_samples_leaf,
+                    )
+                else:
+                    cut = _scan_classification_cuts(
+                        hists[0],
+                        hists[1],
+                        class_mass,
+                        total_mass,
+                        parent_impurity,
+                        indices.size,
+                        self.min_samples_leaf,
+                    )
+                if cut is None:
+                    continue
+                if binary:
+                    local_feature, cut_bin, gain, left_class_mass = cut
+                else:
+                    local_feature, cut_bin, gain = cut
+                if gain <= 0:
+                    continue
+                feature = int(candidates[local_feature])
+                go_left = binned.codes[indices, feature] <= cut_bin
+                threshold = _node_threshold(
+                    X,
+                    indices,
+                    feature,
+                    go_left,
+                    float(binned.cut_thresholds[feature, cut_bin]),
+                )
             left_indices = indices[go_left]
             right_indices = indices[~go_left]
-            left = tree.add_node(leaf_value(left_indices))
-            right = tree.add_node(leaf_value(right_indices))
+            left_ok = right_ok = None
+            if left_class_mass is not None:
+                # The scan already knows both children's class counts:
+                # leaf values and purity come for free.
+                right_class_mass = class_mass - left_class_mass
+                left = tree.add_node(left_class_mass / left_class_mass.sum())
+                right = tree.add_node(right_class_mass / right_class_mass.sum())
+                left_ok = hist_child_searchable(
+                    left_indices.size, depth + 1, left_class_mass
+                )
+                right_ok = hist_child_searchable(
+                    right_indices.size, depth + 1, right_class_mass
+                )
+            else:
+                left = tree.add_node(leaf_value(left_indices))
+                right = tree.add_node(leaf_value(right_indices))
             tree.make_split(node, feature, threshold, left, right)
             self.feature_importances_[feature] += gain * indices.size / total_samples
-            stack.append((left, left_indices, depth + 1))
-            stack.append((right, right_indices, depth + 1))
 
+            left_hist = right_hist = None
+            if subtraction and hists is not None:
+                smaller = (
+                    left_indices
+                    if left_indices.size <= right_indices.size
+                    else right_indices
+                )
+                both_searchable = (
+                    left_ok and right_ok
+                    if left_ok is not None
+                    else searchable(left_indices, depth + 1)
+                    and searchable(right_indices, depth + 1)
+                )
+                if smaller.size >= _SUBTRACTION_MIN_ROWS and both_searchable:
+                    if binary:
+                        small_hist = _binary_class_histograms(
+                            binned.codes[smaller], y_codes[smaller], binned.n_bins
+                        )
+                    else:
+                        small_hist = _class_histograms(
+                            binned.codes[smaller],
+                            y_codes[smaller],
+                            None
+                            if sample_weight is None
+                            else sample_weight[smaller],
+                            binned.n_bins,
+                            n_classes,
+                        )
+                    # The sibling's histograms are the parent's minus the
+                    # smaller child's — no second pass over the rows.
+                    large_hist = tuple(
+                        parent - small for parent, small in zip(hists, small_hist)
+                    )
+                    if smaller is left_indices:
+                        left_hist, right_hist = small_hist, large_hist
+                    else:
+                        left_hist, right_hist = large_hist, small_hist
+            if left_ok is None:
+                stack.append((left, left_indices, depth + 1, left_hist, False))
+                stack.append((right, right_indices, depth + 1, right_hist, False))
+            else:
+                # Children the scan proved pure or too small are already
+                # finished leaves — never pushed, never re-checked.
+                if left_ok:
+                    stack.append((left, left_indices, depth + 1, left_hist, True))
+                if right_ok:
+                    stack.append((right, right_indices, depth + 1, right_hist, True))
+
+        if hist_nodes:
+            inc_counter("tree_hist_nodes_total", hist_nodes)
         total_importance = self.feature_importances_.sum()
         if total_importance > 0:
             self.feature_importances_ /= total_importance
@@ -370,15 +804,22 @@ class DecisionTreeRegressor:
         min_samples_split: int = 2,
         min_samples_leaf: int = 1,
         max_features=None,
+        split_algorithm: str = "exact",
         seed: int = 0,
     ):
         self.max_depth = max_depth
         self.min_samples_split = min_samples_split
         self.min_samples_leaf = min_samples_leaf
         self.max_features = max_features
+        self.split_algorithm = _check_split_algorithm(split_algorithm)
         self.seed = seed
 
-    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        binned: BinnedDataset | None = None,
+    ) -> "DecisionTreeRegressor":
         X = np.asarray(X, dtype=float)
         y = np.asarray(y, dtype=float)
         if X.shape[0] != y.shape[0] or X.ndim != 2:
@@ -388,34 +829,108 @@ class DecisionTreeRegressor:
         n_candidate_features = _resolve_max_features(self.max_features, n_features)
         rng = np.random.default_rng(self.seed)
 
+        use_hist = self.split_algorithm == "hist"
+        if use_hist:
+            if binned is None:
+                binned = get_binned(X)
+            _check_binned(binned, X)
+        subtraction = use_hist and n_candidate_features == n_features
+        hist_nodes = 0
+
+        def searchable(indices: np.ndarray, depth: int) -> bool:
+            if indices.size < self.min_samples_split:
+                return False
+            if self.max_depth is not None and depth >= self.max_depth:
+                return False
+            return np.ptp(y[indices]) != 0
+
         tree = _Tree(n_outputs=1)
         root = tree.add_node(np.array([y.mean()]))
-        stack = [(root, np.arange(X.shape[0]), 0)]
+        stack = [(root, np.arange(X.shape[0]), 0, None)]
         while stack:
-            node, indices, depth = stack.pop()
-            if (
-                indices.size < self.min_samples_split
-                or (self.max_depth is not None and depth >= self.max_depth)
-                or np.ptp(y[indices]) == 0
-            ):
+            node, indices, depth, inherited = stack.pop()
+            if not searchable(indices, depth):
                 continue
             if n_candidate_features < n_features:
                 candidates = rng.choice(n_features, size=n_candidate_features, replace=False)
             else:
                 candidates = np.arange(n_features)
-            feature, threshold, gain = _best_split_regression(
-                X, y, indices, candidates, self.min_samples_leaf
-            )
-            if feature == _NO_SPLIT or gain <= 0:
-                continue
-            go_left = X[indices, feature] <= threshold
+            sums = counts = None
+            if not use_hist:
+                feature, threshold, gain = _best_split_regression(
+                    X, y, indices, candidates, self.min_samples_leaf
+                )
+                if feature == _NO_SPLIT or gain <= 0:
+                    continue
+                go_left = X[indices, feature] <= threshold
+            else:
+                hist_nodes += 1
+                node_y = y[indices]
+                total = node_y.sum()
+                parent_sse = float(np.sum((node_y - total / indices.size) ** 2))
+                if inherited is not None:
+                    sums, counts = inherited
+                else:
+                    block = _code_block(
+                        binned, indices, None if subtraction else candidates
+                    )
+                    sums, counts = _regression_histograms(
+                        block, node_y, binned.n_bins
+                    )
+                cut = _scan_regression_cuts(
+                    sums, counts, total, indices.size, self.min_samples_leaf
+                )
+                if cut is None:
+                    continue
+                local_feature, cut_bin, gain = cut
+                # Mirror the exact backend: a split must beat the 1e-12
+                # floor, and the reported gain is capped at the parent SSE.
+                if gain <= 1e-12:
+                    continue
+                gain = min(gain, parent_sse)
+                if gain <= 0:
+                    continue
+                feature = int(candidates[local_feature])
+                go_left = binned.codes[indices, feature] <= cut_bin
+                threshold = _node_threshold(
+                    X,
+                    indices,
+                    feature,
+                    go_left,
+                    float(binned.cut_thresholds[feature, cut_bin]),
+                )
             left_indices = indices[go_left]
             right_indices = indices[~go_left]
             left = tree.add_node(np.array([y[left_indices].mean()]))
             right = tree.add_node(np.array([y[right_indices].mean()]))
             tree.make_split(node, feature, threshold, left, right)
-            stack.append((left, left_indices, depth + 1))
-            stack.append((right, right_indices, depth + 1))
+
+            left_hist = right_hist = None
+            if subtraction and sums is not None:
+                smaller, larger = (
+                    (left_indices, right_indices)
+                    if left_indices.size <= right_indices.size
+                    else (right_indices, left_indices)
+                )
+                if (
+                    smaller.size >= _SUBTRACTION_MIN_ROWS
+                    and searchable(left_indices, depth + 1)
+                    and searchable(right_indices, depth + 1)
+                ):
+                    small_sums, small_counts = _regression_histograms(
+                        binned.codes[smaller], y[smaller], binned.n_bins
+                    )
+                    small_hist = (small_sums, small_counts)
+                    large_hist = (sums - small_sums, counts - small_counts)
+                    if smaller is left_indices:
+                        left_hist, right_hist = small_hist, large_hist
+                    else:
+                        left_hist, right_hist = large_hist, small_hist
+            stack.append((left, left_indices, depth + 1, left_hist))
+            stack.append((right, right_indices, depth + 1, right_hist))
+
+        if hist_nodes:
+            inc_counter("tree_hist_nodes_total", hist_nodes)
         tree.finalize()
         self.tree_ = tree
         return self

@@ -158,6 +158,12 @@ CATALOG: tuple[tuple[str, str, str, tuple | None, bool], ...] = (
      "decision trees grown by the random forests", None, True),
     ("gbdt_boosting_rounds_total", "counter",
      "boosting rounds run by GradientBoostingClassifier", None, True),
+    ("tree_hist_nodes_total", "counter",
+     "tree nodes split-searched by the histogram backend", None, True),
+    ("tree_bin_cache_hits_total", "counter",
+     "BinnedDataset lookups served from the fingerprint cache", None, True),
+    ("tree_bin_cache_misses_total", "counter",
+     "BinnedDataset lookups that had to quantile-bin from scratch", None, True),
     ("monitor_windows_scored_total", "counter",
      "fleet windows scored by FleetMonitor", None, True),
     ("monitor_windows_empty_total", "counter",
@@ -190,6 +196,9 @@ CATALOG: tuple[tuple[str, str, str, tuple | None, bool], ...] = (
      DAYS_BUCKETS, True),
     ("parallel_starmap_seconds", "histogram",
      "wall-clock per ParallelExecutor.starmap call", SECONDS_BUCKETS, True),
+    ("tree_bin_build_seconds", "histogram",
+     "wall-clock per BinnedDataset quantile-binning build", SECONDS_BUCKETS,
+     True),
 )
 
 

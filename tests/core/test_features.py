@@ -95,3 +95,79 @@ class TestFeatureAssembler:
     def test_invalid_history_rejected(self):
         with pytest.raises(ValueError):
             FeatureAssembler(("a",), history_length=0)
+
+
+def _assemble_walk_forward(columns, history_length, dataset_columns, row_indices):
+    """The pre-vectorization reference: walk candidates forward until
+    every row's history index lands inside its own drive's run."""
+    row_indices = np.asarray(row_indices)
+    base = np.column_stack(
+        [dataset_columns[column] for column in columns]
+    ).astype(float)
+    serial = np.asarray(dataset_columns["serial"])
+    blocks = []
+    for offset in range(history_length - 1, -1, -1):
+        candidate = np.maximum(row_indices - offset, 0)
+        same_drive = serial[candidate] == serial[row_indices]
+        while not np.all(same_drive):
+            candidate = np.where(same_drive, candidate, candidate + 1)
+            same_drive = serial[candidate] == serial[row_indices]
+        blocks.append(base[candidate])
+    return np.concatenate(blocks, axis=1)
+
+
+class TestHistoryVectorization:
+    """The searchsorted clamp must reproduce the old walk-forward loop."""
+
+    @pytest.fixture()
+    def short_drive_columns(self):
+        # Drive lengths 1, 2 and 4 — the first two are shorter than the
+        # history windows below, exercising the clamp-to-start padding.
+        rng = np.random.default_rng(3)
+        serial = np.array([5, 7, 7, 9, 9, 9, 9])
+        return {
+            "serial": serial,
+            "day": np.array([0, 0, 1, 0, 1, 2, 3]),
+            "a": rng.normal(0, 1, serial.size),
+            "b": rng.normal(0, 1, serial.size),
+        }
+
+    @pytest.mark.parametrize("history_length", [2, 3, 5])
+    def test_matches_walk_forward_on_short_drives(
+        self, short_drive_columns, history_length
+    ):
+        rows = np.arange(short_drive_columns["serial"].size)
+        assembler = FeatureAssembler(("a", "b"), history_length=history_length)
+        np.testing.assert_array_equal(
+            assembler.assemble(short_drive_columns, rows),
+            _assemble_walk_forward(
+                ("a", "b"), history_length, short_drive_columns, rows
+            ),
+        )
+
+    def test_matches_walk_forward_on_random_fleet(self):
+        rng = np.random.default_rng(11)
+        lengths = rng.integers(1, 9, size=40)
+        serial = np.repeat(np.arange(lengths.size), lengths)
+        columns = {
+            "serial": serial,
+            "day": np.concatenate([np.arange(n) for n in lengths]),
+            "a": rng.normal(0, 1, serial.size),
+        }
+        rows = rng.choice(serial.size, size=60)
+        assembler = FeatureAssembler(("a",), history_length=4)
+        np.testing.assert_array_equal(
+            assembler.assemble(columns, rows),
+            _assemble_walk_forward(("a",), 4, columns, rows),
+        )
+
+    def test_string_serials_supported(self):
+        columns = {
+            "serial": np.array(["d1", "d1", "d2", "d2", "d2"]),
+            "a": np.array([1.0, 2.0, 3.0, 4.0, 5.0]),
+        }
+        assembler = FeatureAssembler(("a",), history_length=3)
+        np.testing.assert_allclose(
+            assembler.assemble(columns, np.array([1, 3])),
+            [[1.0, 1.0, 2.0], [3.0, 3.0, 4.0]],
+        )

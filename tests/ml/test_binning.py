@@ -1,0 +1,170 @@
+"""Unit tests for quantile pre-binning (`repro.ml.binning`)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.binning import (
+    DEFAULT_BINS,
+    MAX_BINS,
+    BinnedDataset,
+    binned_fingerprint,
+    build_binned,
+    clear_binned_cache,
+    get_binned,
+)
+from repro.obs import get_registry
+
+
+@pytest.fixture(autouse=True)
+def clean_cache():
+    clear_binned_cache()
+    yield
+    clear_binned_cache()
+
+
+def _counter(name: str) -> float:
+    return get_registry().counter(name).value
+
+
+class TestBuildBinned:
+    def test_lossless_when_few_distinct_values(self):
+        X = np.array([[0.0], [1.0], [2.0], [1.0], [0.0]])
+        binned = build_binned(X)
+        # Midpoint edges: codes preserve the full ordering information.
+        np.testing.assert_allclose(binned.bin_edges[0], [0.5, 1.5])
+        np.testing.assert_array_equal(binned.codes[:, 0], [0, 1, 2, 1, 0])
+
+    def test_codes_preserve_order(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(0, 1, (500, 3))
+        binned = build_binned(X, max_bins=32)
+        for j in range(3):
+            order = np.argsort(X[:, j], kind="stable")
+            codes = binned.codes[order, j]
+            assert np.all(np.diff(codes.astype(int)) >= 0)
+
+    def test_quantile_binning_caps_bin_count(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(0, 1, (4000, 1))
+        binned = build_binned(X, max_bins=16)
+        assert len(binned.bin_edges[0]) <= 15
+        assert binned.codes[:, 0].max() <= 15
+
+    def test_nan_rows_take_reserved_top_bin(self):
+        X = np.array([[0.0], [1.0], [np.nan], [2.0]])
+        binned = build_binned(X)
+        nan_code = binned.codes[2, 0]
+        assert nan_code == len(binned.bin_edges[0]) + 1
+        assert nan_code > binned.codes[[0, 1, 3], 0].max()
+
+    def test_constant_column_single_bin(self):
+        X = np.ones((10, 1))
+        binned = build_binned(X)
+        assert len(binned.bin_edges[0]) == 0
+        assert np.all(binned.codes == 0)
+
+    def test_cut_thresholds_padded_with_inf(self):
+        X = np.column_stack([np.arange(5.0), np.zeros(5)])
+        binned = build_binned(X)
+        # Feature 1 is constant: every cut threshold is the +inf pad.
+        assert np.all(np.isinf(binned.cut_thresholds[1]))
+
+    def test_invalid_max_bins_rejected(self):
+        X = np.zeros((4, 1))
+        with pytest.raises(ValueError, match="max_bins"):
+            build_binned(X, max_bins=1)
+        with pytest.raises(ValueError, match="max_bins"):
+            build_binned(X, max_bins=MAX_BINS + 1)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            build_binned(np.zeros(5))
+
+
+class TestViews:
+    def test_take_shares_edges(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(0, 1, (100, 4))
+        binned = build_binned(X)
+        rows = np.array([3, 3, 7, 50])
+        view = binned.take(rows)
+        assert view.bin_edges is binned.bin_edges
+        assert view.n_bins == binned.n_bins
+        np.testing.assert_array_equal(view.codes, binned.codes[rows])
+
+    def test_column_view_subsets_everything(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(0, 1, (50, 5))
+        binned = build_binned(X)
+        view = binned.column_view([4, 1])
+        assert view.n_features == 2
+        np.testing.assert_array_equal(view.codes, binned.codes[:, [4, 1]])
+        np.testing.assert_allclose(view.bin_edges[0], binned.bin_edges[4])
+        np.testing.assert_allclose(
+            view.cut_thresholds, binned.cut_thresholds[[4, 1]]
+        )
+
+
+class TestCache:
+    def test_repeat_lookup_is_a_hit(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(0, 1, (200, 3))
+        hits0 = _counter("tree_bin_cache_hits_total")
+        misses0 = _counter("tree_bin_cache_misses_total")
+        first = get_binned(X)
+        second = get_binned(X)
+        assert second is first
+        assert _counter("tree_bin_cache_misses_total") == misses0 + 1
+        assert _counter("tree_bin_cache_hits_total") == hits0 + 1
+
+    def test_row_subsets_are_distinct_entries(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(0, 1, (200, 3))
+        fold_a = np.arange(100)
+        fold_b = np.arange(100, 200)
+        a = get_binned(X, fold_a)
+        b = get_binned(X, fold_b)
+        assert a is not b
+        assert a.n_rows == b.n_rows == 100
+        assert get_binned(X, fold_a) is a
+
+    def test_fold_edges_see_no_future_rows(self):
+        # The train fold is 0..99; an extreme value in the future rows
+        # must not shift the fold's bin edges.
+        rng = np.random.default_rng(6)
+        X = rng.normal(0, 1, (200, 1))
+        train = np.arange(100)
+        with_future = X.copy()
+        with_future[150, 0] = 1e9
+        a = get_binned(X, train)
+        b = get_binned(with_future, train)
+        np.testing.assert_allclose(a.bin_edges[0], b.bin_edges[0])
+
+    def test_fingerprint_keys(self):
+        rng = np.random.default_rng(7)
+        X = rng.normal(0, 1, (64, 2))
+        rows = np.arange(32)
+        assert binned_fingerprint(X) == binned_fingerprint(X)
+        assert binned_fingerprint(X) != binned_fingerprint(X, rows)
+        assert binned_fingerprint(X) != binned_fingerprint(X, max_bins=16)
+        assert binned_fingerprint(X) != binned_fingerprint(X + 1.0)
+
+    def test_build_records_fingerprint(self):
+        X = np.zeros((8, 1))
+        binned = get_binned(X)
+        assert binned.fingerprint == binned_fingerprint(X)
+        assert build_binned(X).fingerprint is None
+
+
+def test_default_bins_within_uint8_budget():
+    assert 2 <= DEFAULT_BINS <= MAX_BINS
+    # DEFAULT_BINS value bins + the NaN bin must fit in uint8 codes.
+    assert DEFAULT_BINS + 1 <= 255
+
+
+def test_binned_dataset_shape_properties():
+    X = np.zeros((7, 3))
+    binned = build_binned(X)
+    assert isinstance(binned, BinnedDataset)
+    assert binned.n_rows == 7
+    assert binned.n_features == 3

@@ -134,3 +134,37 @@ class TestMaxFeatures:
             _resolve_max_features("cube", 10)
         with pytest.raises(ValueError):
             _resolve_max_features(-1, 10)
+
+    def test_booleans_rejected(self):
+        # bool is an int subclass: True must not silently mean "1
+        # feature per split".
+        with pytest.raises(ValueError, match="boolean"):
+            _resolve_max_features(True, 10)
+        with pytest.raises(ValueError, match="boolean"):
+            _resolve_max_features(False, 10)
+        with pytest.raises(ValueError, match="boolean"):
+            _resolve_max_features(np.True_, 10)
+        with pytest.raises(ValueError, match="boolean"):
+            DecisionTreeClassifier(max_features=True).fit(
+                np.array([[0.0], [1.0]]), np.array([0, 1])
+            )
+
+
+class TestSplitAlgorithmParam:
+    def test_unknown_backend_rejected(self):
+        for factory in (DecisionTreeClassifier, DecisionTreeRegressor):
+            with pytest.raises(ValueError, match="split_algorithm"):
+                factory(split_algorithm="histo")
+
+    def test_both_backends_accepted(self):
+        assert DecisionTreeClassifier(split_algorithm="hist").split_algorithm == "hist"
+        assert DecisionTreeRegressor(split_algorithm="exact").split_algorithm == "exact"
+
+    def test_mismatched_binned_shape_rejected(self):
+        from repro.ml.binning import build_binned
+
+        X = np.arange(20, dtype=float).reshape(-1, 2)
+        y = np.array([0, 1] * 5)
+        wrong = build_binned(X[:5])
+        with pytest.raises(ValueError, match="does not match"):
+            DecisionTreeClassifier(split_algorithm="hist").fit(X, y, binned=wrong)

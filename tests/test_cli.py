@@ -48,6 +48,16 @@ class TestParser:
             args = build_parser().parse_args([command, "d", "--n-jobs", "4"])
             assert args.n_jobs == 4
 
+    def test_split_algorithm_flag_on_training_subcommands(self):
+        assert build_parser().parse_args(["train", "d"]).split_algorithm == "exact"
+        for command in ("train", "monitor", "chaos"):
+            args = build_parser().parse_args(
+                [command, "d", "--split-algorithm", "hist"]
+            )
+            assert args.split_algorithm == "hist"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "d", "--split-algorithm", "bogus"])
+
 
 class TestSimulate:
     def test_writes_loadable_dataset(self, saved_fleet):
@@ -91,6 +101,22 @@ class TestTrain:
               "--eval-end-day", "200", "--n-jobs", "2"])
         parallel_out = capsys.readouterr().out
         assert parallel_out == serial_out
+
+    def test_train_with_hist_split_algorithm(self, saved_fleet, capsys):
+        code = main(
+            [
+                "train",
+                str(saved_fleet),
+                "--train-end-day",
+                "140",
+                "--eval-end-day",
+                "200",
+                "--split-algorithm",
+                "hist",
+            ]
+        )
+        assert code == 0
+        assert "TPR" in capsys.readouterr().out
 
 
 class TestSummary:
