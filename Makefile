@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test smoke bench bench-parallel bench-obs bench-hist chaos obs-smoke lint-obs examples exhibits clean
+.PHONY: install test smoke serve-smoke bench bench-parallel bench-obs bench-hist chaos obs-smoke lint-obs examples exhibits clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -11,8 +11,11 @@ test:
 bench:
 	pytest benchmarks/ --benchmark-only
 
-smoke:
+smoke: serve-smoke
 	PYTHONPATH=src pytest tests -m smoke
+
+serve-smoke:
+	PYTHONPATH=src python tools/serve_smoke.py
 
 bench-parallel:
 	PYTHONPATH=src pytest benchmarks/test_parallel_speedup.py -m parallel_bench -s

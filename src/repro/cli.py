@@ -8,6 +8,9 @@ monitor     replay a monitored deployment over a saved fleet
 summary     print Table-VI style statistics of a saved fleet
 chaos       corrupt a fleet with fault injectors, sanitize, and
             measure the monitored pipeline's degradation
+serve       run the always-on fleet-scoring daemon over a recorded
+            reading stream (checkpointing, crash-resume, alarm sink)
+replay      record a fleet as a replayable per-day reading stream
 obs         observability utilities (``obs report <run-dir>``)
 
 Observability
@@ -184,6 +187,85 @@ def _add_monitor(subparsers) -> None:
     _add_obs_flags(parser)
 
 
+def _add_replay(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "replay", help="record a fleet as a replayable reading stream"
+    )
+    parser.add_argument("dataset")
+    parser.add_argument("output", help="JSONL stream file to write")
+    parser.add_argument("--start-day", type=int, default=0)
+    parser.add_argument("--end-day", type=int, default=None)
+    parser.add_argument(
+        "--no-repair",
+        action="store_true",
+        help="stream the raw rows instead of the gap-repaired rows "
+        "(breaks alarm parity with the batch monitor)",
+    )
+    parser.add_argument(
+        "--speed",
+        type=float,
+        default=None,
+        help="pace the stream at this many simulated days per second "
+        "(default: write at full speed)",
+    )
+    _add_obs_flags(parser)
+
+
+def _add_serve(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "serve", help="run the fleet-scoring daemon over a reading stream"
+    )
+    parser.add_argument("dataset", help="fleet used to fit the models (ignored on --resume)")
+    parser.add_argument("--input", required=True, help="JSONL stream from `repro replay`")
+    parser.add_argument("--serve-start-day", type=int, default=240)
+    parser.add_argument("--train-end-day", type=int, default=None,
+                        help="default: --serve-start-day")
+    parser.add_argument("--window-days", type=int, default=30)
+    parser.add_argument("--end-day", type=int, default=None)
+    parser.add_argument("--alarm-threshold", type=float, default=0.5)
+    parser.add_argument("--queue-capacity", type=int, default=4096)
+    parser.add_argument("--batch-size", type=int, default=512)
+    parser.add_argument(
+        "--max-alarms-per-window", type=int, default=None,
+        help="fleet-wide per-window alarm budget (default: unlimited)",
+    )
+    parser.add_argument(
+        "--stale-after", type=int, default=256,
+        help="consecutive readings a feature dimension may be absent "
+        "before scoring degrades",
+    )
+    parser.add_argument(
+        "--quarantine-drive-after", type=int, default=20,
+        help="ban a drive after this many quarantined readings "
+        "(0 disables banning)",
+    )
+    parser.add_argument(
+        "--no-reduced", action="store_true",
+        help="skip fitting the reduced-feature fallback model",
+    )
+    parser.add_argument("--checkpoint-dir",
+                        help="checkpoint daemon state at every window boundary")
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="restore from --checkpoint-dir and replay only readings at "
+        "or above the checkpoint watermark",
+    )
+    parser.add_argument("--alarms-out", help="JSONL alarm sink path")
+    parser.add_argument(
+        "--speed", type=float, default=None,
+        help="consume the stream at this many simulated days per second",
+    )
+    parser.add_argument(
+        "--throttle-seconds", type=float, default=0.0,
+        help="extra sleep per simulated day (crash-drill pacing)",
+    )
+    parser.add_argument(
+        "--throttle-from-day", type=int, default=None,
+        help="only throttle from this day on (default: every day)",
+    )
+    _add_obs_flags(parser)
+
+
 def _add_summary(subparsers) -> None:
     parser = subparsers.add_parser("summary", help="Table-VI stats of a saved fleet")
     parser.add_argument("dataset")
@@ -240,6 +322,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_monitor(subparsers)
     _add_summary(subparsers)
     _add_chaos(subparsers)
+    _add_serve(subparsers)
+    _add_replay(subparsers)
     _add_obs(subparsers)
     return parser
 
@@ -459,6 +543,132 @@ def _cmd_summary(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.serve.replay import dataset_to_readings, write_stream
+
+    dataset = _load(args)
+    with trace_span("replay.record"):
+        readings = dataset_to_readings(
+            dataset,
+            start_day=args.start_day,
+            end_day=args.end_day,
+            repair=not args.no_repair,
+        )
+    if args.speed:
+        # Paced recording: append day groups in real time so a
+        # concurrently tailing consumer sees a live stream.
+        import json as _json
+        from pathlib import Path
+
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        current_day = None
+        with open(path, "w") as handle:
+            for serial, day, reading in readings:
+                if current_day is not None and day != current_day:
+                    handle.flush()
+                    time.sleep((day - current_day) / args.speed)
+                current_day = day
+                handle.write(
+                    _json.dumps(
+                        {"kind": "reading", "serial": serial, "day": day,
+                         "reading": reading},
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+            handle.write(_json.dumps({"kind": "end", "day": args.end_day}) + "\n")
+    else:
+        write_stream(args.output, readings, end_day=args.end_day)
+    log.info(
+        f"recorded {len(readings)} readings -> {args.output}",
+        n_readings=len(readings),
+        path=args.output,
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.robustness.checkpoint import has_checkpoint_files
+    from repro.serve.daemon import SERVE_FILES, ServeConfig, ServeDaemon
+    from repro.serve.ingest import GatePolicy
+    from repro.serve.replay import iter_stream
+
+    gate = GatePolicy(
+        quarantine_drive_after=args.quarantine_drive_after or None
+    )
+    config = ServeConfig(
+        serve_start_day=args.serve_start_day,
+        window_days=args.window_days,
+        end_day=args.end_day,
+        alarm_threshold=args.alarm_threshold,
+        queue_capacity=args.queue_capacity,
+        batch_size=args.batch_size,
+        max_alarms_per_window=args.max_alarms_per_window,
+        stale_after=args.stale_after,
+        gate=gate,
+    )
+    if args.resume and args.checkpoint_dir and has_checkpoint_files(
+        args.checkpoint_dir, SERVE_FILES
+    ):
+        daemon = ServeDaemon.resume(args.checkpoint_dir, sink_path=args.alarms_out)
+        log.info(
+            f"resumed from {args.checkpoint_dir} at watermark day "
+            f"{daemon.watermark}"
+        )
+        min_day = daemon.watermark
+    else:
+        dataset = _load(args)
+        with trace_span("serve.bootstrap"):
+            daemon = ServeDaemon.bootstrap(
+                dataset,
+                config,
+                train_end_day=args.train_end_day,
+                fit_reduced=not args.no_reduced,
+                checkpoint_dir=args.checkpoint_dir,
+                sink_path=args.alarms_out,
+            )
+        min_day = None
+
+    end_day = args.end_day
+    current_day = None
+    with trace_span("serve.consume"):
+        for event in iter_stream(args.input):
+            if event["kind"] == "end":
+                if event.get("day") is not None:
+                    end_day = event["day"]
+                break
+            day = event["day"]
+            if min_day is not None and day < min_day:
+                continue
+            if current_day is not None and day != current_day:
+                daemon.pump()
+                if args.speed:
+                    time.sleep((day - current_day) / args.speed)
+                if args.throttle_seconds and (
+                    args.throttle_from_day is None
+                    or day >= args.throttle_from_day
+                ):
+                    time.sleep(args.throttle_seconds)
+            current_day = day
+            daemon.submit(event["serial"], day, event["reading"])
+        summary = daemon.finish(end_day)
+
+    log.info(
+        render_table(
+            ["Windows", "Alarms", "Degraded windows", "Watermark"],
+            [[summary["n_windows"], summary["n_alarms"],
+              summary["degraded_windows"], summary["watermark"]]],
+            title="serve summary",
+        )
+    )
+    return 0
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     from repro.obs.report import render_run_report
 
@@ -472,6 +682,8 @@ _COMMANDS = {
     "monitor": _cmd_monitor,
     "summary": _cmd_summary,
     "chaos": _cmd_chaos,
+    "serve": _cmd_serve,
+    "replay": _cmd_replay,
     "obs": _cmd_obs,
 }
 
@@ -479,7 +691,7 @@ _COMMANDS = {
 #: Commands carrying the obs flags. ``obs report`` itself is excluded —
 #: its ``run_dir`` positional must never be mistaken for ``--run-dir``
 #: (that would overwrite the manifest being rendered).
-_OBSERVABLE_COMMANDS = frozenset({"train", "monitor", "chaos"})
+_OBSERVABLE_COMMANDS = frozenset({"train", "monitor", "chaos", "serve", "replay"})
 
 
 def _begin_observability(args: argparse.Namespace):

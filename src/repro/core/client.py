@@ -137,12 +137,18 @@ class ClientPredictor:
                     values.append(float(reading[column]))
         return np.asarray(values), missing
 
-    def observe(self, serial: int, day: int, reading: dict) -> float:
-        """Ingest one day's telemetry and return the failure probability.
+    def ingest(self, serial: int, day: int, reading: dict) -> np.ndarray:
+        """Commit one day's telemetry; return the model-input row.
+
+        This is :meth:`observe` without the model call — the streaming
+        state update (cumulative counters, trailing history, last-known
+        values) plus feature assembly. The serve daemon uses it to
+        assemble rows incrementally and batch the predictions; pass the
+        returned row(s) to :meth:`predict_matrix`.
 
         Readings must arrive in chronological order per drive; the daily
         W/B counts in ``reading`` are added to the drive's running
-        cumulative counters *before* scoring, matching the batch
+        cumulative counters *before* assembly, matching the batch
         pipeline's accumulate-then-assemble order. All validation runs
         before any state mutation — a raised reading is retryable.
         """
@@ -183,15 +189,27 @@ class ClientPredictor:
             state.history.pop(0)
 
         if self._history_length == 1:
-            X = vector[None, :]
-        else:
-            # Pad with the earliest available vector, earliest-first —
-            # the same clamping FeatureAssembler applies.
-            padded = [state.history[0]] * (
-                self._history_length - len(state.history)
-            ) + state.history
-            X = np.concatenate(padded)[None, :]
-        return float(self._model.predict_proba(X)[0, 1])
+            return vector
+        # Pad with the earliest available vector, earliest-first —
+        # the same clamping FeatureAssembler applies.
+        padded = [state.history[0]] * (
+            self._history_length - len(state.history)
+        ) + state.history
+        return np.concatenate(padded)
+
+    def predict_matrix(self, X: np.ndarray) -> np.ndarray:
+        """Positive-class probabilities for stacked :meth:`ingest` rows."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        return self._model.predict_proba(X)[:, 1]
+
+    def observe(self, serial: int, day: int, reading: dict) -> float:
+        """Ingest one day's telemetry and return the failure probability.
+
+        Equivalent to ``predict_matrix(ingest(...))[0]`` — see
+        :meth:`ingest` for the ordering and retry contract.
+        """
+        row = self.ingest(serial, day, reading)
+        return float(self.predict_matrix(row[None, :])[0])
 
     def alarm(self, serial: int, day: int, reading: dict) -> tuple[bool, float]:
         """Convenience: ``(raises_alarm, probability)`` for one reading."""
@@ -206,3 +224,44 @@ class ClientPredictor:
     def forget(self, serial: int) -> None:
         """Drop a drive's state (it was replaced or decommissioned)."""
         self._states.pop(int(serial), None)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-serializable copy of every drive's streaming state.
+
+        Finite floats round-trip exactly through JSON, so a predictor
+        restored from a snapshot scores future readings bit-identically
+        to one that never stopped — the serve daemon's resume contract.
+        """
+        return {
+            "drives": {
+                str(serial): {
+                    "cumulative_events": dict(state.cumulative_events),
+                    "history": [vector.tolist() for vector in state.history],
+                    "last_day": state.last_day,
+                    "last_raw": dict(state.last_raw),
+                    "last_firmware": state.last_firmware,
+                    "n_degraded": state.n_degraded,
+                }
+                for serial, state in self._states.items()
+            }
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Replace all per-drive state with a :meth:`snapshot`."""
+        states: dict[int, _DriveState] = {}
+        for serial, entry in snapshot["drives"].items():
+            states[int(serial)] = _DriveState(
+                cumulative_events=dict(entry["cumulative_events"]),
+                history=[
+                    np.asarray(vector, dtype=float)
+                    for vector in entry["history"]
+                ],
+                last_day=entry["last_day"],
+                last_raw=dict(entry["last_raw"]),
+                last_firmware=entry["last_firmware"],
+                n_degraded=entry["n_degraded"],
+            )
+        self._states = states

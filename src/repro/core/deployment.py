@@ -89,6 +89,15 @@ class OperationSummary:
     def n_alarms(self) -> int:
         return self.true_alarms + self.false_alarms
 
+    def alarm_records(self) -> list[tuple[int, int, float]]:
+        """Every alarm as sorted ``(serial, day, probability)`` tuples —
+        the comparison key for batch-vs-streaming alarm parity."""
+        return sorted(
+            (alarm.serial, alarm.day, alarm.probability)
+            for window in self.windows
+            for alarm in window.alarms
+        )
+
     @property
     def precision(self) -> float:
         if self.n_alarms == 0:

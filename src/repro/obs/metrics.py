@@ -199,6 +199,57 @@ CATALOG: tuple[tuple[str, str, str, tuple | None, bool], ...] = (
     ("tree_bin_build_seconds", "histogram",
      "wall-clock per BinnedDataset quantile-binning build", SECONDS_BUCKETS,
      True),
+    # ---- serve daemon (repro.serve) ----
+    ("serve_readings_ingested_total", "counter",
+     "readings admitted by the ingest gate into the scoring queue", None, True),
+    ("serve_readings_quarantined_total", "counter",
+     "readings rejected by the ingest gate, by rule", None, False),
+    ("serve_readings_repaired_total", "counter",
+     "readings admitted after in-place repair, by rule", None, False),
+    ("serve_readings_shed_total", "counter",
+     "queued readings shed under backpressure (oldest non-alarmed first)",
+     None, True),
+    ("serve_readings_skipped_alarmed_total", "counter",
+     "readings skipped because their drive already alarmed", None, True),
+    ("serve_queue_depth", "gauge",
+     "readings currently waiting in the bounded ingest queue", None, True),
+    ("serve_batches_scored_total", "counter",
+     "scoring batches completed by the serve loop", None, True),
+    ("serve_windows_scored_total", "counter",
+     "monitoring windows flushed by the serve loop", None, True),
+    ("serve_stage_retries_total", "counter",
+     "retried stage attempts in the serve loop, by stage", None, False),
+    ("serve_stage_timeouts_total", "counter",
+     "stage attempts abandoned for exceeding their timeout budget",
+     None, True),
+    ("serve_breaker_state", "gauge",
+     "scoring circuit breaker state (0 closed, 1 half-open, 2 open)",
+     None, True),
+    ("serve_breaker_opens_total", "counter",
+     "circuit breaker trips from closed/half-open to open", None, True),
+    ("serve_degraded_mode", "gauge",
+     "1 while the daemon scores with the reduced-feature model", None, True),
+    ("serve_degraded_entries_total", "counter",
+     "transitions into degraded (reduced-feature) scoring", None, True),
+    ("serve_degraded_exits_total", "counter",
+     "transitions back to full-feature scoring", None, True),
+    ("serve_alarms_emitted_total", "counter",
+     "alarms appended to the alarm sink", None, True),
+    ("serve_alarms_suppressed_total", "counter",
+     "alarms withheld by the fleet-wide per-window rate budget", None, True),
+    ("serve_alarms_deduped_total", "counter",
+     "alarm candidates dropped because the drive already alarmed",
+     None, True),
+    ("serve_checkpoints_total", "counter",
+     "window-boundary checkpoints committed by the daemon", None, True),
+    ("serve_resumes_total", "counter",
+     "daemon starts that restored state from a checkpoint", None, True),
+    ("serve_heartbeat_timestamp", "gauge",
+     "unix time of the watchdog's last completed tick", None, True),
+    ("serve_ticks_total", "counter",
+     "pump ticks completed by the serve loop", None, True),
+    ("serve_slow_ticks_total", "counter",
+     "pump ticks exceeding the watchdog's slow-tick threshold", None, True),
 )
 
 

@@ -18,9 +18,12 @@ accounted-for operating conditions:
 """
 
 from repro.robustness.checkpoint import (
+    CheckpointCorruptError,
     has_checkpoint,
     load_checkpoint,
     save_checkpoint,
+    verify_manifest,
+    write_manifest,
 )
 from repro.robustness.degraded import (
     DegradedPrediction,
@@ -39,6 +42,7 @@ from repro.robustness.faults import (
     OutOfOrder,
     StuckSensor,
     inject,
+    inject_stream,
     make_fault,
 )
 from repro.robustness.quarantine import (
@@ -48,6 +52,7 @@ from repro.robustness.quarantine import (
 )
 
 __all__ = [
+    "CheckpointCorruptError",
     "CounterReset",
     "DegradedPrediction",
     "DegradedScorer",
@@ -64,9 +69,12 @@ __all__ = [
     "fit_reduced_model",
     "has_checkpoint",
     "inject",
+    "inject_stream",
     "load_checkpoint",
     "make_fault",
     "missing_dimensions",
     "sanitize_dataset",
     "save_checkpoint",
+    "verify_manifest",
+    "write_manifest",
 ]

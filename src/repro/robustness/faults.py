@@ -165,6 +165,27 @@ class CounterReset(FaultInjector):
         columns[column] = values
         return TelemetryDataset(columns, dict(dataset.drives), list(dataset.tickets))
 
+    def apply_stream(self, readings, rng):
+        column = self.column or str(rng.choice(_MONOTONE_COLUMNS))
+        # Group reading indices per drive so the reset point is chosen
+        # inside each affected drive's own history, as in `apply`.
+        per_drive: dict[int, list[int]] = {}
+        for i, (serial, _day, _reading) in enumerate(readings):
+            per_drive.setdefault(serial, []).append(i)
+        out = [(serial, day, dict(reading)) for serial, day, reading in readings]
+        for indices in per_drive.values():
+            if len(indices) < 2 or rng.random() >= self.drive_fraction:
+                continue
+            start = int(rng.integers(1, len(indices)))
+            base = out[indices[start]][2].get(column)
+            if base is None:
+                continue
+            for i in indices[start:]:
+                reading = out[i][2]
+                if column in reading:
+                    reading[column] = max(float(reading[column]) - float(base), 0.0)
+        return out
+
 
 @dataclass(frozen=True)
 class MissingDimension(FaultInjector):

@@ -1,0 +1,169 @@
+"""Chaos-under-serve: the six fault injectors against a *live* daemon.
+
+For each fault the harness runs the same corrupted reading stream three
+ways and cross-checks them:
+
+* **reference** — one uninterrupted daemon over the whole stream;
+* **killed** — a daemon with a checkpoint directory, fed only the
+  readings below a kill day (so its last act is a committed
+  window-boundary checkpoint) and then abandoned — the in-process
+  equivalent of ``kill -9``, nothing is flushed or closed;
+* **resumed** — :meth:`ServeDaemon.resume` from that checkpoint, fed
+  only the readings at or above its watermark.
+
+Invariants asserted (:class:`ChaosServeReport` carries the evidence):
+
+* neither run crashes, whatever the injector mangled;
+* the resumed run's ledger equals the reference ledger — zero duplicate
+  and zero lost alarms across the hard kill;
+* the alarm sink holds exactly one line per alarmed drive and matches
+  the ledger;
+* for ``missing_dimension``, degraded-mode entry is visible in the
+  window summaries and the metrics registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.pipeline import MFPA
+from repro.obs import get_logger
+from repro.robustness.faults import FAULT_REGISTRY, Reading, inject_stream, make_fault
+from repro.serve.daemon import ServeConfig, ServeDaemon
+from repro.serve.replay import replay_into
+
+__all__ = ["ChaosServeReport", "run_chaos_under_serve"]
+
+_LOG = get_logger("repro.serve.chaos")
+
+#: Constructor overrides making each fault bite hard enough to observe.
+_FAULT_PARAMS: dict[str, dict] = {
+    "drop_days": {"fraction": 0.2},
+    "duplicate_rows": {"fraction": 0.2},
+    "stuck_sensor": {"drive_fraction": 0.5},
+    "counter_reset": {"drive_fraction": 0.5},
+    "missing_dimension": {"dimension": "W"},
+    "out_of_order": {"fraction": 0.2},
+}
+
+
+@dataclass(frozen=True)
+class ChaosServeReport:
+    """Evidence bundle for one fault's kill/resume cross-check."""
+
+    fault: str
+    n_readings: int
+    n_alarms_reference: int
+    n_alarms_resumed: int
+    resume_matches_reference: bool
+    sink_lines: int
+    sink_unique_serials: int
+    sink_matches_ledger: bool
+    degraded_windows: int
+    windows_total: int
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.resume_matches_reference
+            and self.sink_matches_ledger
+            and self.sink_lines == self.sink_unique_serials
+        )
+
+
+def _read_sink(path: Path) -> list[dict]:
+    import json
+
+    if not path.exists():
+        return []
+    return [
+        json.loads(line)
+        for line in path.read_text().splitlines()
+        if line.strip()
+    ]
+
+
+def run_chaos_one(
+    full: MFPA,
+    reduced: MFPA | None,
+    readings: list[Reading],
+    fault: str,
+    config: ServeConfig,
+    work_dir: str | Path,
+    end_day: int,
+    seed: int = 0,
+) -> ChaosServeReport:
+    """Run one fault's corrupted stream through kill → resume and
+    cross-check against an uninterrupted reference run."""
+    work_dir = Path(work_dir)
+    corrupted = inject_stream(
+        readings, [make_fault(fault, **_FAULT_PARAMS.get(fault, {}))], seed=seed
+    )
+    kill_day = config.serve_start_day + config.window_days + 1
+
+    reference = ServeDaemon.from_models(full, reduced, config)
+    replay_into(reference, corrupted, end_day=end_day)
+
+    checkpoint_dir = work_dir / fault / "ckpt"
+    sink = work_dir / fault / "alarms.jsonl"
+    killed = ServeDaemon.from_models(
+        full, reduced, config, checkpoint_dir=checkpoint_dir, sink_path=sink
+    )
+    for serial, day, reading in corrupted:
+        if day >= kill_day:
+            break
+        killed.submit(serial, day, reading)
+        killed.pump()
+    # hard kill: no finish(), no flush — the daemon is simply abandoned.
+    assert killed.watermark > config.serve_start_day, (
+        "kill point must land after at least one committed checkpoint"
+    )
+
+    resumed = ServeDaemon.resume(checkpoint_dir, sink_path=sink)
+    replay_into(resumed, corrupted, end_day=end_day, min_day=resumed.watermark)
+
+    sink_records = _read_sink(sink)
+    sink_keys = [(r["serial"], r["day"]) for r in sink_records]
+    ledger_keys = [(r["serial"], r["day"]) for r in resumed.alarms.ledger]
+    report = ChaosServeReport(
+        fault=fault,
+        n_readings=len(corrupted),
+        n_alarms_reference=len(reference.alarms.ledger),
+        n_alarms_resumed=len(resumed.alarms.ledger),
+        resume_matches_reference=(
+            resumed.alarm_records() == reference.alarm_records()
+        ),
+        sink_lines=len(sink_records),
+        sink_unique_serials=len({r["serial"] for r in sink_records}),
+        sink_matches_ledger=sink_keys == ledger_keys,
+        degraded_windows=sum(1 for w in resumed.windows if w["degraded"]),
+        windows_total=len(resumed.windows),
+    )
+    _LOG.info(
+        "chaos-under-serve fault done",
+        fault=fault,
+        passed=report.passed,
+        alarms=report.n_alarms_resumed,
+        degraded_windows=report.degraded_windows,
+    )
+    return report
+
+
+def run_chaos_under_serve(
+    full: MFPA,
+    reduced: MFPA | None,
+    readings: list[Reading],
+    config: ServeConfig,
+    work_dir: str | Path,
+    end_day: int,
+    faults: tuple[str, ...] | None = None,
+    seed: int = 0,
+) -> dict[str, ChaosServeReport]:
+    """All six injectors (or ``faults``) through :func:`run_chaos_one`."""
+    reports = {}
+    for fault in faults or tuple(sorted(FAULT_REGISTRY)):
+        reports[fault] = run_chaos_one(
+            full, reduced, readings, fault, config, work_dir, end_day, seed=seed
+        )
+    return reports

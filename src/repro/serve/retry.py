@@ -1,0 +1,196 @@
+"""Retry, timeout and circuit-breaker policies for the serve loop.
+
+A scoring stage in a long-running daemon fails for two distinct
+reasons, and the response differs:
+
+* *transient* — a slow tick, a worker hiccup. :func:`retry_call`
+  re-attempts with jittered exponential backoff inside a per-stage
+  wall-clock budget, counting every retry and timeout;
+* *persistent* — a wedged model, a poisoned batch. The
+  :class:`CircuitBreaker` counts consecutive exhausted stages and trips
+  OPEN, at which point the daemon routes scoring to the reduced-feature
+  degraded model instead of hammering the broken path. After a cooldown
+  (measured in pump ticks, not wall-clock, so replayed time works) the
+  breaker goes HALF_OPEN and one trial success closes it again.
+
+All timing flows through injectable ``clock``/``sleep`` callables so
+tests run the whole state machine in zero wall-clock time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.obs import get_logger, inc_counter, set_gauge
+
+__all__ = [
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "CircuitBreaker",
+    "RetryExhaustedError",
+    "RetryPolicy",
+    "retry_call",
+]
+
+_LOG = get_logger("repro.serve.retry")
+
+
+class RetryExhaustedError(RuntimeError):
+    """A stage failed every attempt or exceeded its timeout budget."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Jittered exponential backoff with a per-stage wall-clock budget."""
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1
+    """Each delay is scaled by ``1 ± uniform(jitter)`` so synchronized
+    retries across stages don't stampede."""
+    timeout: float | None = 30.0
+    """Total seconds allowed across all attempts of one stage
+    (``None`` disables the budget)."""
+    seed: int = 0
+
+    def delay(self, attempt: int, rng: np.random.Generator) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        raw = min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
+        if self.jitter:
+            raw *= 1.0 + float(rng.uniform(-self.jitter, self.jitter))
+        return max(raw, 0.0)
+
+
+def retry_call(
+    fn,
+    *,
+    policy: RetryPolicy | None = None,
+    stage: str = "stage",
+    sleep=time.sleep,
+    clock=time.monotonic,
+    rng: np.random.Generator | None = None,
+):
+    """Call ``fn()`` under ``policy``; raise :class:`RetryExhaustedError`
+    when attempts or the timeout budget run out.
+
+    Every re-attempt increments ``serve_stage_retries_total{stage=...}``;
+    an abandoned budget increments ``serve_stage_timeouts_total``.
+    """
+    policy = policy or RetryPolicy()
+    rng = rng if rng is not None else np.random.default_rng(policy.seed)
+    start = clock()
+    last_error: Exception | None = None
+    for attempt in range(1, policy.max_attempts + 1):
+        if policy.timeout is not None and clock() - start > policy.timeout:
+            inc_counter("serve_stage_timeouts_total")
+            raise RetryExhaustedError(
+                f"stage {stage!r} exceeded its {policy.timeout}s budget "
+                f"after {attempt - 1} attempts"
+            ) from last_error
+        try:
+            return fn()
+        except Exception as error:  # noqa: BLE001 - retry boundary, re-raised below
+            last_error = error
+            if attempt == policy.max_attempts:
+                break
+            inc_counter("serve_stage_retries_total", stage=stage)
+            _LOG.warning(
+                "stage retry", stage=stage, attempt=attempt, error=repr(error)
+            )
+            sleep(policy.delay(attempt, rng))
+    raise RetryExhaustedError(
+        f"stage {stage!r} failed all {policy.max_attempts} attempts"
+    ) from last_error
+
+
+#: Breaker states, exported as the ``serve_breaker_state`` gauge value.
+CLOSED, HALF_OPEN, OPEN = 0, 1, 2
+_STATE_NAMES = {CLOSED: "closed", HALF_OPEN: "half_open", OPEN: "open"}
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with tick-based cooldown.
+
+    ``failure_threshold`` consecutive :meth:`record_failure` calls trip
+    the breaker OPEN; :meth:`tick` (called once per pump tick) counts
+    the cooldown down to HALF_OPEN, where one success closes it and one
+    failure re-opens it.
+    """
+
+    def __init__(self, failure_threshold: int = 3, cooldown_ticks: int = 2):
+        if failure_threshold < 1 or cooldown_ticks < 1:
+            raise ValueError("failure_threshold and cooldown_ticks must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown_ticks = cooldown_ticks
+        self.state = CLOSED
+        self._consecutive_failures = 0
+        self._cooldown_remaining = 0
+        set_gauge("serve_breaker_state", self.state)
+
+    @property
+    def is_open(self) -> bool:
+        return self.state == OPEN
+
+    def allow(self) -> bool:
+        """Whether the protected stage may be attempted right now."""
+        return self.state != OPEN
+
+    def _transition(self, state: int) -> None:
+        if state == self.state:
+            return
+        _LOG.info(
+            "breaker transition",
+            src=_STATE_NAMES[self.state],
+            dst=_STATE_NAMES[state],
+        )
+        if state == OPEN:
+            inc_counter("serve_breaker_opens_total")
+            self._cooldown_remaining = self.cooldown_ticks
+        self.state = state
+        set_gauge("serve_breaker_state", self.state)
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        if self.state == HALF_OPEN:
+            self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        self._consecutive_failures += 1
+        if self.state == HALF_OPEN:
+            self._transition(OPEN)
+        elif (
+            self.state == CLOSED
+            and self._consecutive_failures >= self.failure_threshold
+        ):
+            self._transition(OPEN)
+
+    def force_open(self) -> None:
+        """External fault (stale dimension) — trip regardless of count."""
+        self._transition(OPEN)
+
+    def tick(self) -> None:
+        """Advance the cooldown clock by one pump tick."""
+        if self.state == OPEN:
+            self._cooldown_remaining -= 1
+            if self._cooldown_remaining <= 0:
+                self._transition(HALF_OPEN)
+
+    # -- checkpointing --------------------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self._consecutive_failures,
+            "cooldown_remaining": self._cooldown_remaining,
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        self.state = int(snapshot["state"])
+        self._consecutive_failures = int(snapshot["consecutive_failures"])
+        self._cooldown_remaining = int(snapshot["cooldown_remaining"])
+        set_gauge("serve_breaker_state", self.state)

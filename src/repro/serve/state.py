@@ -1,0 +1,114 @@
+"""Per-drive incremental feature state for the serve loop.
+
+:class:`IncrementalScorer` wraps two
+:class:`~repro.core.client.ClientPredictor` instances — the full-feature
+model and the PR-1 reduced-dimension (default SF) fallback — and feeds
+*every* admitted reading to both, so the daemon can switch routes at any
+window boundary without a state rebuild: both predictors' ring buffers
+and cumulative counters are always current. Staging a reading returns
+the assembled model-input rows; the daemon batches them and calls
+``predict_matrix`` once per batch instead of once per reading.
+
+:class:`DimensionFreshness` watches for a feature dimension (W, B,
+firmware) going *stale* — absent from ``stale_after`` consecutive
+admitted readings, the signature of a collector losing a source — which
+is one of the two triggers for degraded-mode routing (the other is the
+scoring circuit breaker).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.client import ClientPredictor
+from repro.robustness.faults import DIMENSION_COLUMNS
+
+__all__ = ["DimensionFreshness", "IncrementalScorer"]
+
+
+class IncrementalScorer:
+    """Dual-model streaming scorer with JSON-safe checkpoint state."""
+
+    def __init__(self, full: ClientPredictor, reduced: ClientPredictor | None):
+        self.full = full
+        self.reduced = reduced
+
+    @property
+    def has_reduced(self) -> bool:
+        return self.reduced is not None
+
+    def warm(self, serial: int, day: int, reading: dict) -> None:
+        """Commit a pre-horizon reading (state only, no scoring)."""
+        self.stage(serial, day, reading)
+
+    def stage(
+        self, serial: int, day: int, reading: dict
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Commit one reading into both models; return their input rows.
+
+        Raises whatever :meth:`ClientPredictor.ingest` raises (unseen
+        firmware label, for one) — the full model validates *before*
+        mutating, and the reduced model's inputs are a subset of the
+        full model's, so a raise leaves both predictors untouched.
+        """
+        full_row = self.full.ingest(serial, day, reading)
+        reduced_row = (
+            self.reduced.ingest(serial, day, reading)
+            if self.reduced is not None
+            else None
+        )
+        return full_row, reduced_row
+
+    def predict_full(self, X: np.ndarray) -> np.ndarray:
+        return self.full.predict_matrix(X)
+
+    def predict_reduced(self, X: np.ndarray) -> np.ndarray:
+        if self.reduced is None:
+            raise RuntimeError("no reduced-feature fallback model was fitted")
+        return self.reduced.predict_matrix(X)
+
+    # -- checkpointing --------------------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "full": self.full.snapshot(),
+            "reduced": self.reduced.snapshot() if self.reduced else None,
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        self.full.restore(snapshot["full"])
+        if self.reduced is not None and snapshot["reduced"] is not None:
+            self.reduced.restore(snapshot["reduced"])
+
+
+class DimensionFreshness:
+    """Consecutive-absence staleness detector per feature dimension."""
+
+    def __init__(self, stale_after: int = 256):
+        if stale_after < 1:
+            raise ValueError("stale_after must be >= 1")
+        self.stale_after = stale_after
+        self._streaks: dict[str, int] = {name: 0 for name in DIMENSION_COLUMNS}
+
+    def observe(self, reading: dict) -> None:
+        for name, columns in DIMENSION_COLUMNS.items():
+            if any(column in reading for column in columns):
+                self._streaks[name] = 0
+            else:
+                self._streaks[name] += 1
+
+    def stale_dimensions(self) -> tuple[str, ...]:
+        return tuple(
+            name
+            for name, streak in sorted(self._streaks.items())
+            if streak >= self.stale_after
+        )
+
+    # -- checkpointing --------------------------------------------------
+    def snapshot(self) -> dict:
+        return {"streaks": dict(self._streaks)}
+
+    def restore(self, snapshot: dict) -> None:
+        self._streaks = {name: 0 for name in DIMENSION_COLUMNS}
+        self._streaks.update(
+            {k: int(v) for k, v in snapshot["streaks"].items()}
+        )

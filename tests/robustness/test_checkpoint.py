@@ -9,9 +9,12 @@ from repro.core.deployment import (
     simulate_operation,
 )
 from repro.robustness.checkpoint import (
+    MONITOR_FILES,
+    CheckpointCorruptError,
     has_checkpoint,
     load_checkpoint,
     save_checkpoint,
+    write_manifest,
 )
 from repro.telemetry import FleetConfig, VendorMix, simulate_fleet
 
@@ -118,6 +121,9 @@ class TestCheckpointFormat:
         state = json.loads((path / "state.json").read_text())
         state["version"] = 999
         (path / "state.json").write_text(json.dumps(state))
+        # Re-commit the manifest: this test is about the version gate,
+        # not tamper detection (that's TestCheckpointIntegrity).
+        write_manifest(path, MONITOR_FILES)
         with pytest.raises(ValueError, match="checkpoint version"):
             load_checkpoint(path, fleet)
 
@@ -129,3 +135,81 @@ class TestCheckpointFormat:
         restored, _ = load_checkpoint(tmp_path / "ckpt", fleet)
         assert restored.config.feature_group_name == "SF"
         assert restored.config.decision_threshold == 0.4
+
+
+class TestCheckpointIntegrity:
+    """Satellite: sha256 manifest, truncation detection, half-pair cleanup."""
+
+    @pytest.fixture()
+    def checkpoint(self, fleet, tmp_path):
+        monitor = FleetMonitor(policy=POLICY)
+        monitor.start(fleet, train_end_day=START)
+        return save_checkpoint(monitor, [], tmp_path / "ckpt")
+
+    def test_manifest_written_and_verified(self, checkpoint, fleet):
+        assert (checkpoint / "manifest.json").exists()
+        load_checkpoint(checkpoint, fleet)  # verifies without raising
+
+    def test_truncated_model_raises_typed_error(self, checkpoint, fleet):
+        """Truncate model.pkl mid-file: typed error, not a pickle traceback."""
+        model = checkpoint / "model.pkl"
+        data = model.read_bytes()
+        model.write_bytes(data[: len(data) // 2])
+        with pytest.raises(CheckpointCorruptError, match="truncated"):
+            load_checkpoint(checkpoint, fleet)
+
+    def test_bitflip_same_size_raises_typed_error(self, checkpoint, fleet):
+        """Same-size corruption is caught by the sha256, not the size."""
+        model = checkpoint / "model.pkl"
+        data = bytearray(model.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        model.write_bytes(bytes(data))
+        with pytest.raises(CheckpointCorruptError, match="sha256"):
+            load_checkpoint(checkpoint, fleet)
+
+    def test_half_pair_cleaned_up(self, checkpoint, fleet):
+        """state.json without model.pkl (crash between writes) is not a
+        usable checkpoint; the stray files are swept so a fresh run can
+        recreate the directory cleanly."""
+        (checkpoint / "model.pkl").unlink()
+        assert not has_checkpoint(checkpoint)
+        assert not (checkpoint / "state.json").exists()
+        assert not (checkpoint / "manifest.json").exists()
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(checkpoint, fleet)
+
+    def test_crash_between_writes_then_rerun_recovers(self, fleet, tmp_path):
+        """A run that died between the two file writes must not poison
+        the next run: simulate_operation starts from scratch and matches
+        the uninterrupted result."""
+        checkpoint = tmp_path / "ckpt"
+        monitor = FleetMonitor(policy=POLICY)
+        monitor.start(fleet, train_end_day=START)
+        save_checkpoint(monitor, [], checkpoint)
+        (checkpoint / "state.json").unlink()  # crash after model, before state
+
+        expected = simulate_operation(
+            fleet, policy=POLICY, start_day=START, end_day=END, window_days=WINDOW
+        )
+        recovered = simulate_operation(
+            fleet,
+            policy=POLICY,
+            start_day=START,
+            end_day=END,
+            window_days=WINDOW,
+            checkpoint_dir=str(checkpoint),
+            resume=True,
+        )
+        assert recovered == expected
+
+    def test_manifest_garbage_raises_typed_error(self, checkpoint, fleet):
+        (checkpoint / "manifest.json").write_text("{not json")
+        with pytest.raises(CheckpointCorruptError, match="manifest"):
+            load_checkpoint(checkpoint, fleet)
+
+    def test_legacy_checkpoint_without_manifest_still_loads(
+        self, checkpoint, fleet
+    ):
+        """Pre-manifest checkpoints (no manifest.json) load unverified."""
+        (checkpoint / "manifest.json").unlink()
+        load_checkpoint(checkpoint, fleet)

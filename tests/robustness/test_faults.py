@@ -119,9 +119,119 @@ class TestStreamForm:
         second = inject_stream(self._readings(), injectors, seed=4)
         assert first == second
 
-    def test_counter_reset_has_no_stream_form(self):
-        with pytest.raises(NotImplementedError):
-            CounterReset().apply_stream([], np.random.default_rng(0))
+    def _monotone_readings(self):
+        return [
+            (1, day, {"s12_power_on_hours": float(24 * (day + 1))})
+            for day in range(20)
+        ]
+
+    def test_counter_reset_stream_breaks_monotonicity(self):
+        out = inject_stream(
+            self._monotone_readings(),
+            [CounterReset(column="s12_power_on_hours", drive_fraction=1.0)],
+            seed=0,
+        )
+        values = [r["s12_power_on_hours"] for _, _, r in out]
+        assert any(b < a for a, b in zip(values, values[1:]))
+        assert all(v >= 0 for v in values)
+
+    def test_counter_reset_stream_skips_short_drives(self):
+        single = [(1, 0, {"s12_power_on_hours": 24.0})]
+        out = inject_stream(
+            single,
+            [CounterReset(column="s12_power_on_hours", drive_fraction=1.0)],
+            seed=0,
+        )
+        assert out == single
+
+    def test_input_stream_not_mutated(self):
+        readings = self._monotone_readings()
+        snapshot = [(s, d, dict(r)) for s, d, r in readings]
+        inject_stream(
+            readings,
+            [CounterReset(column="s12_power_on_hours", drive_fraction=1.0),
+             StuckSensor(column="s12_power_on_hours", drive_fraction=1.0)],
+            seed=3,
+        )
+        assert readings == snapshot
+
+
+class TestStreamDeterminismAllInjectors:
+    """Satellite: same seed ⇒ byte-identical corrupted stream, per injector."""
+
+    def _readings(self):
+        rows = []
+        for serial in (1, 2, 3):
+            for day in range(30):
+                rows.append(
+                    (serial, day, {
+                        "s1_critical_warning": 0.0,
+                        "s2_temperature": 40.0 + day,
+                        "s12_power_on_hours": float(24 * (day + 1)),
+                        "w161_fs_io_error": float(day % 2),
+                        "firmware": "FW1",
+                    })
+                )
+        return rows
+
+    @pytest.mark.parametrize("name", sorted(FAULT_REGISTRY))
+    def test_same_seed_same_stream(self, name):
+        injector = make_fault(name)
+        first = inject_stream(self._readings(), [injector], seed=11)
+        second = inject_stream(self._readings(), [injector], seed=11)
+        assert first == second
+
+    @pytest.mark.parametrize("name", sorted(FAULT_REGISTRY))
+    def test_different_seed_may_differ_but_stays_valid(self, name):
+        injector = make_fault(name)
+        out = inject_stream(self._readings(), [injector], seed=12)
+        assert all(isinstance(r, dict) for _, _, r in out)
+
+
+class TestAuditCounters:
+    """Satellite: ``faults_injected_total`` increments once per injector
+    application — including applications that are no-ops on the data."""
+
+    @pytest.fixture(autouse=True)
+    def clean_registry(self):
+        from repro.obs import get_registry
+
+        get_registry().reset()
+        yield
+        get_registry().reset()
+
+    def _count(self, fault: str) -> float:
+        from repro.obs import get_registry
+
+        for family in get_registry().dump():
+            if family["name"] == "faults_injected_total":
+                for sample in family["samples"]:
+                    if sample["labels"].get("fault") == fault:
+                        return sample["value"]
+        return 0.0
+
+    def test_counts_once_per_injector_per_call(self):
+        readings = [(1, d, {"s2_temperature": 40.0}) for d in range(5)]
+        inject_stream(readings, [DropDays(0.5), DropDays(0.5)], seed=0)
+        assert self._count("drop_days") == 2.0
+
+    def test_counts_noop_applications(self):
+        # an empty stream corrupts nothing, but the application is
+        # still auditable — the counter must move anyway
+        inject_stream([], [DuplicateRows(0.5)], seed=0)
+        assert self._count("duplicate_rows") == 1.0
+
+    def test_counts_noop_missing_dimension(self):
+        # readings without any W column: removing W changes nothing
+        readings = [(1, d, {"s2_temperature": 40.0}) for d in range(5)]
+        out = inject_stream(readings, [MissingDimension("W")], seed=0)
+        assert [r for _, _, r in out] == [r for _, _, r in readings]
+        assert self._count("missing_dimension") == 1.0
+
+    def test_dataset_inject_counts_too(self, small_fleet):
+        inject(small_fleet, [DropDays(0.1), OutOfOrder(0.1)], seed=0)
+        assert self._count("drop_days") == 1.0
+        assert self._count("out_of_order") == 1.0
 
 
 class TestRegistry:

@@ -1,0 +1,79 @@
+"""Serve-suite fixtures: one fitted model pair shared across the suite.
+
+Fitting MFPA twice (full + reduced) dominates test cost, so both models
+and the replayable reading stream are session-scoped; tests must treat
+them as read-only. Daemons are cheap to construct from the fitted pair
+(`ServeDaemon.from_models`), so each test builds its own.
+
+Metric assertions need isolation: the registry is process-global, so an
+autouse fixture resets it around every test in this package.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.deployment import RetrainPolicy, simulate_operation
+from repro.core.pipeline import MFPA, MFPAConfig
+from repro.obs import get_registry
+from repro.robustness.degraded import fit_reduced_model
+from repro.serve import ServeConfig, dataset_to_readings
+from repro.telemetry import FleetConfig, VendorMix, simulate_fleet
+
+SERVE_START, END, WINDOW = 240, 360, 30
+
+#: The daemon never retrains; parity baselines must not either.
+NEVER_RETRAIN = RetrainPolicy(interval_days=10**9, min_new_failures=10**9)
+
+
+@pytest.fixture(autouse=True)
+def clean_metrics():
+    get_registry().reset()
+    yield
+    get_registry().reset()
+
+
+@pytest.fixture(scope="session")
+def serve_fleet():
+    return simulate_fleet(
+        FleetConfig(
+            mix=VendorMix({"I": 120}),
+            horizon_days=420,
+            failure_boost=25.0,
+            seed=17,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def serve_models(serve_fleet):
+    """(full, reduced) MFPA pair trained through SERVE_START."""
+    full = MFPA(MFPAConfig())
+    full.fit(serve_fleet, train_end_day=SERVE_START)
+    reduced = fit_reduced_model(serve_fleet, SERVE_START, base_config=full.config)
+    return full, reduced
+
+
+@pytest.fixture(scope="session")
+def serve_readings(serve_fleet):
+    """Gap-repaired day-major stream from day 0 through END."""
+    return dataset_to_readings(serve_fleet, end_day=END)
+
+
+@pytest.fixture(scope="session")
+def batch_baseline(serve_fleet):
+    """The batch monitor's alarms on the same telemetry, no retrains."""
+    return simulate_operation(
+        serve_fleet,
+        policy=NEVER_RETRAIN,
+        start_day=SERVE_START,
+        end_day=END,
+        window_days=WINDOW,
+    )
+
+
+@pytest.fixture()
+def serve_config():
+    return ServeConfig(
+        serve_start_day=SERVE_START, window_days=WINDOW, end_day=END
+    )

@@ -1,0 +1,72 @@
+"""Chaos-under-serve: all six injectors at a live daemon, with a hard
+kill and resume in the middle — the tentpole acceptance suite.
+
+Per ISSUE invariants, for every fault:
+
+* neither the killed, resumed nor reference run crashes;
+* the resumed run's alarm ledger equals the uninterrupted reference —
+  zero duplicate and zero lost alarms across the ``kill -9``;
+* the sink holds exactly one line per alarmed drive;
+* ``missing_dimension`` shows degraded-mode entry in both the window
+  summaries and the metrics registry.
+
+The gate's drive-ban threshold is lifted here: ``duplicate_rows`` at
+fraction 0.2 produces dozens of stale-day rejections per drive, which
+with the default ``quarantine_drive_after=20`` bans the entire fleet
+and makes every invariant pass vacuously with zero alarms. Disabling
+the ban keeps the alarm path live so resume-dedup is actually tested.
+"""
+
+import pytest
+
+from repro.obs import get_registry
+from repro.robustness.faults import FAULT_REGISTRY
+from repro.serve import GatePolicy, ServeConfig, run_chaos_one
+
+from .conftest import END, SERVE_START, WINDOW
+
+CHAOS_CONFIG = ServeConfig(
+    serve_start_day=SERVE_START,
+    window_days=WINDOW,
+    end_day=END,
+    gate=GatePolicy(quarantine_drive_after=None),
+)
+
+
+def _counter(name: str) -> float:
+    for family in get_registry().dump():
+        if family["name"] == name:
+            for sample in family["samples"]:
+                return sample["value"]
+    return 0.0
+
+
+@pytest.mark.parametrize("fault", sorted(FAULT_REGISTRY))
+def test_fault_survives_kill_and_resume(
+    fault, serve_models, serve_readings, tmp_path
+):
+    full, reduced = serve_models
+    report = run_chaos_one(
+        full,
+        reduced,
+        serve_readings,
+        fault,
+        CHAOS_CONFIG,
+        tmp_path,
+        end_day=END,
+        seed=7,
+    )
+    assert report.passed, report
+    assert report.resume_matches_reference
+    assert report.sink_matches_ledger
+    assert report.sink_lines == report.sink_unique_serials
+    assert report.windows_total == (END - SERVE_START) // WINDOW
+    assert _counter("serve_resumes_total") == 1.0
+
+    if fault == "missing_dimension":
+        # losing the whole W dimension must visibly degrade scoring
+        assert report.degraded_windows > 0
+        assert _counter("serve_degraded_entries_total") >= 1.0
+    if fault == "duplicate_rows":
+        # with banning lifted the alarm path stays live under duplicates
+        assert report.n_alarms_resumed > 0

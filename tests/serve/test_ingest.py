@@ -1,0 +1,192 @@
+"""Ingest gate rules, drive banning and bounded-queue shedding."""
+
+import math
+
+import pytest
+
+from repro.obs import get_registry
+from repro.serve.ingest import BoundedReadingQueue, GatePolicy, ReadingGate
+
+
+def _counter(name: str, **labels) -> float:
+    for family in get_registry().dump():
+        if family["name"] == name:
+            for sample in family["samples"]:
+                if all(
+                    sample["labels"].get(k) == str(v) for k, v in labels.items()
+                ):
+                    return sample["value"]
+    return 0.0
+
+
+GOOD = {"s2_temperature": 40.0, "w161_fs_io_error": 1.0, "firmware": "FW1"}
+
+
+class TestGateRules:
+    def test_clean_reading_passes_unchanged(self):
+        gate = ReadingGate()
+        assert gate.admit(1, 10, GOOD) == GOOD
+        assert _counter("serve_readings_ingested_total") == 1.0
+
+    def test_stale_day_rejected(self):
+        gate = ReadingGate()
+        assert gate.admit(1, 10, GOOD) is not None
+        assert gate.admit(1, 10, GOOD) is None  # duplicate
+        assert gate.admit(1, 9, GOOD) is None  # out of order
+        assert _counter("serve_readings_quarantined_total", rule="stale_day") == 2.0
+        assert gate.admit(1, 11, GOOD) is not None
+
+    def test_days_independent_across_drives(self):
+        gate = ReadingGate()
+        assert gate.admit(1, 10, GOOD) is not None
+        assert gate.admit(2, 5, GOOD) is not None
+
+    def test_malformed_rejected(self):
+        gate = ReadingGate()
+        assert gate.admit("not-a-serial", 1, GOOD) is None
+        assert gate.admit(1, 1, "not-a-dict") is None
+        assert _counter("serve_readings_quarantined_total", rule="malformed") == 2.0
+
+    def test_non_numeric_value_rejected(self):
+        gate = ReadingGate()
+        assert gate.admit(1, 1, {**GOOD, "s2_temperature": "hot"}) is None
+        assert (
+            _counter("serve_readings_quarantined_total", rule="non_numeric") == 1.0
+        )
+
+    def test_nonfinite_repair_strips_the_entry(self):
+        gate = ReadingGate(GatePolicy(nonfinite="repair"))
+        clean = gate.admit(1, 1, {**GOOD, "s2_temperature": math.nan})
+        assert clean is not None
+        assert "s2_temperature" not in clean
+        assert _counter("serve_readings_repaired_total", rule="nonfinite") == 1.0
+
+    def test_nonfinite_drop_rejects_the_reading(self):
+        gate = ReadingGate(GatePolicy(nonfinite="drop"))
+        assert gate.admit(1, 1, {**GOOD, "s2_temperature": math.inf}) is None
+        assert (
+            _counter("serve_readings_quarantined_total", rule="nonfinite") == 1.0
+        )
+
+    def test_negative_events_clamped(self):
+        gate = ReadingGate(GatePolicy(negative_events="repair"))
+        clean = gate.admit(1, 1, {**GOOD, "w161_fs_io_error": -3.0})
+        assert clean["w161_fs_io_error"] == 0.0
+        assert (
+            _counter("serve_readings_repaired_total", rule="negative_events")
+            == 1.0
+        )
+
+    def test_negative_events_drop(self):
+        gate = ReadingGate(GatePolicy(negative_events="drop"))
+        assert gate.admit(1, 1, {**GOOD, "w161_fs_io_error": -3.0}) is None
+
+    def test_counter_reset_clamped_to_running_max(self):
+        gate = ReadingGate(GatePolicy(counter_resets="repair"))
+        gate.admit(1, 1, {"s12_power_on_hours": 100.0})
+        clean = gate.admit(1, 2, {"s12_power_on_hours": 10.0})
+        assert clean["s12_power_on_hours"] == 100.0
+        assert (
+            _counter("serve_readings_repaired_total", rule="counter_reset")
+            == 1.0
+        )
+
+    def test_counter_reset_drop(self):
+        gate = ReadingGate(GatePolicy(counter_resets="drop"))
+        gate.admit(1, 1, {"s12_power_on_hours": 100.0})
+        assert gate.admit(1, 2, {"s12_power_on_hours": 10.0}) is None
+
+    def test_running_max_is_per_drive(self):
+        gate = ReadingGate()
+        gate.admit(1, 1, {"s12_power_on_hours": 100.0})
+        clean = gate.admit(2, 1, {"s12_power_on_hours": 10.0})
+        assert clean["s12_power_on_hours"] == 10.0
+
+    def test_alarmed_drive_skipped_not_quarantined(self):
+        gate = ReadingGate(is_alarmed=lambda serial: serial == 7)
+        assert gate.admit(7, 1, GOOD) is None
+        assert _counter("serve_readings_skipped_alarmed_total") == 1.0
+        assert gate.quarantine_counts == {}
+
+    def test_drive_banned_after_repeated_quarantines(self):
+        gate = ReadingGate(GatePolicy(quarantine_drive_after=3))
+        gate.admit(1, 5, GOOD)
+        for _ in range(3):
+            gate.admit(1, 5, GOOD)  # stale duplicates
+        assert 1 in gate.banned
+        # even a valid reading is now rejected
+        assert gate.admit(1, 99, GOOD) is None
+        assert (
+            _counter("serve_readings_quarantined_total", rule="banned_drive")
+            == 1.0
+        )
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            GatePolicy(nonfinite="maybe")
+
+    def test_snapshot_roundtrip(self):
+        gate = ReadingGate(GatePolicy(quarantine_drive_after=2))
+        gate.admit(1, 5, {"s12_power_on_hours": 100.0, **GOOD})
+        gate.admit(1, 5, GOOD)
+        gate.admit(1, 5, GOOD)  # banned now
+        restored = ReadingGate(GatePolicy(quarantine_drive_after=2))
+        restored.restore(gate.snapshot())
+        assert restored.banned == gate.banned
+        assert restored.last_day(1) == 5
+        # the restored running max still clamps resets
+        clean = restored.admit(2, 1, {"s12_power_on_hours": 10.0})
+        assert clean is not None
+        # and the restored gate still rejects the banned drive
+        assert restored.admit(1, 99, GOOD) is None
+
+
+class TestBoundedQueue:
+    def test_fifo_drain(self):
+        queue = BoundedReadingQueue(capacity=10)
+        queue.offer(1, 1, GOOD)
+        queue.offer(2, 1, GOOD)
+        assert [serial for serial, _, _ in queue.drain()] == [1, 2]
+        assert len(queue) == 0
+
+    def test_sheds_oldest_when_full(self):
+        queue = BoundedReadingQueue(capacity=2)
+        queue.offer(1, 1, GOOD)
+        queue.offer(2, 1, GOOD)
+        queue.offer(3, 1, GOOD)
+        assert [serial for serial, _, _ in queue.drain()] == [2, 3]
+        assert _counter("serve_readings_shed_total") == 1.0
+
+    def test_sheds_oldest_non_alarmed_first(self):
+        queue = BoundedReadingQueue(capacity=2, is_alarmed=lambda s: s == 1)
+        queue.offer(1, 1, GOOD)  # alarmed: protected
+        queue.offer(2, 1, GOOD)
+        queue.offer(3, 1, GOOD)  # sheds serial 2, not serial 1
+        assert [serial for serial, _, _ in queue.drain()] == [1, 3]
+
+    def test_all_alarmed_falls_back_to_oldest(self):
+        queue = BoundedReadingQueue(capacity=2, is_alarmed=lambda s: True)
+        queue.offer(1, 1, GOOD)
+        queue.offer(2, 1, GOOD)
+        queue.offer(3, 1, GOOD)
+        assert [serial for serial, _, _ in queue.drain()] == [2, 3]
+
+    def test_queue_depth_gauge(self):
+        queue = BoundedReadingQueue(capacity=10)
+        queue.offer(1, 1, GOOD)
+        queue.offer(2, 1, GOOD)
+        assert _gauge("serve_queue_depth") == 2.0
+        queue.drain()
+        assert _gauge("serve_queue_depth") == 0.0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            BoundedReadingQueue(capacity=0)
+
+
+def _gauge(name: str) -> float:
+    for family in get_registry().dump():
+        if family["name"] == name:
+            for sample in family["samples"]:
+                return sample["value"]
+    return 0.0

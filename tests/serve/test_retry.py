@@ -1,0 +1,173 @@
+"""Retry/backoff policy and circuit-breaker state machine."""
+
+import numpy as np
+import pytest
+
+from repro.obs import get_registry
+from repro.serve.retry import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    RetryExhaustedError,
+    RetryPolicy,
+    retry_call,
+)
+
+
+def _counter(name: str, **labels) -> float:
+    for family in get_registry().dump():
+        if family["name"] == name:
+            for sample in family["samples"]:
+                if all(
+                    sample["labels"].get(k) == str(v) for k, v in labels.items()
+                ):
+                    return sample["value"]
+    return 0.0
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+        self.slept: list[float] = []
+
+    def __call__(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.slept.append(seconds)
+        self.now += seconds
+
+
+class TestRetryCall:
+    def test_success_first_try(self):
+        clock = FakeClock()
+        assert retry_call(lambda: 42, sleep=clock.sleep, clock=clock) == 42
+        assert clock.slept == []
+
+    def test_retries_then_succeeds(self):
+        clock = FakeClock()
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise OSError("hiccup")
+            return "ok"
+
+        result = retry_call(
+            flaky,
+            policy=RetryPolicy(max_attempts=3, jitter=0.0),
+            stage="score",
+            sleep=clock.sleep,
+            clock=clock,
+        )
+        assert result == "ok"
+        assert len(attempts) == 3
+        assert _counter("serve_stage_retries_total", stage="score") == 2.0
+
+    def test_exhaustion_raises_with_cause(self):
+        clock = FakeClock()
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            retry_call(
+                lambda: (_ for _ in ()).throw(OSError("down")),
+                policy=RetryPolicy(max_attempts=2, jitter=0.0),
+                sleep=clock.sleep,
+                clock=clock,
+            )
+        assert isinstance(excinfo.value.__cause__, OSError)
+        assert len(clock.slept) == 1  # no sleep after the final attempt
+
+    def test_timeout_budget(self):
+        clock = FakeClock()
+
+        def slow_failure():
+            clock.now += 10.0
+            raise OSError("slow")
+
+        with pytest.raises(RetryExhaustedError, match="budget"):
+            retry_call(
+                slow_failure,
+                policy=RetryPolicy(max_attempts=10, timeout=5.0, jitter=0.0),
+                sleep=clock.sleep,
+                clock=clock,
+            )
+        assert _counter("serve_stage_timeouts_total") == 1.0
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=0.0
+        )
+        rng = np.random.default_rng(0)
+        delays = [policy.delay(attempt, rng) for attempt in range(1, 6)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_is_bounded(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, jitter=0.1)
+        rng = np.random.default_rng(0)
+        for attempt in range(1, 50):
+            assert 0.9 <= policy.delay(attempt, rng) <= 1.1
+
+
+class TestCircuitBreaker:
+    def test_trips_after_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_ticks=2)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert _counter("serve_breaker_opens_total") == 1.0
+
+    def test_success_resets_the_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_ticks=1)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_cooldown_to_half_open_then_close(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_ticks=2)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        breaker.tick()
+        assert breaker.state == OPEN
+        breaker.tick()
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_half_open_failure_reopens(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_ticks=1)
+        breaker.record_failure()
+        breaker.tick()
+        assert breaker.state == HALF_OPEN
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert _counter("serve_breaker_opens_total") == 2.0
+
+    def test_force_open(self):
+        breaker = CircuitBreaker()
+        breaker.force_open()
+        assert breaker.state == OPEN
+
+    def test_snapshot_roundtrip(self):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_ticks=4)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.tick()
+        restored = CircuitBreaker(failure_threshold=3, cooldown_ticks=4)
+        restored.restore(breaker.snapshot())
+        assert restored.state == breaker.state
+        # the restored breaker continues the cooldown where it left off
+        for _ in range(3):
+            restored.tick()
+            breaker.tick()
+            assert restored.state == breaker.state
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)

@@ -1,0 +1,140 @@
+"""Incremental scorer state and dimension-freshness staleness detector."""
+
+import numpy as np
+import pytest
+
+from repro.core.client import ClientPredictor
+from repro.serve.state import DimensionFreshness, IncrementalScorer
+
+
+@pytest.fixture()
+def scorer(serve_models):
+    full, reduced = serve_models
+    return IncrementalScorer(
+        ClientPredictor.from_model(full, on_missing="impute"),
+        ClientPredictor.from_model(reduced, on_missing="impute"),
+    )
+
+
+def _readings_for(serve_readings, serial, n):
+    picked = [r for r in serve_readings if r[0] == serial][:n]
+    assert len(picked) == n
+    return picked
+
+
+class TestIncrementalScorer:
+    def test_stage_matches_batch_observe(self, scorer, serve_models, serve_readings):
+        """Row assembled incrementally equals ClientPredictor.observe."""
+        full, _ = serve_models
+        reference = ClientPredictor.from_model(full, on_missing="impute")
+        serial = serve_readings[0][0]
+        last_row, reference_probability = None, None
+        for serial_, day, reading in _readings_for(serve_readings, serial, 10):
+            full_row, reduced_row = scorer.stage(serial_, day, reading)
+            reference_probability = reference.observe(serial_, day, reading)
+            assert reduced_row is not None
+            last_row = full_row
+        probability = scorer.predict_full(last_row)[0]
+        assert probability == pytest.approx(reference_probability, abs=1e-12)
+
+    def test_batched_prediction_matches_per_row(self, scorer, serve_readings):
+        serials = sorted({r[0] for r in serve_readings})[:5]
+        rows = []
+        for serial in serials:
+            for serial_, day, reading in _readings_for(serve_readings, serial, 5):
+                row, _ = scorer.stage(serial_, day, reading)
+            rows.append(row)
+        stacked = scorer.predict_full(np.vstack(rows))
+        singles = [scorer.predict_full(row)[0] for row in rows]
+        np.testing.assert_allclose(stacked, singles, rtol=0, atol=0)
+
+    def test_snapshot_roundtrip_bit_identical(
+        self, scorer, serve_models, serve_readings
+    ):
+        """JSON round-trip of the snapshot reproduces identical scores."""
+        import json
+
+        serial = serve_readings[0][0]
+        for serial_, day, reading in _readings_for(serve_readings, serial, 8):
+            row, _ = scorer.stage(serial_, day, reading)
+        snapshot = json.loads(json.dumps(scorer.snapshot()))
+
+        full, reduced = serve_models
+        restored = IncrementalScorer(
+            ClientPredictor.from_model(full, on_missing="impute"),
+            ClientPredictor.from_model(reduced, on_missing="impute"),
+        )
+        restored.restore(snapshot)
+        # continue both scorers with one more reading; rows must match bit-for-bit
+        serial_, day, reading = _readings_for(serve_readings, serial, 9)[-1]
+        row_a, red_a = scorer.stage(serial_, day, reading)
+        row_b, red_b = restored.stage(serial_, day, reading)
+        np.testing.assert_array_equal(row_a, row_b)
+        np.testing.assert_array_equal(red_a, red_b)
+        assert scorer.predict_full(row_a)[0] == restored.predict_full(row_b)[0]
+
+    def test_stage_failure_leaves_state_untouched(self, scorer, serve_readings):
+        serial, day, reading = serve_readings[0]
+        scorer.stage(serial, day, reading)
+        before = scorer.snapshot()
+        with pytest.raises((ValueError, KeyError)):
+            scorer.stage(serial, day + 1, {**reading, "firmware": "NOT_A_FW"})
+        assert scorer.snapshot() == before
+
+    def test_no_reduced_model(self, serve_models, serve_readings):
+        full, _ = serve_models
+        scorer = IncrementalScorer(
+            ClientPredictor.from_model(full, on_missing="impute"), None
+        )
+        assert not scorer.has_reduced
+        serial, day, reading = serve_readings[0]
+        row, reduced_row = scorer.stage(serial, day, reading)
+        assert reduced_row is None
+        with pytest.raises(RuntimeError, match="reduced"):
+            scorer.predict_reduced(row)
+
+
+class TestDimensionFreshness:
+    W = {"w161_fs_io_error": 1.0}
+    FULL = {
+        "s2_temperature": 40.0,
+        "w161_fs_io_error": 1.0,
+        "b1_unexpected_power_off": 0.0,
+        "firmware": "FW1",
+    }
+
+    def test_fresh_until_threshold(self):
+        freshness = DimensionFreshness(stale_after=3)
+        for _ in range(2):
+            freshness.observe({"s2_temperature": 40.0})
+        assert freshness.stale_dimensions() == ()
+        freshness.observe({"s2_temperature": 40.0})
+        assert "W" in freshness.stale_dimensions()
+
+    def test_reappearance_resets_streak(self):
+        freshness = DimensionFreshness(stale_after=2)
+        freshness.observe({"s2_temperature": 40.0})
+        freshness.observe(self.FULL)  # W reappears
+        freshness.observe({"s2_temperature": 40.0})
+        assert "W" not in freshness.stale_dimensions()
+
+    def test_all_dimensions_tracked_independently(self):
+        freshness = DimensionFreshness(stale_after=1)
+        freshness.observe({"w161_fs_io_error": 1.0})
+        stale = freshness.stale_dimensions()
+        assert "W" not in stale
+        assert "B" in stale and "firmware" in stale
+
+    def test_snapshot_roundtrip(self):
+        freshness = DimensionFreshness(stale_after=5)
+        for _ in range(3):
+            freshness.observe({"s2_temperature": 40.0})
+        restored = DimensionFreshness(stale_after=5)
+        restored.restore(freshness.snapshot())
+        for _ in range(2):
+            restored.observe({"s2_temperature": 40.0})
+        assert "W" in restored.stale_dimensions()
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            DimensionFreshness(stale_after=0)

@@ -1,12 +1,19 @@
 #!/usr/bin/env python
-"""Lint: no stray ``print()`` in the library (``make lint-obs``).
+"""Lint: no stray ``print()``; no silent exception swallowing in serve/.
 
-Library output must flow through ``repro.obs.get_logger`` so it carries
-a level and respects ``--log-level`` / ``--log-json``. This walks the
-AST of every module under ``src/repro`` and fails on any ``print(...)``
-call outside the allowlisted CLI entry point. AST-based on purpose: the
-docstrings contain ``print()`` usage examples that a grep would
-false-positive on.
+Two AST checks over ``src/repro`` (``make lint-obs``):
+
+* library output must flow through ``repro.obs.get_logger`` so it
+  carries a level and respects ``--log-level`` / ``--log-json`` — any
+  ``print(...)`` outside the allowlisted CLI entry point fails;
+* the serve daemon (``src/repro/serve/``) is a long-running supervisor
+  whose whole job is *accounting* for failures — a bare ``except:`` or
+  an ``except Exception:`` whose body is only ``pass``/``...`` hides a
+  fault from the quarantine counters, the breaker and the logs, so both
+  are rejected there.
+
+AST-based on purpose: docstrings contain ``print()`` usage examples and
+prose about ``except`` clauses that a grep would false-positive on.
 """
 
 from __future__ import annotations
@@ -23,11 +30,13 @@ ALLOWED = {
     # but SystemExit-adjacent fallbacks may print
 }
 
+#: Directory (relative to src/repro) under the silent-except ban.
+STRICT_EXCEPT_DIR = Path("serve")
 
-def find_prints(path: Path) -> list[int]:
-    tree = ast.parse(path.read_text(), filename=str(path))
+
+def find_prints(tree: ast.AST) -> list[tuple[int, str]]:
     return [
-        node.lineno
+        (node.lineno, "print() call")
         for node in ast.walk(tree)
         if isinstance(node, ast.Call)
         and isinstance(node.func, ast.Name)
@@ -35,22 +44,62 @@ def find_prints(path: Path) -> list[int]:
     ]
 
 
+def _is_silent_body(body: list[ast.stmt]) -> bool:
+    """Whether an except body does nothing but swallow."""
+    return all(
+        isinstance(stmt, ast.Pass)
+        or (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+        )
+        for stmt in body
+    )
+
+
+def find_silent_excepts(tree: ast.AST) -> list[tuple[int, str]]:
+    offenders: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            offenders.append(
+                (node.lineno, "bare `except:` (name the exception type)")
+            )
+        elif (
+            isinstance(node.type, ast.Name)
+            and node.type.id in ("Exception", "BaseException")
+            and _is_silent_body(node.body)
+        ):
+            offenders.append(
+                (
+                    node.lineno,
+                    f"`except {node.type.id}: pass` swallows the fault — "
+                    "count, log or re-raise it",
+                )
+            )
+    return offenders
+
+
 def main() -> int:
     offenders: list[str] = []
     for path in sorted(SRC.rglob("*.py")):
         relative = path.relative_to(SRC)
-        if relative in ALLOWED:
-            continue
-        for lineno in find_prints(path):
-            offenders.append(f"src/repro/{relative}:{lineno}: print() call")
+        tree = ast.parse(path.read_text(), filename=str(path))
+        findings: list[tuple[int, str]] = []
+        if relative not in ALLOWED:
+            findings.extend(find_prints(tree))
+        if STRICT_EXCEPT_DIR in relative.parents:
+            findings.extend(find_silent_excepts(tree))
+        for lineno, message in sorted(findings):
+            offenders.append(f"src/repro/{relative}:{lineno}: {message}")
     if offenders:
         print("\n".join(offenders))
-        print(
-            f"\n{len(offenders)} stray print() call(s) — use "
-            "repro.obs.get_logger(...) instead"
-        )
+        print(f"\n{len(offenders)} lint finding(s)")
         return 1
-    print("lint-obs: no stray print() calls in src/repro")
+    print(
+        "lint-obs: no stray print() calls in src/repro; "
+        "no silent excepts in src/repro/serve"
+    )
     return 0
 
 

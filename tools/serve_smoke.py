@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Serve crash drill (``make serve-smoke``): boot → kill -9 → resume → parity.
+
+The drill exercises the daemon's headline guarantees end-to-end through
+the real CLI, in under a minute:
+
+1. simulate a small fleet, record its reading stream;
+2. start ``repro serve`` as a subprocess with checkpointing on and a
+   per-day throttle from the serve start (so the kill window is wide);
+3. the moment the first window-boundary checkpoint commits, ``kill -9``
+   the daemon — no shutdown handler runs;
+4. ``repro serve --resume`` finishes the stream unthrottled;
+5. assert the alarm sink holds exactly the alarms the batch
+   ``simulate_operation`` produces on the same telemetry — no
+   duplicates, no losses, bit-close probabilities.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = str(REPO / "src")
+
+SERVE_START, END, WINDOW = 300, 360, 30
+
+
+def _run(argv: list[str]) -> None:
+    env = dict(os.environ, PYTHONPATH=SRC)
+    subprocess.run(argv, check=True, env=env, cwd=REPO)
+
+
+def main() -> int:
+    started = time.monotonic()
+    sys.path.insert(0, SRC)
+    from repro.core.deployment import RetrainPolicy, simulate_operation
+    from repro.telemetry.io import load_dataset
+
+    with tempfile.TemporaryDirectory(prefix="serve-smoke-") as tmp:
+        tmp = Path(tmp)
+        data, stream = tmp / "data", tmp / "stream.jsonl"
+        ckpt, sink = tmp / "ckpt", tmp / "alarms.jsonl"
+
+        _run([sys.executable, "-m", "repro", "simulate", str(data),
+              "--vendor", "I=80", "--horizon-days", "420",
+              "--failure-boost", "25", "--seed", "17"])
+        _run([sys.executable, "-m", "repro", "replay", str(data), str(stream),
+              "--end-day", str(END)])
+
+        serve_argv = [
+            sys.executable, "-m", "repro", "serve", str(data),
+            "--input", str(stream),
+            "--serve-start-day", str(SERVE_START),
+            "--window-days", str(WINDOW), "--end-day", str(END),
+            "--checkpoint-dir", str(ckpt), "--alarms-out", str(sink),
+        ]
+        env = dict(os.environ, PYTHONPATH=SRC)
+        daemon = subprocess.Popen(
+            serve_argv + ["--throttle-seconds", "0.12",
+                          "--throttle-from-day", str(SERVE_START)],
+            env=env, cwd=REPO,
+        )
+        try:
+            # Kill the instant the first window checkpoint commits.
+            deadline = time.monotonic() + 45
+            while time.monotonic() < deadline:
+                if (ckpt / "manifest.json").exists():
+                    break
+                if daemon.poll() is not None:
+                    raise SystemExit(
+                        "daemon exited before its first checkpoint "
+                        f"(code {daemon.returncode})"
+                    )
+                time.sleep(0.05)
+            else:
+                raise SystemExit("daemon never committed a checkpoint")
+            daemon.send_signal(signal.SIGKILL)
+            daemon.wait(timeout=10)
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+        print(f"serve-smoke: daemon killed -9 mid-run (pid {daemon.pid})")
+
+        _run(serve_argv + ["--resume"])
+
+        dataset = load_dataset(str(data))
+        never = RetrainPolicy(interval_days=10**9, min_new_failures=10**9)
+        batch = simulate_operation(
+            dataset, policy=never,
+            start_day=SERVE_START, end_day=END, window_days=WINDOW,
+        )
+        expected = batch.alarm_records()
+        records = [json.loads(line) for line in sink.read_text().splitlines()]
+        actual = sorted((r["serial"], r["day"], r["probability"]) for r in records)
+
+        serials = [serial for serial, _day, _p in actual]
+        assert len(serials) == len(set(serials)), (
+            f"duplicate alarms after resume: {serials}"
+        )
+        assert [(s, d) for s, d, _ in actual] == [(s, d) for s, d, _ in expected], (
+            f"alarm mismatch:\n  serve: {actual}\n  batch: {expected}"
+        )
+        for (_, _, p_serve), (_, _, p_batch) in zip(actual, expected):
+            assert abs(p_serve - p_batch) < 1e-9, (p_serve, p_batch)
+
+        elapsed = time.monotonic() - started
+        print(
+            f"serve-smoke PASS: {len(actual)} alarms, batch parity across "
+            f"kill -9 + resume, {elapsed:.1f}s"
+        )
+        assert elapsed < 60, f"serve-smoke exceeded its 60s budget: {elapsed:.1f}s"
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
