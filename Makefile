@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test smoke serve-smoke bench bench-parallel bench-obs bench-hist chaos obs-smoke lint-obs examples exhibits clean
+.PHONY: install test smoke serve-smoke scale-smoke bench bench-parallel bench-obs bench-hist bench-scale chaos obs-smoke lint-obs examples exhibits clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -11,11 +11,14 @@ test:
 bench:
 	pytest benchmarks/ --benchmark-only
 
-smoke: serve-smoke
+smoke: serve-smoke scale-smoke
 	PYTHONPATH=src pytest tests -m smoke
 
 serve-smoke:
 	PYTHONPATH=src python tools/serve_smoke.py
+
+scale-smoke:
+	PYTHONPATH=src python tools/scale_smoke.py
 
 bench-parallel:
 	PYTHONPATH=src pytest benchmarks/test_parallel_speedup.py -m parallel_bench -s
@@ -28,6 +31,10 @@ bench-obs:
 bench-hist:
 	PYTHONPATH=src pytest benchmarks/test_hist_speedup.py -m hist_bench -s
 	@echo "results in benchmarks/results/hist_speedup.json"
+
+bench-scale:
+	PYTHONPATH=src pytest benchmarks/test_scale_bench.py -m scale_bench -s
+	@echo "results in benchmarks/results/scale_1m.json"
 
 chaos:
 	PYTHONPATH=src pytest benchmarks/test_chaos_robustness.py -m chaos

@@ -1,0 +1,179 @@
+"""Million-drive out-of-core benchmark (``make bench-scale``).
+
+Generates a 1,000,000-drive fleet straight into a shard store (the
+fleet never exists in RAM), stream-trains an MFPA on it, replays a
+monitored deployment over the full store under an enforced peak-RSS
+ceiling, and writes ``benchmarks/results/scale_1m.json`` recording
+peak RSS, wall-clock per stage and monitored drives/second.
+
+Correctness is pinned separately from scale: a small parity fleet is
+run through both the sharded and the in-RAM monitor and the alarm
+records must match bit for bit (the same invariant ``make scale-smoke``
+and ``tests/scale`` enforce), so the headline number measures a
+pipeline known to produce identical answers.
+
+Size knobs (env): ``SCALE_BENCH_DRIVES`` (default 1,000,000) and
+``SCALE_BENCH_CEILING_MB`` (default 16384).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from benchmarks._util import RESULTS_DIR, save_exhibit
+from repro.core.deployment import RetrainPolicy, simulate_operation
+from repro.core.pipeline import MFPAConfig
+from repro.ml.forest import RandomForestClassifier
+from repro.reporting import render_table
+from repro.scale import (
+    ShardWriter,
+    ShardedFleetMonitor,
+    peak_rss_mb,
+)
+from repro.telemetry.dataset import TelemetryDataset
+from repro.telemetry.fleet import FleetConfig, SSDFleet, VendorMix
+
+pytestmark = pytest.mark.scale_bench
+
+N_DRIVES = int(os.environ.get("SCALE_BENCH_DRIVES", "1000000"))
+CEILING_MB = int(os.environ.get("SCALE_BENCH_CEILING_MB", "16384"))
+PARITY_DRIVES = 1500
+DRIVES_PER_SHARD = 10_000
+HORIZON, TRAIN_END, WINDOW = 40, 25, 8
+NEVER = RetrainPolicy(interval_days=10**9, min_new_failures=10**9)
+
+
+def _fleet_config(n_drives: int) -> FleetConfig:
+    return FleetConfig(
+        mix=VendorMix.proportional(n_drives),
+        horizon_days=HORIZON,
+        failure_boost=50.0,
+        seed=2024,
+    )
+
+
+def _mfpa_config() -> MFPAConfig:
+    # Histogram splits: the binned backend is what makes training on a
+    # million-drive undersample tractable on one core.
+    return MFPAConfig(
+        algorithm=RandomForestClassifier(
+            n_estimators=20, max_depth=8, split_algorithm="hist", seed=0
+        ),
+        memory_ceiling_mb=CEILING_MB,
+    )
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+def _parity_check(tmp_path) -> dict:
+    """Sharded vs in-RAM monitor on a small fleet: bit-identical alarms."""
+    writer = ShardWriter(tmp_path / "parity")
+    fleet = SSDFleet(_fleet_config(PARITY_DRIVES))
+    for shard in fleet.generate_shards(drives_per_shard=500):
+        writer.add_shard(shard)
+    store = writer.close()
+
+    monitor = ShardedFleetMonitor(store, config=_mfpa_config(), policy=NEVER)
+    sharded = monitor.run(TRAIN_END, HORIZON, window_days=WINDOW)
+
+    full = TelemetryDataset.concat([s for _, s in store.iter_shards()])
+    batch = simulate_operation(
+        full,
+        config=_mfpa_config(),
+        policy=NEVER,
+        start_day=TRAIN_END,
+        end_day=HORIZON,
+        window_days=WINDOW,
+    )
+    assert sharded.alarm_records() == batch.alarm_records(), (
+        "sharded/in-RAM alarm mismatch on the parity fleet"
+    )
+    assert sharded.missed_failures == batch.missed_failures
+    return {
+        "n_drives": PARITY_DRIVES,
+        "n_alarms": sharded.n_alarms,
+        "bit_identical": True,
+    }
+
+
+def test_scale_bench(tmp_path):
+    parity = _parity_check(tmp_path)
+
+    fleet = SSDFleet(_fleet_config(N_DRIVES))
+    writer = ShardWriter(tmp_path / "store")
+
+    def generate():
+        for shard in fleet.generate_shards(drives_per_shard=DRIVES_PER_SHARD):
+            writer.add_shard(shard)
+        return writer.close()
+
+    store, generate_seconds = _timed(generate)
+
+    monitor = ShardedFleetMonitor(store, config=_mfpa_config(), policy=NEVER)
+    _, fit_seconds = _timed(lambda: monitor.start(TRAIN_END))
+    summary, monitor_seconds = _timed(
+        lambda: monitor.run(TRAIN_END, HORIZON, window_days=WINDOW)
+    )
+
+    peak = peak_rss_mb()
+    assert peak < CEILING_MB, (
+        f"peak RSS {peak:.0f} MiB breached the {CEILING_MB} MiB ceiling"
+    )
+    assert len(summary.windows) == 2
+    assert all(w.n_drives_scored > 0 for w in summary.windows)
+
+    drives_per_second = store.n_drives / monitor_seconds
+    payload = {
+        "cpu_count": os.cpu_count(),
+        "n_drives": store.n_drives,
+        "n_rows": store.n_rows,
+        "n_shards": store.n_shards,
+        "store_bytes": store.n_bytes,
+        "fleet_fingerprint": store.fleet_fingerprint,
+        "memory_ceiling_mb": CEILING_MB,
+        "peak_rss_mb": round(peak, 1),
+        "generate_seconds": round(generate_seconds, 1),
+        "fit_seconds": round(fit_seconds, 1),
+        "monitor_seconds": round(monitor_seconds, 1),
+        "drives_per_second": round(drives_per_second, 1),
+        "windows": [
+            {
+                "start_day": w.start_day,
+                "end_day": w.end_day,
+                "n_drives_scored": w.n_drives_scored,
+                "n_alarms": len(w.alarms),
+            }
+            for w in summary.windows
+        ],
+        "n_alarms": summary.n_alarms,
+        "true_alarms": summary.true_alarms,
+        "false_alarms": summary.false_alarms,
+        "parity": parity,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "scale_1m.json").write_text(json.dumps(payload, indent=2))
+
+    save_exhibit(
+        "scale_1m",
+        render_table(
+            ["Stage", "Seconds", "Detail"],
+            [
+                ["generate", f"{generate_seconds:.0f}",
+                 f"{store.n_shards} shards / {store.n_rows} rows"],
+                ["fit", f"{fit_seconds:.0f}", "streaming MFPA"],
+                ["monitor", f"{monitor_seconds:.0f}",
+                 f"{drives_per_second:.0f} drives/s"],
+                ["peak RSS", f"{peak:.0f} MiB",
+                 f"ceiling {CEILING_MB} MiB"],
+            ],
+            title=f"Out-of-core bench: {store.n_drives} drives",
+        ),
+    )

@@ -12,6 +12,16 @@ serve       run the always-on fleet-scoring daemon over a recorded
             reading stream (checkpointing, crash-resume, alarm sink)
 replay      record a fleet as a replayable per-day reading stream
 obs         observability utilities (``obs report <run-dir>``)
+scale       shard-store utilities (``scale inspect <shard-dir>``)
+
+Out-of-core operation
+---------------------
+``simulate --shards N`` streams the fleet straight into an npz shard
+store (never holding it in RAM); ``train`` and ``monitor`` detect a
+shard-store argument and run the streaming trainer / partitioned
+monitor from :mod:`repro.scale`, producing results bit-identical to
+the in-RAM commands on the same fleet. ``--memory-ceiling-mb`` turns
+on peak-RSS enforcement (see docs/scaling.md).
 
 Observability
 -------------
@@ -75,6 +85,20 @@ def _add_simulate(subparsers) -> None:
     parser.add_argument("--horizon-days", type=int, default=540)
     parser.add_argument("--failure-boost", type=float, default=20.0)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="write an out-of-core shard store with N serial-partitioned "
+        "npz shards instead of a flat dataset directory; generation "
+        "streams one shard at a time (see docs/scaling.md)",
+    )
+    parser.add_argument(
+        "--compress",
+        action="store_true",
+        help="zlib-compress the npz shards (smaller, slower; only with --shards)",
+    )
 
 
 def _add_n_jobs_flag(parser) -> None:
@@ -85,6 +109,17 @@ def _add_n_jobs_flag(parser) -> None:
         metavar="N",
         help="worker processes for training/search/scoring (1 = serial, "
         "-1 = all cores); results are identical at every setting",
+    )
+
+
+def _add_memory_ceiling_flag(parser) -> None:
+    parser.add_argument(
+        "--memory-ceiling-mb",
+        type=int,
+        default=None,
+        metavar="MB",
+        help="fail the run if peak RSS ever exceeds this many MiB "
+        "(checked after every shard/stage; default: unenforced)",
     )
 
 
@@ -156,6 +191,7 @@ def _add_train(subparsers) -> None:
     parser.add_argument("--feature-selection", action="store_true")
     _add_n_jobs_flag(parser)
     _add_split_algorithm_flag(parser)
+    _add_memory_ceiling_flag(parser)
     _add_loading_flags(parser)
     _add_obs_flags(parser)
 
@@ -183,6 +219,7 @@ def _add_monitor(subparsers) -> None:
     )
     _add_n_jobs_flag(parser)
     _add_split_algorithm_flag(parser)
+    _add_memory_ceiling_flag(parser)
     _add_loading_flags(parser)
     _add_obs_flags(parser)
 
@@ -311,6 +348,17 @@ def _add_obs(subparsers) -> None:
     report.add_argument("run_dir", help="directory a run wrote with --run-dir")
 
 
+def _add_scale(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "scale", help="out-of-core shard-store utilities"
+    )
+    scale_subparsers = parser.add_subparsers(dest="scale_command", required=True)
+    inspect = scale_subparsers.add_parser(
+        "inspect", help="print a shard store's manifest summary"
+    )
+    inspect.add_argument("store", help="directory written by `simulate --shards`")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -325,6 +373,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_serve(subparsers)
     _add_replay(subparsers)
     _add_obs(subparsers)
+    _add_scale(subparsers)
     return parser
 
 
@@ -347,6 +396,25 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         failure_boost=args.failure_boost,
         seed=args.seed,
     )
+    if args.shards is not None:
+        from repro.scale import ShardWriter
+        from repro.telemetry.fleet import SSDFleet
+
+        fleet = SSDFleet(config)
+        writer = ShardWriter(args.output, compress=args.compress)
+        for shard in fleet.generate_shards(n_shards=args.shards):
+            writer.add_shard(shard)
+        store = writer.close()
+        log.info(
+            f"simulated {store.n_drives} drives / {store.n_rows} records "
+            f"into {store.n_shards} shards ({store.n_bytes} bytes, "
+            f"fleet fingerprint {store.fleet_fingerprint}) -> {store.root}",
+            n_drives=store.n_drives,
+            n_rows=store.n_rows,
+            n_shards=store.n_shards,
+            path=str(store.root),
+        )
+        return 0
     dataset = simulate_fleet(config)
     path = save_dataset(dataset, args.output)
     log.info(
@@ -379,7 +447,8 @@ def _format_lead_time(summary) -> str:
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
-    dataset = _load(args)
+    from repro.scale import is_shard_store
+
     config = MFPAConfig(
         feature_group_name=args.feature_group,
         theta=args.theta,
@@ -388,13 +457,34 @@ def _cmd_train(args: argparse.Namespace) -> int:
         feature_selection=args.feature_selection,
         n_jobs=args.n_jobs,
         split_algorithm=args.split_algorithm,
+        memory_ceiling_mb=args.memory_ceiling_mb,
     )
     annotate_run(
         config_hash=config_hash(config), seed=config.seed, n_jobs=args.n_jobs
     )
-    model = MFPA(config)
-    model.fit(dataset, train_end_day=args.train_end_day)
-    result = model.evaluate(args.train_end_day, args.eval_end_day)
+    if is_shard_store(args.dataset):
+        from repro.scale import ShardedDataset, evaluate_sharded, fit_sharded
+
+        store = ShardedDataset(args.dataset)
+        annotate_run(dataset_fingerprint=store.fleet_fingerprint)
+        model = fit_sharded(
+            store,
+            config,
+            train_end_day=args.train_end_day,
+            sanitize=args.sanitize,
+        )
+        result = evaluate_sharded(
+            model,
+            store,
+            args.train_end_day,
+            args.eval_end_day,
+            sanitize=args.sanitize,
+        )
+    else:
+        dataset = _load(args)
+        model = MFPA(config)
+        model.fit(dataset, train_end_day=args.train_end_day)
+        result = model.evaluate(args.train_end_day, args.eval_end_day)
     for level, report in (
         ("drive", result.drive_report),
         ("record", result.record_report),
@@ -419,26 +509,53 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 def _monitor_config(args: argparse.Namespace) -> MFPAConfig | None:
     """Monitor/chaos MFPA config; None keeps the all-defaults path."""
-    if args.split_algorithm == "exact":
+    ceiling = getattr(args, "memory_ceiling_mb", None)
+    if args.split_algorithm == "exact" and ceiling is None:
         return None
-    return MFPAConfig(split_algorithm=args.split_algorithm)
+    return MFPAConfig(
+        split_algorithm=args.split_algorithm, memory_ceiling_mb=ceiling
+    )
 
 
 def _cmd_monitor(args: argparse.Namespace) -> int:
-    dataset = _load(args)
+    from repro.scale import is_shard_store
+
     annotate_run(n_jobs=args.n_jobs, split_algorithm=args.split_algorithm)
-    summary = simulate_operation(
-        dataset,
-        config=_monitor_config(args),
-        start_day=args.start_day,
-        end_day=args.end_day,
-        window_days=args.window_days,
-        alarm_threshold=args.alarm_threshold,
-        allow_degraded=args.allow_degraded,
-        checkpoint_dir=args.checkpoint_dir,
-        resume=args.resume,
-        n_jobs=args.n_jobs,
-    )
+    if is_shard_store(args.dataset):
+        from repro.scale import ShardedDataset, ShardedFleetMonitor
+
+        for flag in ("checkpoint_dir", "resume", "allow_degraded"):
+            if getattr(args, flag):
+                raise SystemExit(
+                    f"--{flag.replace('_', '-')} is not supported on a "
+                    "shard store; run the in-RAM monitor instead"
+                )
+        store = ShardedDataset(args.dataset)
+        annotate_run(dataset_fingerprint=store.fleet_fingerprint)
+        monitor = ShardedFleetMonitor(
+            store,
+            config=_monitor_config(args),
+            alarm_threshold=args.alarm_threshold,
+            sanitize=args.sanitize,
+            n_jobs=args.n_jobs,
+        )
+        summary = monitor.run(
+            args.start_day, args.end_day, window_days=args.window_days
+        )
+    else:
+        dataset = _load(args)
+        summary = simulate_operation(
+            dataset,
+            config=_monitor_config(args),
+            start_day=args.start_day,
+            end_day=args.end_day,
+            window_days=args.window_days,
+            alarm_threshold=args.alarm_threshold,
+            allow_degraded=args.allow_degraded,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            n_jobs=args.n_jobs,
+        )
     record_result("n_alarms", summary.n_alarms)
     record_result("true_alarms", summary.true_alarms)
     record_result("false_alarms", summary.false_alarms)
@@ -676,6 +793,37 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scale(args: argparse.Namespace) -> int:
+    from repro.scale import ShardedDataset
+
+    store = ShardedDataset(args.store)
+    rows = [
+        [
+            info.index,
+            info.filename,
+            info.n_drives,
+            f"{info.first_serial}-{info.last_serial}",
+            info.n_rows,
+            info.n_bytes,
+            info.fingerprint,
+        ]
+        for info in store.shards
+    ]
+    log.info(
+        render_table(
+            ["Shard", "File", "Drives", "Serials", "Rows", "Bytes", "Fingerprint"],
+            rows,
+            title=f"Shard store {store.root}",
+        )
+    )
+    log.info(
+        f"\n{store.n_shards} shards / {store.n_drives} drives / "
+        f"{store.n_rows} rows / {store.n_bytes} bytes; "
+        f"fleet fingerprint {store.fleet_fingerprint}"
+    )
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "train": _cmd_train,
@@ -685,6 +833,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "replay": _cmd_replay,
     "obs": _cmd_obs,
+    "scale": _cmd_scale,
 }
 
 

@@ -141,6 +141,132 @@ def _predict_chunk(model: SharedPayload, row_indices: np.ndarray) -> np.ndarray:
     return model.get().predict_proba_rows(row_indices)
 
 
+def predict_rows_parallel(
+    model: MFPA, row_indices: np.ndarray, n_jobs: int = 1
+) -> np.ndarray:
+    """Positive-class probabilities for prepared-dataset rows.
+
+    With ``n_jobs > 1`` the rows fan out in contiguous chunks over a
+    worker pool; the fitted model travels to the workers by fork
+    inheritance (it is never pickled) and per-row independence makes
+    the concatenated result identical to the serial pass.
+    """
+    executor = ParallelExecutor(n_jobs)
+    # Below a few hundred rows per worker the pool spin-up costs more
+    # than the scoring it distributes; stay serial for small windows.
+    if not executor.is_parallel or row_indices.size < 256 * executor.n_jobs:
+        return model.predict_proba_rows(row_indices)
+    chunks = np.array_split(row_indices, executor.n_jobs)
+    with share(model) as shared:
+        parts = executor.starmap(
+            _predict_chunk, [(shared, chunk) for chunk in chunks if chunk.size]
+        )
+    return np.concatenate(parts)
+
+
+def score_prepared_window(
+    model: MFPA,
+    alarmed: set[int],
+    alarm_threshold: float,
+    start_day: int,
+    end_day: int,
+    n_jobs: int = 1,
+) -> tuple[list[Alarm], int]:
+    """Score one window of ``model.dataset_``; the monitor's core step.
+
+    Scans every not-yet-alarmed drive's records in ``[start_day,
+    end_day)``, batches one prediction pass, and raises an alarm at the
+    *first* threshold crossing per drive — in a live deployment the
+    user is notified the day the score crosses, and every day earlier
+    is warning lead time. Newly alarmed serials are added to ``alarmed``
+    in place. Returns ``(alarms, n_drives_scored)``.
+
+    This is deliberately a function of ``(model, alarmed)`` rather than
+    a monitor method: the sharded monitor calls it once per (shard,
+    window) with a per-shard alarmed set, and because drives are scored
+    independently the union of per-shard alarms equals the in-RAM
+    monitor's window bit for bit.
+    """
+    prepared = model.dataset_
+    row_slices = prepared._row_slices()
+    scored_serials: list[int] = []
+    scored_days: list[np.ndarray] = []
+    scored_indices: list[np.ndarray] = []
+    for serial in prepared.drives:
+        if serial in alarmed:
+            continue
+        rows = prepared.drive_rows(serial)
+        days = rows["day"]
+        in_window = (days >= start_day) & (days < end_day)
+        if not np.any(in_window):
+            continue
+        base = row_slices[serial].start
+        scored_serials.append(int(serial))
+        scored_days.append(days[in_window])
+        scored_indices.append(base + np.flatnonzero(in_window))
+
+    alarms: list[Alarm] = []
+    n_scored = len(scored_serials)
+    if n_scored:
+        # One batched prediction pass across every scored drive,
+        # chunked over the worker pool when n_jobs > 1.
+        counts = np.array([indices.size for indices in scored_indices])
+        all_probabilities = predict_rows_parallel(
+            model, np.concatenate(scored_indices), n_jobs
+        )
+        per_drive = np.split(all_probabilities, np.cumsum(counts)[:-1])
+        for serial, days, probabilities in zip(
+            scored_serials, scored_days, per_drive
+        ):
+            crossings = np.flatnonzero(probabilities >= alarm_threshold)
+            if crossings.size:
+                first = int(crossings[0])
+                alarms.append(
+                    Alarm(
+                        serial=serial,
+                        day=int(days[first]),
+                        probability=float(probabilities[first]),
+                    )
+                )
+                alarmed.add(serial)
+    return alarms, n_scored
+
+
+def plan_retrains(
+    boundaries: list[int],
+    policy: RetrainPolicy,
+    failure_times: dict[int, int],
+    train_end_day: int,
+) -> list[bool]:
+    """Which window boundaries the monitor will retrain at.
+
+    ``FleetMonitor._maybe_retrain`` depends only on the boundary day,
+    the policy, and the failure-time table — never on scoring results —
+    and the failure-time table itself is a pure function of the full
+    prepared dataset (identical after every refit). The whole retrain
+    schedule is therefore known up front, which is what lets the
+    sharded monitor run shard-outer/window-inner loops with each
+    boundary's model trained once.
+    """
+    last_trained = train_end_day
+    failures_at_training = sum(
+        1 for day in failure_times.values() if day < train_end_day
+    )
+    plan: list[bool] = []
+    for day in boundaries:
+        if day - last_trained < policy.interval_days:
+            plan.append(False)
+            continue
+        known = sum(1 for fd in failure_times.values() if fd < day)
+        if known - failures_at_training < policy.min_new_failures:
+            plan.append(False)
+            continue
+        plan.append(True)
+        last_trained = day
+        failures_at_training = known
+    return plan
+
+
 class FleetMonitor:
     """Windowed scoring loop with alarm deduplication and retraining.
 
@@ -218,24 +344,8 @@ class FleetMonitor:
         return True
 
     def _predict_rows(self, row_indices: np.ndarray) -> np.ndarray:
-        """Positive-class probabilities for prepared-dataset rows.
-
-        With ``n_jobs > 1`` the rows fan out in contiguous chunks over a
-        worker pool; the fitted model travels to the workers by fork
-        inheritance (it is never pickled) and per-row independence makes
-        the concatenated result identical to the serial pass.
-        """
-        executor = ParallelExecutor(self.n_jobs)
-        # Below a few hundred rows per worker the pool spin-up costs more
-        # than the scoring it distributes; stay serial for small windows.
-        if not executor.is_parallel or row_indices.size < 256 * executor.n_jobs:
-            return self.model.predict_proba_rows(row_indices)
-        chunks = np.array_split(row_indices, executor.n_jobs)
-        with share(self.model) as model:
-            parts = executor.starmap(
-                _predict_chunk, [(model, chunk) for chunk in chunks if chunk.size]
-            )
-        return np.concatenate(parts)
+        """Positive-class probabilities for prepared-dataset rows."""
+        return predict_rows_parallel(self.model, row_indices, self.n_jobs)
 
     def score_window(self, start_day: int, end_day: int) -> MonitoringWindow:
         """Score every drive's records in ``[start_day, end_day)``.
@@ -263,50 +373,14 @@ class FleetMonitor:
 
     def _score_window(self, start_day: int, end_day: int) -> MonitoringWindow:
         retrained = self._maybe_retrain(start_day)
-
-        prepared = self.model.dataset_
-        row_slices = prepared._row_slices()
-        scored_serials: list[int] = []
-        scored_days: list[np.ndarray] = []
-        scored_indices: list[np.ndarray] = []
-        for serial in prepared.drives:
-            if serial in self._alarmed:
-                continue
-            rows = prepared.drive_rows(serial)
-            days = rows["day"]
-            in_window = (days >= start_day) & (days < end_day)
-            if not np.any(in_window):
-                continue
-            base = row_slices[serial].start
-            scored_serials.append(int(serial))
-            scored_days.append(days[in_window])
-            scored_indices.append(base + np.flatnonzero(in_window))
-
-        alarms: list[Alarm] = []
-        n_scored = len(scored_serials)
-        if n_scored:
-            # One batched prediction pass across every scored drive,
-            # chunked over the worker pool when n_jobs > 1.
-            counts = np.array([indices.size for indices in scored_indices])
-            all_probabilities = self._predict_rows(np.concatenate(scored_indices))
-            per_drive = np.split(all_probabilities, np.cumsum(counts)[:-1])
-            for serial, days, probabilities in zip(
-                scored_serials, scored_days, per_drive
-            ):
-                # Alarm at the *first* threshold crossing: in a live
-                # deployment the user is notified the day the score
-                # crosses, and every day earlier is warning lead time.
-                crossings = np.flatnonzero(probabilities >= self.alarm_threshold)
-                if crossings.size:
-                    first = int(crossings[0])
-                    alarms.append(
-                        Alarm(
-                            serial=serial,
-                            day=int(days[first]),
-                            probability=float(probabilities[first]),
-                        )
-                    )
-                    self._alarmed.add(serial)
+        alarms, n_scored = score_prepared_window(
+            self.model,
+            self._alarmed,
+            self.alarm_threshold,
+            start_day,
+            end_day,
+            n_jobs=self.n_jobs,
+        )
         return MonitoringWindow(
             start_day=start_day,
             end_day=end_day,

@@ -149,6 +149,10 @@ class MFPAConfig:
     seed: int = 0
     n_jobs: int = 1
     split_algorithm: str = "exact"
+    memory_ceiling_mb: int | None = None
+    """Peak-RSS budget (MiB) enforced by the out-of-core sharded paths
+    (:mod:`repro.scale`); the in-RAM pipeline ignores it. ``None``
+    disables the checks."""
 
     def __post_init__(self) -> None:
         feature_group(self.feature_group_name)  # validate the name
@@ -157,6 +161,8 @@ class MFPAConfig:
             raise ValueError("decision_threshold must be in (0, 1)")
         if self.derived_mode not in ("append", "replace"):
             raise ValueError("derived_mode must be 'append' or 'replace'")
+        if self.memory_ceiling_mb is not None and self.memory_ceiling_mb <= 0:
+            raise ValueError("memory_ceiling_mb must be positive (or None)")
 
 
 @dataclass(frozen=True)
@@ -239,45 +245,12 @@ class MFPA:
             )
         self._record_stage("labeling", started, samples.n_samples)
 
-        train_mask = samples.days < train_end_day
-        # Exclude faulty drives whose failure happens after the training
-        # horizon: their pre-failure window belongs to the future.
-        late_failure = np.array(
-            [
-                self.failure_times_.get(int(s), -1) >= train_end_day
-                for s in samples.serials
-            ]
-        )
-        train = samples.subset(np.flatnonzero(train_mask & ~late_failure))
-        if train.n_positive == 0:
-            raise ValueError("no positive samples in the training window")
+        train = self._select_train_samples(samples, train_end_day)
 
         started = time.perf_counter()
         with trace_span("sampling"):
-            sampler = RandomUnderSampler(
-                ratio=config.negative_ratio, seed=config.seed
-            )
-            row_indices, labels, days = sampler.fit_resample(
-                train.row_indices, train.labels, train.days
-            )
-            order = np.argsort(days, kind="stable")
-            row_indices, labels, days = (
-                row_indices[order],
-                labels[order],
-                days[order],
-            )
-
-            columns = config.feature_columns or feature_group(
-                config.feature_group_name
-            ).columns
-            if self.derived_columns_:
-                if config.derived_mode == "replace":
-                    from repro.core.derived import DEFAULT_DERIVE_COLUMNS
-
-                    columns = tuple(
-                        c for c in columns if c not in DEFAULT_DERIVE_COLUMNS
-                    )
-                columns = (*columns, *self.derived_columns_)
+            row_indices, labels, days = self._undersample(train)
+            columns = self._training_columns()
             if config.feature_selection:
                 columns = self._forward_select(
                     prepared, row_indices, labels, days, columns
@@ -288,27 +261,91 @@ class MFPA:
 
         started = time.perf_counter()
         with trace_span("training"):
-            if config.param_grid:
-                search = GridSearchCV(
-                    _with_split_algorithm(
-                        clone(config.algorithm), config.split_algorithm
-                    ),
-                    config.param_grid,
-                    splitter=TimeSeriesCrossValidator(k=config.cv_k, days=days),
-                    n_jobs=config.n_jobs,
-                )
-                search.fit(X, labels)
-                self.model_ = search.best_estimator_
-                self.search_ = search
-            else:
-                self.model_ = _with_split_algorithm(
-                    _with_n_jobs(clone(config.algorithm), config.n_jobs),
-                    config.split_algorithm,
-                )
-                self.model_.fit(X, labels)
+            self._fit_estimator(X, labels, days)
         self._record_stage("training", started, labels.size)
         self.train_end_day_ = train_end_day
         return self
+
+    def _select_train_samples(
+        self, samples: SampleSet, train_end_day: int
+    ) -> SampleSet:
+        """Restrict to pre-horizon samples of drives that failed in time.
+
+        Faulty drives whose failure happens after the training horizon
+        are excluded entirely: their pre-failure window belongs to the
+        future.
+        """
+        train_mask = samples.days < train_end_day
+        late_failure = np.array(
+            [
+                self.failure_times_.get(int(s), -1) >= train_end_day
+                for s in samples.serials
+            ]
+        )
+        train = samples.subset(np.flatnonzero(train_mask & ~late_failure))
+        if train.n_positive == 0:
+            raise ValueError("no positive samples in the training window")
+        return train
+
+    def _undersample(
+        self, train: SampleSet
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Seeded undersample + chronological (stable) reordering."""
+        config = self.config
+        sampler = RandomUnderSampler(
+            ratio=config.negative_ratio, seed=config.seed
+        )
+        row_indices, labels, days = sampler.fit_resample(
+            train.row_indices, train.labels, train.days
+        )
+        order = np.argsort(days, kind="stable")
+        return row_indices[order], labels[order], days[order]
+
+    def _training_columns(self) -> tuple[str, ...]:
+        """Candidate feature columns before forward selection.
+
+        Requires ``self.derived_columns_`` (set during feature
+        engineering) so the derived-mode swap is applied consistently.
+        """
+        config = self.config
+        columns = config.feature_columns or feature_group(
+            config.feature_group_name
+        ).columns
+        if self.derived_columns_:
+            if config.derived_mode == "replace":
+                from repro.core.derived import DEFAULT_DERIVE_COLUMNS
+
+                columns = tuple(
+                    c for c in columns if c not in DEFAULT_DERIVE_COLUMNS
+                )
+            columns = (*columns, *self.derived_columns_)
+        return columns
+
+    def _fit_estimator(
+        self, X: np.ndarray, labels: np.ndarray, days: np.ndarray
+    ) -> None:
+        """Train ``self.model_`` on an assembled matrix (grid search or
+        plain fit). Shared verbatim by the sharded trainer — given the
+        same ``(X, labels, days)`` the fitted model is bit-identical."""
+        config = self.config
+        if config.param_grid:
+            search = GridSearchCV(
+                _with_split_algorithm(
+                    clone(config.algorithm), config.split_algorithm
+                ),
+                config.param_grid,
+                splitter=TimeSeriesCrossValidator(k=config.cv_k, days=days),
+                n_jobs=config.n_jobs,
+            )
+            search.fit(X, labels)
+            self.model_ = search.best_estimator_
+            self.search_ = search
+        else:
+            self.model_ = _with_split_algorithm(
+                _with_n_jobs(clone(config.algorithm), config.n_jobs),
+                config.split_algorithm,
+            )
+            self.model_.fit(X, labels)
 
     def _forward_select(
         self,
@@ -324,24 +361,45 @@ class MFPA:
         CV, scoring Youden's J. The score trajectory lands in
         ``self.selection_history_`` (the data behind Fig 17).
         """
-        config = self.config
         with trace_span("feature_selection"):
             assembler = FeatureAssembler(columns, history_length=1)
-            cap = min(config.selection_max_rows, row_indices.size)
-            step = max(1, row_indices.size // cap)
-            subsample = np.arange(0, row_indices.size, step)[:cap]
+            subsample = self._selection_subsample(row_indices.size)
             X = assembler.assemble(prepared.columns, row_indices[subsample])
-            selector = SequentialForwardSelector(
-                _with_split_algorithm(
-                    clone(config.selection_estimator or config.algorithm),
-                    config.split_algorithm,
-                ),
-                TimeSeriesCrossValidator(k=config.cv_k, days=days[subsample]),
-                scoring=youden_score,
-                max_features=config.selection_max_features,
-                n_jobs=config.n_jobs,
+            return self._run_forward_selection(
+                X, labels[subsample], days[subsample], columns
             )
-            chosen = selector.select(X, labels[subsample])
+
+    def _selection_subsample(self, n_rows: int) -> np.ndarray:
+        """Deterministic chronological row cap for the greedy search."""
+        cap = min(self.config.selection_max_rows, n_rows)
+        step = max(1, n_rows // cap)
+        return np.arange(0, n_rows, step)[:cap]
+
+    def _run_forward_selection(
+        self,
+        X: np.ndarray,
+        labels: np.ndarray,
+        days: np.ndarray,
+        columns: tuple[str, ...],
+    ) -> tuple[str, ...]:
+        """Greedy search over an already-assembled candidate matrix.
+
+        Split out of :meth:`_forward_select` so the out-of-core trainer
+        can hand in a shard-assembled matrix and still land on the same
+        chosen columns and ``selection_history_``.
+        """
+        config = self.config
+        selector = SequentialForwardSelector(
+            _with_split_algorithm(
+                clone(config.selection_estimator or config.algorithm),
+                config.split_algorithm,
+            ),
+            TimeSeriesCrossValidator(k=config.cv_k, days=days),
+            scoring=youden_score,
+            max_features=config.selection_max_features,
+            n_jobs=config.n_jobs,
+        )
+        chosen = selector.select(X, labels)
         self.selection_history_ = [
             (columns[index], score) for index, score in selector.history_
         ]

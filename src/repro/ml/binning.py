@@ -54,8 +54,10 @@ __all__ = [
     "MAX_BINS",
     "binned_fingerprint",
     "build_binned",
+    "build_binned_from_edges",
     "clear_binned_cache",
     "get_binned",
+    "set_binned_cache_limit",
 ]
 
 #: Hard cap on value bins per feature (uint8 code space, one extra
@@ -68,8 +70,12 @@ MAX_BINS = 255
 #: well as 255 while costing a quarter of the per-node cut scan.
 DEFAULT_BINS = 64
 
-#: Cached BinnedDatasets kept alive at once (LRU eviction).
-_CACHE_ENTRIES = 32
+#: Default number of cached BinnedDatasets kept alive at once (LRU
+#: eviction). Sharded pipelines mint one fingerprint per shard, so the
+#: bound — not the caller — is what keeps a thousand-shard sweep from
+#: pinning a thousand code matrices in RAM; every eviction is counted in
+#: ``tree_bin_cache_evictions_total``.
+_DEFAULT_CACHE_ENTRIES = 32
 
 
 class BinnedDataset:
@@ -166,18 +172,42 @@ def build_binned(
     X = np.asarray(X, dtype=float)
     if X.ndim != 2:
         raise ValueError("binning expects a 2-D feature matrix")
+    edges = [_feature_edges(X[:, j], max_bins) for j in range(X.shape[1])]
+    return build_binned_from_edges(X, edges, fingerprint=fingerprint)
+
+
+def build_binned_from_edges(
+    X: np.ndarray,
+    edges: list[np.ndarray] | tuple[np.ndarray, ...],
+    fingerprint: str | None = None,
+) -> BinnedDataset:
+    """Encode ``X`` against pre-fitted per-feature edges.
+
+    The out-of-core path (:mod:`repro.scale.stats`) fits edges
+    shard-by-shard with a merged reservoir and then encodes each shard
+    through this entry point, so no step ever needs the full matrix;
+    :func:`build_binned` is the same encoder with edges fitted on ``X``
+    itself.
+    """
+    X = np.asarray(X, dtype=float)
+    if X.ndim != 2:
+        raise ValueError("binning expects a 2-D feature matrix")
     n_rows, n_features = X.shape
+    if len(edges) != n_features:
+        raise ValueError(
+            f"got {len(edges)} edge arrays for {n_features} features"
+        )
+    if any(e.size > MAX_BINS - 1 for e in edges):
+        raise ValueError(f"a feature has more than {MAX_BINS} value bins")
     started = time.perf_counter()
-    edges: list[np.ndarray] = []
     per_feature_codes: list[np.ndarray] = []
     for j in range(n_features):
         column = X[:, j]
-        feature_edges = _feature_edges(column, max_bins)
+        feature_edges = edges[j]
         codes = np.searchsorted(feature_edges, column, side="left")
         nan_rows = np.isnan(column)
         if nan_rows.any():
             codes = np.where(nan_rows, feature_edges.size + 1, codes)
-        edges.append(feature_edges)
         per_feature_codes.append(codes)
     # Uniform bin count across features (value bins + the NaN bin) keeps
     # node histograms a single dense block.
@@ -189,7 +219,10 @@ def build_binned(
     for j, column_codes in enumerate(per_feature_codes):
         codes[:, j] = column_codes
     observe_histogram("tree_bin_build_seconds", time.perf_counter() - started)
-    return BinnedDataset(codes, tuple(edges), n_bins, cut_thresholds, fingerprint)
+    return BinnedDataset(
+        codes, tuple(np.asarray(e) for e in edges), n_bins, cut_thresholds,
+        fingerprint,
+    )
 
 
 def binned_fingerprint(
@@ -220,6 +253,31 @@ def binned_fingerprint(
 #: copy-on-write snapshot: parent pre-warmed entries are hits, worker
 #: inserts stay worker-local.
 _CACHE: OrderedDict[str, BinnedDataset] = OrderedDict()
+_CACHE_LIMIT = _DEFAULT_CACHE_ENTRIES
+
+
+def set_binned_cache_limit(limit: int | None) -> int:
+    """Set the LRU entry bound; returns the previous bound.
+
+    ``None`` restores the default. Shrinking the bound evicts (and
+    counts) the overflow immediately, so a sharded run that tightens
+    the budget under a memory ceiling sees the release right away.
+    """
+    global _CACHE_LIMIT
+    previous = _CACHE_LIMIT
+    if limit is None:
+        limit = _DEFAULT_CACHE_ENTRIES
+    if int(limit) < 1:
+        raise ValueError("binned cache limit must be at least 1")
+    _CACHE_LIMIT = int(limit)
+    _evict_over_limit()
+    return previous
+
+
+def _evict_over_limit() -> None:
+    while len(_CACHE) > _CACHE_LIMIT:
+        _CACHE.popitem(last=False)
+        inc_counter("tree_bin_cache_evictions_total")
 
 
 def get_binned(
@@ -230,7 +288,11 @@ def get_binned(
     ``rows`` selects the rows to *fit edges on and encode* — a CV train
     fold bins through ``get_binned(X, train_indices)`` so its edges see
     no future data, and every later request for the same fold is a
-    cache hit (`tree_bin_cache_hits_total`).
+    cache hit (`tree_bin_cache_hits_total`). The cache is bounded (see
+    :func:`set_binned_cache_limit`): per-shard fingerprints from the
+    scale pipeline recycle the oldest entries instead of growing the
+    process without limit, with every eviction counted in
+    ``tree_bin_cache_evictions_total``.
     """
     key = binned_fingerprint(X, rows, max_bins)
     cached = _CACHE.get(key)
@@ -242,8 +304,7 @@ def get_binned(
     data = X if rows is None else np.asarray(X)[rows]
     binned = build_binned(data, max_bins, fingerprint=key)
     _CACHE[key] = binned
-    while len(_CACHE) > _CACHE_ENTRIES:
-        _CACHE.popitem(last=False)
+    _evict_over_limit()
     return binned
 
 

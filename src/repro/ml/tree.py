@@ -102,19 +102,31 @@ class _Tree:
 
     @property
     def n_leaves(self) -> int:
-        return int(np.sum(np.asarray(self.feature) == _NO_SPLIT))
+        features = getattr(self, "feature_arr", None)
+        if features is None:
+            features = np.asarray(self.feature, dtype=np.int64)
+        return int(np.sum(features == _NO_SPLIT))
 
     def depth(self) -> int:
-        """Maximum root-to-leaf depth (root = 0)."""
-        depths = {0: 0}
-        maximum = 0
-        for node in range(self.n_nodes):
-            depth = depths[node]
-            maximum = max(maximum, depth)
-            if self.feature[node] != _NO_SPLIT:
-                depths[self.left[node]] = depth + 1
-                depths[self.right[node]] = depth + 1
-        return maximum
+        """Maximum root-to-leaf depth (root = 0).
+
+        ``add_node`` appends children after their parent, so node ids
+        are topologically ordered and one forward pass over the arrays
+        suffices.
+        """
+        if getattr(self, "feature_arr", None) is None:
+            features = np.asarray(self.feature, dtype=np.int64)
+            left = np.asarray(self.left, dtype=np.int64)
+            right = np.asarray(self.right, dtype=np.int64)
+        else:
+            features, left, right = self.feature_arr, self.left_arr, self.right_arr
+        depths = np.zeros(self.n_nodes, dtype=np.int64)
+        split_nodes = np.flatnonzero(features != _NO_SPLIT)
+        for node in split_nodes:
+            child_depth = depths[node] + 1
+            depths[left[node]] = child_depth
+            depths[right[node]] = child_depth
+        return int(depths.max()) if depths.size else 0
 
 
 def _best_split_classification(

@@ -250,6 +250,28 @@ CATALOG: tuple[tuple[str, str, str, tuple | None, bool], ...] = (
      "pump ticks completed by the serve loop", None, True),
     ("serve_slow_ticks_total", "counter",
      "pump ticks exceeding the watchdog's slow-tick threshold", None, True),
+    # ---- out-of-core sharded execution (repro.scale) ----
+    ("tree_bin_cache_evictions_total", "counter",
+     "BinnedDataset entries dropped by the bounded LRU", None, True),
+    ("scale_shards_written_total", "counter",
+     "telemetry shards written to sharded dataset stores", None, True),
+    ("scale_shards_read_total", "counter",
+     "telemetry shards loaded from sharded dataset stores", None, True),
+    ("scale_shards_scored_total", "counter",
+     "(shard, window) scoring passes completed by ShardedFleetMonitor",
+     None, True),
+    ("scale_drives_generated_total", "counter",
+     "drives simulated by SSDFleet.generate_shards", None, True),
+    ("scale_memory_ceiling_exceeded_total", "counter",
+     "memory-ceiling checks that found peak RSS over budget", None, True),
+    ("scale_peak_rss_mb", "gauge",
+     "process-lifetime peak resident set size in MiB", None, True),
+    ("scale_shard_write_seconds", "histogram",
+     "wall-clock per shard simulated, assembled and written",
+     SECONDS_BUCKETS, True),
+    ("scale_shard_score_seconds", "histogram",
+     "wall-clock per (shard, window) ShardedFleetMonitor scoring pass",
+     SECONDS_BUCKETS, True),
 )
 
 

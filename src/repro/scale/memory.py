@@ -1,0 +1,92 @@
+"""Process-memory accounting for out-of-core runs.
+
+The scale subsystem's contract is "the fleet never fits in RAM, the
+working set always does". This module is how that contract is observed
+and enforced:
+
+* :func:`peak_rss_mb` reads the process high-water RSS from
+  ``getrusage`` — the same number ``make bench-scale`` records in
+  ``benchmarks/results/scale_1m.json``;
+* :func:`update_peak_rss_gauge` publishes it as the ``scale_peak_rss_mb``
+  gauge so any obs-enabled run (including the serve daemon) exports its
+  memory high-water alongside its throughput counters;
+* :class:`MemoryCeiling` turns a configured ``memory_ceiling_mb`` into
+  checkpoints sprinkled through the shard loops: crossing the ceiling
+  raises :class:`MemoryCeilingExceeded` naming the phase that blew the
+  budget, instead of letting the OOM killer produce an unattributable
+  corpse hours into a million-drive run.
+
+``ru_maxrss`` is a lifetime high-water mark, so a ceiling can only be
+checked against allocations made *after* process start — which is
+exactly the bench contract: the ceiling bounds the whole monitored run.
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+
+from repro.obs import inc_counter, set_gauge
+
+__all__ = [
+    "MemoryCeiling",
+    "MemoryCeilingExceeded",
+    "peak_rss_mb",
+    "update_peak_rss_gauge",
+]
+
+#: ``ru_maxrss`` unit: kilobytes on Linux, bytes on macOS.
+_RU_MAXRSS_DIVISOR = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
+
+
+def peak_rss_mb() -> float:
+    """Process-lifetime peak resident set size, in mebibytes."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / _RU_MAXRSS_DIVISOR
+
+
+def update_peak_rss_gauge() -> float:
+    """Publish the current peak RSS as ``scale_peak_rss_mb``; returns it."""
+    peak = peak_rss_mb()
+    set_gauge("scale_peak_rss_mb", peak)
+    return peak
+
+
+class MemoryCeilingExceeded(RuntimeError):
+    """The process peak RSS crossed the configured out-of-core ceiling."""
+
+    def __init__(self, phase: str, peak_mb: float, ceiling_mb: float):
+        self.phase = phase
+        self.peak_mb = peak_mb
+        self.ceiling_mb = ceiling_mb
+        super().__init__(
+            f"peak RSS {peak_mb:.0f} MiB exceeded the {ceiling_mb:.0f} MiB "
+            f"memory ceiling during {phase}"
+        )
+
+
+class MemoryCeiling:
+    """Checkpointed memory budget for sharded pipelines.
+
+    Parameters
+    ----------
+    limit_mb:
+        Budget in mebibytes; ``None`` disables every check (the guard
+        becomes free), so call sites never need their own conditionals.
+
+    Every :meth:`check` refreshes the ``scale_peak_rss_mb`` gauge; a
+    violation increments ``scale_memory_ceiling_exceeded_total`` before
+    raising, so a crashed run's metrics snapshot still shows the breach.
+    """
+
+    def __init__(self, limit_mb: float | None):
+        if limit_mb is not None and limit_mb <= 0:
+            raise ValueError("memory ceiling must be positive (or None)")
+        self.limit_mb = limit_mb
+
+    def check(self, phase: str) -> float:
+        """Assert the budget holds; returns the current peak RSS in MiB."""
+        peak = update_peak_rss_gauge()
+        if self.limit_mb is not None and peak > self.limit_mb:
+            inc_counter("scale_memory_ceiling_exceeded_total")
+            raise MemoryCeilingExceeded(phase, peak, self.limit_mb)
+        return peak

@@ -36,6 +36,7 @@ import numpy as np
 from repro.core.client import ClientPredictor
 from repro.core.pipeline import MFPA, MFPAConfig
 from repro.obs import get_logger, inc_counter, set_gauge, trace_span
+from repro.scale.memory import update_peak_rss_gauge
 from repro.robustness.checkpoint import (
     CheckpointCorruptError,
     atomic_write,
@@ -250,6 +251,7 @@ class ServeDaemon:
         self.breaker.tick()
         inc_counter("serve_ticks_total")
         set_gauge("serve_heartbeat_timestamp", time.time())
+        update_peak_rss_gauge()
         elapsed = self._clock() - started
         if elapsed > self.config.slow_tick_seconds:
             inc_counter("serve_slow_ticks_total")

@@ -15,7 +15,7 @@ from repro.telemetry.collection import UsageModel, UsagePattern
 from repro.telemetry.dataset import TelemetryDataset
 from repro.telemetry.drive import DriveHistory, DriveSimulator
 from repro.telemetry.firmware import FirmwareLadder, FirmwareVersion
-from repro.telemetry.fleet import FleetConfig, VendorMix, simulate_fleet
+from repro.telemetry.fleet import FleetConfig, SSDFleet, VendorMix, simulate_fleet
 from repro.telemetry.lifetime import BathtubLifetimeModel
 from repro.telemetry.models import (
     DRIVE_MODELS,
@@ -41,6 +41,7 @@ __all__ = [
     "FleetConfig",
     "RASRF_CATEGORIES",
     "SMART_ATTRIBUTES",
+    "SSDFleet",
     "SmartAttribute",
     "SmartSimulator",
     "TelemetryDataset",

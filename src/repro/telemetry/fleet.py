@@ -12,10 +12,13 @@ positives for stable metrics without changing which signals exist.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+from typing import Iterator
 
 import numpy as np
 
+from repro.obs import inc_counter, observe_histogram, trace_span
 from repro.telemetry.collection import UsageModel
 from repro.telemetry.drive import (
     DRIVE_LEVEL,
@@ -27,7 +30,7 @@ from repro.telemetry.dataset import TelemetryDataset
 from repro.telemetry.firmware import FirmwareLadder, default_ladders
 from repro.telemetry.lifetime import BathtubLifetimeModel
 from repro.telemetry.models import VENDORS, drive_models_for_vendor
-from repro.telemetry.tickets import TicketGenerator
+from repro.telemetry.tickets import TicketGenerator, TroubleTicket
 
 
 @dataclass(frozen=True)
@@ -200,3 +203,191 @@ def simulate_fleet(config: FleetConfig) -> TelemetryDataset:
         mean_repair_lag_days=config.mean_repair_lag_days
     ).generate_all(histories, rng)
     return TelemetryDataset.from_drives(histories, tickets)
+
+
+@dataclass(frozen=True)
+class _VendorPlan:
+    """Per-vendor precomputation shared by every drive of the vendor."""
+
+    vendor: str
+    first_serial: int
+    last_serial: int
+    ladder: FirmwareLadder
+    models: tuple
+    lifetime: BathtubLifetimeModel
+    mean_multiplier: float
+    drive_level_share: float
+
+
+class SSDFleet:
+    """Generator-based fleet simulation for out-of-core runs.
+
+    Unlike :func:`simulate_fleet` — which threads one RNG through every
+    drive, so drive *k*'s telemetry depends on drives ``1..k-1`` — each
+    drive here draws from its own ``default_rng((seed, serial))``
+    stream. A drive's history is then a pure function of ``(config,
+    serial)``, which is the property the sharded store needs: splitting
+    the fleet into 4 shards or 400 yields byte-identical telemetry per
+    drive, and any shard can be regenerated in isolation. The price is
+    that an ``SSDFleet`` fleet is *not* sample-for-sample identical to
+    ``simulate_fleet`` on the same config — it is the same population
+    statistically, not bitwise.
+
+    Serial assignment is vendor-major over ``sorted(mix.counts)``
+    starting at 1, matching :func:`simulate_fleet`.
+    """
+
+    def __init__(self, config: FleetConfig):
+        self.config = config
+        if config.persona_weights is not None:
+            from repro.telemetry.workloads import PersonaUsageModel
+
+            self._usage_model = PersonaUsageModel(config.persona_weights)
+        else:
+            self._usage_model = UsageModel(
+                mean_boot_probability=config.mean_boot_probability,
+                vacation_rate=config.vacation_rate,
+            )
+        self._drive_simulator = DriveSimulator(horizon_days=config.horizon_days)
+        self._ticket_generator = TicketGenerator(
+            mean_repair_lag_days=config.mean_repair_lag_days
+        )
+        ladders = default_ladders()
+        self._plans: list[_VendorPlan] = []
+        serial_start = 1
+        for vendor in sorted(config.mix.counts):
+            n_drives = config.mix.counts[vendor]
+            if n_drives == 0:
+                continue
+            info = VENDORS[vendor]
+            ladder = ladders[vendor]
+            probabilities = ladder.assignment_probabilities()
+            mean_multiplier = float(
+                np.sum(
+                    probabilities
+                    * [v.hazard_multiplier for v in ladder.versions]
+                )
+            )
+            self._plans.append(
+                _VendorPlan(
+                    vendor=vendor,
+                    first_serial=serial_start,
+                    last_serial=serial_start + n_drives - 1,
+                    ladder=ladder,
+                    models=tuple(drive_models_for_vendor(vendor)),
+                    lifetime=BathtubLifetimeModel(
+                        horizon_days=config.horizon_days,
+                        target_failure_probability=min(
+                            0.95, info.replacement_rate * config.failure_boost
+                        ),
+                    ),
+                    mean_multiplier=mean_multiplier,
+                    drive_level_share=info.drive_level_share,
+                )
+            )
+            serial_start += n_drives
+
+    @property
+    def n_drives(self) -> int:
+        return self.config.mix.total
+
+    def _plan_for(self, serial: int) -> _VendorPlan:
+        for plan in self._plans:
+            if plan.first_serial <= serial <= plan.last_serial:
+                return plan
+        raise ValueError(f"serial {serial} outside fleet [1, {self.n_drives}]")
+
+    def simulate_drive(
+        self, serial: int
+    ) -> tuple[DriveHistory, TroubleTicket | None]:
+        """One drive's history (and RaSRF ticket if it failed).
+
+        Pure function of ``(config, serial)`` — the independent RNG
+        stream is what makes shard layout irrelevant.
+        """
+        plan = self._plan_for(serial)
+        rng = np.random.default_rng((self.config.seed, serial))
+        firmware = plan.ladder.sample(1, rng)[0]
+        model = plan.models[int(rng.integers(0, len(plan.models)))]
+        failure_day = plan.lifetime.sample_failure_day(
+            rng, firmware.hazard_multiplier / plan.mean_multiplier
+        )
+        if failure_day is None:
+            archetype = "healthy"
+        else:
+            archetype = (
+                DRIVE_LEVEL
+                if rng.random() < plan.drive_level_share
+                else SYSTEM_LEVEL
+            )
+        drive = self._drive_simulator.simulate(
+            serial=serial,
+            model=model,
+            firmware=firmware,
+            pattern=self._usage_model.sample_pattern(rng),
+            failure_day=failure_day,
+            archetype=archetype,
+            rng=rng,
+        )
+        ticket = (
+            self._ticket_generator.generate(drive, rng) if drive.failed else None
+        )
+        return drive, ticket
+
+    def iter_drives(
+        self, start_serial: int = 1, stop_serial: int | None = None
+    ) -> Iterator[tuple[DriveHistory, TroubleTicket | None]]:
+        """Yield ``(history, ticket)`` per drive, never holding the fleet."""
+        stop = self.n_drives if stop_serial is None else stop_serial
+        for serial in range(start_serial, stop + 1):
+            yield self.simulate_drive(serial)
+
+    def shard_bounds(
+        self, n_shards: int | None = None, drives_per_shard: int | None = None
+    ) -> list[tuple[int, int]]:
+        """Contiguous inclusive ``(first_serial, last_serial)`` ranges."""
+        if (n_shards is None) == (drives_per_shard is None):
+            raise ValueError("pass exactly one of n_shards / drives_per_shard")
+        total = self.n_drives
+        if drives_per_shard is not None:
+            if drives_per_shard < 1:
+                raise ValueError("drives_per_shard must be at least 1")
+            size = drives_per_shard
+        else:
+            if not 1 <= n_shards <= total:
+                raise ValueError(
+                    f"n_shards must be in [1, {total}], got {n_shards}"
+                )
+            size = -(-total // n_shards)
+        return [
+            (first, min(first + size - 1, total))
+            for first in range(1, total + 1, size)
+        ]
+
+    def generate_shards(
+        self,
+        n_shards: int | None = None,
+        drives_per_shard: int | None = None,
+    ) -> Iterator[TelemetryDataset]:
+        """Simulate the fleet one shard at a time.
+
+        Yields one :class:`TelemetryDataset` per contiguous serial range;
+        peak memory is one shard, not the fleet. Shard layout does not
+        change any drive's telemetry (see class docstring), so consumers
+        are free to pick the shard size that fits their memory ceiling.
+        """
+        for first, last in self.shard_bounds(n_shards, drives_per_shard):
+            with trace_span("scale.generate_shard"):
+                started = time.perf_counter()
+                histories: list[DriveHistory] = []
+                tickets: list[TroubleTicket] = []
+                for drive, ticket in self.iter_drives(first, last):
+                    histories.append(drive)
+                    if ticket is not None:
+                        tickets.append(ticket)
+                dataset = TelemetryDataset.from_drives(histories, tickets)
+                inc_counter("scale_drives_generated_total", len(histories))
+                observe_histogram(
+                    "scale_shard_write_seconds", time.perf_counter() - started
+                )
+            yield dataset

@@ -11,6 +11,7 @@ from repro.ml.binning import (
     build_binned,
     clear_binned_cache,
     get_binned,
+    set_binned_cache_limit,
 )
 from repro.obs import get_registry
 
@@ -18,7 +19,9 @@ from repro.obs import get_registry
 @pytest.fixture(autouse=True)
 def clean_cache():
     clear_binned_cache()
+    previous = set_binned_cache_limit(None)
     yield
+    set_binned_cache_limit(previous)
     clear_binned_cache()
 
 
@@ -154,6 +157,45 @@ class TestCache:
         binned = get_binned(X)
         assert binned.fingerprint == binned_fingerprint(X)
         assert build_binned(X).fingerprint is None
+
+
+class TestEviction:
+    def test_lru_evicts_oldest_and_counts(self):
+        set_binned_cache_limit(2)
+        evictions0 = _counter("tree_bin_cache_evictions_total")
+        matrices = [np.full((4, 1), float(i)) for i in range(3)]
+        first = get_binned(matrices[0])
+        second = get_binned(matrices[1])
+        assert _counter("tree_bin_cache_evictions_total") == evictions0
+        third = get_binned(matrices[2])
+        assert _counter("tree_bin_cache_evictions_total") == evictions0 + 1
+        # Survivors are still hits; the evicted entry rebuilds.
+        assert get_binned(matrices[1]) is second
+        assert get_binned(matrices[2]) is third
+        assert get_binned(matrices[0]) is not first
+
+    def test_hit_refreshes_recency(self):
+        set_binned_cache_limit(2)
+        matrices = [np.full((4, 1), float(i)) for i in range(3)]
+        first = get_binned(matrices[0])
+        get_binned(matrices[1])
+        get_binned(matrices[0])  # hit: now most recent
+        get_binned(matrices[2])  # evicts matrices[1], not matrices[0]
+        assert get_binned(matrices[0]) is first
+
+    def test_shrinking_limit_evicts_immediately(self):
+        matrices = [np.full((4, 1), float(i)) for i in range(3)]
+        entries = [get_binned(X) for X in matrices]
+        evictions0 = _counter("tree_bin_cache_evictions_total")
+        set_binned_cache_limit(1)
+        assert _counter("tree_bin_cache_evictions_total") == evictions0 + 2
+        assert get_binned(matrices[2]) is entries[2]
+
+    def test_limit_restores_default_and_rejects_zero(self):
+        assert set_binned_cache_limit(5) >= 1
+        assert set_binned_cache_limit(None) == 5
+        with pytest.raises(ValueError, match="at least 1"):
+            set_binned_cache_limit(0)
 
 
 def test_default_bins_within_uint8_budget():

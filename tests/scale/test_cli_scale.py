@@ -1,0 +1,117 @@
+"""CLI wiring of the out-of-core subsystem.
+
+``simulate --shards`` writes a shard store, ``scale inspect`` prints
+its manifest, and ``train``/``monitor`` autodetect shard-store
+arguments and route to the streaming implementations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.scale import ShardedDataset, is_shard_store
+
+
+@pytest.fixture(scope="module")
+def cli_store(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli-scale") / "store"
+    code = main(
+        [
+            "simulate", str(path),
+            "--shards", "3",
+            "--vendor", "I=60", "--vendor", "II=40",
+            "--horizon-days", "300",
+            "--failure-boost", "30",
+            "--seed", "3",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_simulate_shards_flag(self):
+        args = build_parser().parse_args(["simulate", "out", "--shards", "8"])
+        assert args.shards == 8
+        assert build_parser().parse_args(["simulate", "out"]).shards is None
+
+    def test_memory_ceiling_flag(self):
+        for command in ("train", "monitor"):
+            args = build_parser().parse_args(
+                [command, "d", "--memory-ceiling-mb", "512"]
+            )
+            assert args.memory_ceiling_mb == 512
+            assert (
+                build_parser().parse_args([command, "d"]).memory_ceiling_mb
+                is None
+            )
+
+    def test_scale_inspect_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scale"])
+        args = build_parser().parse_args(["scale", "inspect", "dir"])
+        assert args.scale_command == "inspect"
+        assert args.store == "dir"
+
+
+class TestSimulateShards:
+    def test_writes_a_valid_store(self, cli_store):
+        assert is_shard_store(cli_store)
+        store = ShardedDataset(cli_store)
+        assert store.n_shards == 3
+        assert store.n_drives == 100
+
+
+class TestInspect:
+    def test_prints_manifest_summary(self, cli_store, capsys):
+        code = main(["scale", "inspect", str(cli_store)])
+        assert code == 0
+        out = capsys.readouterr().out
+        store = ShardedDataset(cli_store)
+        assert "3 shards" in out
+        assert store.fleet_fingerprint in out
+        for info in store.shards:
+            assert info.filename in out
+
+
+class TestShardedTrain:
+    def test_routes_to_streaming_trainer(self, cli_store, capsys):
+        code = main(
+            [
+                "train", str(cli_store),
+                "--train-end-day", "180",
+                "--eval-end-day", "300",
+                "--memory-ceiling-mb", "8192",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trained through day 180" in out
+        assert "drive" in out and "record" in out
+
+
+class TestShardedMonitor:
+    def test_routes_to_sharded_monitor(self, cli_store, capsys):
+        code = main(
+            [
+                "monitor", str(cli_store),
+                "--start-day", "150",
+                "--end-day", "300",
+                "--window-days", "50",
+                "--memory-ceiling-mb", "8192",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Monitored operation" in out
+        assert "150-200" in out
+
+    def test_checkpointing_flags_rejected_on_stores(self, cli_store):
+        with pytest.raises(SystemExit, match="not supported"):
+            main(
+                [
+                    "monitor", str(cli_store),
+                    "--checkpoint-dir", "/tmp/nope",
+                ]
+            )

@@ -1,0 +1,79 @@
+"""Generator-based telemetry: shard-layout independence and bounds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.telemetry.dataset import TelemetryDataset
+from repro.telemetry.fleet import FleetConfig, SSDFleet, VendorMix
+
+CONFIG = FleetConfig(
+    mix=VendorMix({"I": 25, "III": 15}),
+    horizon_days=120,
+    failure_boost=30.0,
+    seed=9,
+)
+
+
+def _concat(shards):
+    return TelemetryDataset.concat(list(shards))
+
+
+class TestLayoutIndependence:
+    def test_shard_count_does_not_change_telemetry(self):
+        fleet = SSDFleet(CONFIG)
+        whole = _concat(fleet.generate_shards(n_shards=1))
+        split = _concat(fleet.generate_shards(n_shards=4))
+        for name, values in whole.columns.items():
+            np.testing.assert_array_equal(split.columns[name], values)
+        assert split.drives == whole.drives
+
+    def test_drives_per_shard_equivalent(self):
+        fleet = SSDFleet(CONFIG)
+        by_count = _concat(fleet.generate_shards(n_shards=5))
+        by_size = _concat(fleet.generate_shards(drives_per_shard=7))
+        for name, values in by_count.columns.items():
+            np.testing.assert_array_equal(by_size.columns[name], values)
+
+    def test_single_drive_stream_matches(self):
+        fleet = SSDFleet(CONFIG)
+        whole = _concat(fleet.generate_shards(n_shards=1))
+        history, _ = fleet.simulate_drive(3)
+        rows = whole.columns["serial"] == 3
+        np.testing.assert_array_equal(
+            whole.columns["day"][rows], history.observed_days
+        )
+
+
+class TestShardBounds:
+    def test_bounds_cover_every_serial_once(self):
+        fleet = SSDFleet(CONFIG)
+        bounds = fleet.shard_bounds(n_shards=4)
+        assert bounds[0][0] == 1
+        assert bounds[-1][1] == fleet.n_drives
+        for (_, last), (first, _) in zip(bounds, bounds[1:]):
+            assert first == last + 1
+
+    def test_exactly_one_sizing_argument(self):
+        fleet = SSDFleet(CONFIG)
+        with pytest.raises(ValueError, match="exactly one"):
+            fleet.shard_bounds()
+        with pytest.raises(ValueError, match="exactly one"):
+            fleet.shard_bounds(n_shards=2, drives_per_shard=3)
+
+    def test_invalid_sizes_rejected(self):
+        fleet = SSDFleet(CONFIG)
+        with pytest.raises(ValueError):
+            fleet.shard_bounds(n_shards=0)
+        with pytest.raises(ValueError):
+            fleet.shard_bounds(n_shards=fleet.n_drives + 1)
+        with pytest.raises(ValueError):
+            fleet.shard_bounds(drives_per_shard=0)
+
+    def test_vendor_major_serial_assignment(self):
+        fleet = SSDFleet(CONFIG)
+        whole = _concat(fleet.generate_shards(n_shards=2))
+        vendors = [whole.drives[s].vendor for s in sorted(whole.drives)]
+        # Vendor blocks are contiguous in serial order.
+        assert vendors == sorted(vendors, key=vendors.index)

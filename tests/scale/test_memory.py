@@ -1,0 +1,56 @@
+"""Peak-RSS tracking and memory-ceiling enforcement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import get_registry
+from repro.scale import (
+    MemoryCeiling,
+    MemoryCeilingExceeded,
+    peak_rss_mb,
+    update_peak_rss_gauge,
+)
+
+pytestmark = pytest.mark.smoke
+
+
+def test_peak_rss_is_positive_and_monotone():
+    first = peak_rss_mb()
+    assert first > 0
+    assert peak_rss_mb() >= first
+
+
+def test_gauge_reflects_peak():
+    update_peak_rss_gauge()
+    gauge = get_registry().gauge("scale_peak_rss_mb").value
+    assert gauge == pytest.approx(peak_rss_mb(), rel=0.05)
+
+
+class TestCeiling:
+    def test_unlimited_ceiling_never_raises(self):
+        MemoryCeiling(None).check("anywhere")
+
+    def test_generous_ceiling_passes(self):
+        MemoryCeiling(1 << 20).check("plenty")
+
+    def test_breach_raises_with_phase_and_counts(self):
+        ceiling = MemoryCeiling(1)  # 1 MiB: any real process is over
+        before = get_registry().counter(
+            "scale_memory_ceiling_exceeded_total"
+        ).value
+        with pytest.raises(MemoryCeilingExceeded) as excinfo:
+            ceiling.check("tests.breach")
+        assert excinfo.value.phase == "tests.breach"
+        assert excinfo.value.peak_mb > excinfo.value.ceiling_mb
+        assert "tests.breach" in str(excinfo.value)
+        after = get_registry().counter(
+            "scale_memory_ceiling_exceeded_total"
+        ).value
+        assert after == before + 1
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryCeiling(0)
+        with pytest.raises(ValueError):
+            MemoryCeiling(-5)

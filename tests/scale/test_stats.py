@@ -1,0 +1,117 @@
+"""Streaming quantile edges and fleet-total report merging."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.preprocess import PreprocessReport
+from repro.ml.binning import build_binned
+from repro.robustness.quarantine import QuarantineReport
+from repro.scale import (
+    StreamingQuantiles,
+    fit_bin_edges,
+    merge_preprocess_reports,
+    merge_quarantine_reports,
+)
+
+pytestmark = pytest.mark.smoke
+
+
+def _shards(X: np.ndarray, cuts: list[int]) -> list[np.ndarray]:
+    return np.array_split(X, cuts)
+
+
+class TestStreamingQuantiles:
+    def test_lossless_matches_in_ram_binning(self):
+        rng = np.random.default_rng(0)
+        # Few distinct values per column: the lossless midpoint regime.
+        X = rng.integers(0, 20, (600, 3)).astype(float)
+        streamed = fit_bin_edges(_shards(X, [150, 400]), ["a", "b", "c"])
+        reference = build_binned(X)
+        for j in range(3):
+            np.testing.assert_allclose(streamed[j], reference.bin_edges[j])
+
+    def test_layout_independent_edges(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(0, 1, (5000, 2))  # high cardinality: subsampled
+        a = fit_bin_edges(_shards(X, [1000]), ["x", "y"], max_bins=16)
+        b = fit_bin_edges(_shards(X, [300, 2100, 4000]), ["x", "y"], max_bins=16)
+        for ea, eb in zip(a, b):
+            np.testing.assert_array_equal(ea, eb)
+
+    def test_approximate_edges_bounded_and_sorted(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(0, 1, (4000, 1))
+        sketch = StreamingQuantiles(["x"], max_bins=16)
+        for shard in _shards(X, [900, 2500]):
+            sketch.update(shard)
+        assert sketch.is_lossless() == [False]
+        (edges,) = sketch.edges()
+        assert edges.size <= 15
+        assert np.all(np.diff(edges) > 0)
+        # Sampled quantiles land within a bin width of the exact ones.
+        exact = np.quantile(X[:, 0], np.linspace(0, 1, 17)[1:-1])
+        assert np.max(np.abs(edges - exact)) < 0.25
+
+    def test_nan_rows_ignored(self):
+        X = np.array([[0.0], [np.nan], [1.0], [2.0], [np.nan]])
+        sketch = StreamingQuantiles(["x"])
+        sketch.update(X)
+        (edges,) = sketch.edges()
+        np.testing.assert_allclose(edges, [0.5, 1.5])
+
+    def test_shape_and_parameter_validation(self):
+        sketch = StreamingQuantiles(["x", "y"])
+        with pytest.raises(ValueError, match="matrix"):
+            sketch.update(np.zeros((4, 3)))
+        with pytest.raises(ValueError, match="max_bins"):
+            StreamingQuantiles(["x"], max_bins=1)
+        with pytest.raises(ValueError, match="sample_target"):
+            StreamingQuantiles(["x"], max_bins=32, sample_target=8)
+
+
+class TestReportMerging:
+    def test_preprocess_totals_add(self):
+        reports = [
+            PreprocessReport(
+                n_input_rows=100, n_output_rows=90, n_rows_dropped=10,
+                n_rows_filled=5, n_drives_dropped=1,
+            ),
+            PreprocessReport(
+                n_input_rows=50, n_output_rows=50, n_rows_dropped=0,
+                n_rows_filled=2, n_drives_dropped=0,
+            ),
+        ]
+        merged = merge_preprocess_reports(reports)
+        assert merged.n_input_rows == 150
+        assert merged.n_output_rows == 140
+        assert merged.n_rows_dropped == 10
+        assert merged.n_rows_filled == 7
+        assert merged.n_drives_dropped == 1
+
+    def test_quarantine_counts_add_and_serials_union(self):
+        first = QuarantineReport(n_input_rows=40, n_output_rows=35)
+        outcome = first.outcome("stuck_sensor")
+        outcome.n_dropped = 5
+        outcome.serials |= {1, 2}
+        second = QuarantineReport(n_input_rows=60, n_output_rows=58)
+        outcome = second.outcome("stuck_sensor")
+        outcome.n_repaired = 2
+        outcome.serials |= {7}
+        second.outcome("counter_reset").n_dropped = 2
+
+        merged = merge_quarantine_reports([first, second])
+        assert merged.n_input_rows == 100
+        assert merged.n_output_rows == 93
+        assert merged.rules["stuck_sensor"].n_dropped == 5
+        assert merged.rules["stuck_sensor"].n_repaired == 2
+        assert merged.rules["stuck_sensor"].serials == {1, 2, 7}
+        assert merged.rules["counter_reset"].n_dropped == 2
+        assert merged.n_rows_dropped == 7
+
+    def test_empty_merge_rejected(self):
+        with pytest.raises(ValueError):
+            merge_preprocess_reports([])
+        with pytest.raises(ValueError):
+            merge_quarantine_reports([])

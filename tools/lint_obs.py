@@ -6,11 +6,12 @@ Two AST checks over ``src/repro`` (``make lint-obs``):
 * library output must flow through ``repro.obs.get_logger`` so it
   carries a level and respects ``--log-level`` / ``--log-json`` — any
   ``print(...)`` outside the allowlisted CLI entry point fails;
-* the serve daemon (``src/repro/serve/``) is a long-running supervisor
-  whose whole job is *accounting* for failures — a bare ``except:`` or
-  an ``except Exception:`` whose body is only ``pass``/``...`` hides a
-  fault from the quarantine counters, the breaker and the logs, so both
-  are rejected there.
+* the serve daemon (``src/repro/serve/``) and the out-of-core subsystem
+  (``src/repro/scale/``) are long-running supervisors whose whole job
+  is *accounting* for failures — a bare ``except:`` or an ``except
+  Exception:`` whose body is only ``pass``/``...`` hides a fault from
+  the quarantine counters, the breaker, the shard manifest checks and
+  the logs, so both are rejected there.
 
 AST-based on purpose: docstrings contain ``print()`` usage examples and
 prose about ``except`` clauses that a grep would false-positive on.
@@ -30,8 +31,8 @@ ALLOWED = {
     # but SystemExit-adjacent fallbacks may print
 }
 
-#: Directory (relative to src/repro) under the silent-except ban.
-STRICT_EXCEPT_DIR = Path("serve")
+#: Directories (relative to src/repro) under the silent-except ban.
+STRICT_EXCEPT_DIRS = frozenset({Path("serve"), Path("scale")})
 
 
 def find_prints(tree: ast.AST) -> list[tuple[int, str]]:
@@ -88,7 +89,7 @@ def main() -> int:
         findings: list[tuple[int, str]] = []
         if relative not in ALLOWED:
             findings.extend(find_prints(tree))
-        if STRICT_EXCEPT_DIR in relative.parents:
+        if any(strict in relative.parents for strict in STRICT_EXCEPT_DIRS):
             findings.extend(find_silent_excepts(tree))
         for lineno, message in sorted(findings):
             offenders.append(f"src/repro/{relative}:{lineno}: {message}")
@@ -98,7 +99,7 @@ def main() -> int:
         return 1
     print(
         "lint-obs: no stray print() calls in src/repro; "
-        "no silent excepts in src/repro/serve"
+        "no silent excepts in src/repro/serve or src/repro/scale"
     )
     return 0
 
