@@ -11,6 +11,34 @@ from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+#: "Never slower" gate for the parallel layer: a parallel run may cost
+#: at most this multiple of the serial run...
+NEVER_SLOWER_RATIO = 1.10
+#: ...plus this absolute slack, which absorbs timer noise on
+#: sub-second workloads where a 10% margin is microseconds.
+NEVER_SLOWER_SLACK_SECONDS = 0.05
+
+
+def never_slower(
+    serial_seconds: float,
+    parallel_seconds: float,
+    *,
+    ratio: float = NEVER_SLOWER_RATIO,
+    slack_seconds: float = NEVER_SLOWER_SLACK_SECONDS,
+) -> bool:
+    """Gate: did ``n_jobs > 1`` avoid losing to the serial loop?
+
+    Shared by ``make bench-parallel`` (full size) and the smoke-level
+    gate in ``tests/parallel/test_bench_gate.py`` (tiny size).
+    """
+    return parallel_seconds <= serial_seconds * ratio + slack_seconds
+
+
+def cores_label(count: int | None) -> str:
+    """``1 core`` / ``8 cores`` — report-title pluralization."""
+    n = count or 1
+    return f"{n} core" if n == 1 else f"{n} cores"
+
 
 def save_exhibit(name: str, text: str) -> None:
     """Persist a rendered exhibit and echo it to stdout."""

@@ -205,7 +205,8 @@ def _add_monitor(subparsers) -> None:
     parser.add_argument("--alarm-threshold", type=float, default=0.5)
     parser.add_argument(
         "--checkpoint-dir",
-        help="checkpoint monitor state after every window (resumable with --resume)",
+        help="checkpoint monitor state after every window (in-RAM) or at "
+        "shard boundaries (shard store); resumable with --resume",
     )
     parser.add_argument(
         "--resume",
@@ -280,6 +281,7 @@ def _add_serve(subparsers) -> None:
         "--no-reduced", action="store_true",
         help="skip fitting the reduced-feature fallback model",
     )
+    _add_n_jobs_flag(parser)
     parser.add_argument("--checkpoint-dir",
                         help="checkpoint daemon state at every window boundary")
     parser.add_argument(
@@ -524,12 +526,11 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     if is_shard_store(args.dataset):
         from repro.scale import ShardedDataset, ShardedFleetMonitor
 
-        for flag in ("checkpoint_dir", "resume", "allow_degraded"):
-            if getattr(args, flag):
-                raise SystemExit(
-                    f"--{flag.replace('_', '-')} is not supported on a "
-                    "shard store; run the in-RAM monitor instead"
-                )
+        if args.allow_degraded:
+            raise SystemExit(
+                "--allow-degraded is not supported on a shard store; "
+                "run the in-RAM monitor instead"
+            )
         store = ShardedDataset(args.dataset)
         annotate_run(dataset_fingerprint=store.fleet_fingerprint)
         monitor = ShardedFleetMonitor(
@@ -540,7 +541,11 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             n_jobs=args.n_jobs,
         )
         summary = monitor.run(
-            args.start_day, args.end_day, window_days=args.window_days
+            args.start_day,
+            args.end_day,
+            window_days=args.window_days,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
         )
     else:
         dataset = _load(args)
@@ -728,6 +733,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_alarms_per_window=args.max_alarms_per_window,
         stale_after=args.stale_after,
         gate=gate,
+        n_jobs=args.n_jobs,
     )
     if args.resume and args.checkpoint_dir and has_checkpoint_files(
         args.checkpoint_dir, SERVE_FILES

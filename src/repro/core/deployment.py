@@ -152,9 +152,11 @@ def predict_rows_parallel(
     the concatenated result identical to the serial pass.
     """
     executor = ParallelExecutor(n_jobs)
-    # Below a few hundred rows per worker the pool spin-up costs more
-    # than the scoring it distributes; stay serial for small windows.
-    if not executor.is_parallel or row_indices.size < 256 * executor.n_jobs:
+    # The executor's calibrated cost model decides serial-vs-pool per
+    # call; no hand-tuned row threshold here (small windows fall back
+    # to serial automatically, and the persistent pool makes dispatch
+    # cheap for the large ones).
+    if not executor.is_parallel:
         return model.predict_proba_rows(row_indices)
     chunks = np.array_split(row_indices, executor.n_jobs)
     with share(model) as shared:

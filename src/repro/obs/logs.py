@@ -4,14 +4,19 @@ Replaces the bare ``print()`` calls: every emission carries a level, a
 logger name and optional key=value fields. Two output modes:
 
 * **plain** (default) — writes exactly the message followed by a
-  newline to ``sys.stdout``, byte-identical to the ``print()`` calls it
-  replaced, so default CLI output (and the tests pinning it) does not
-  change;
+  newline, byte-identical to the ``print()`` calls it replaced, so
+  default CLI output (and the tests pinning it) does not change;
 * **jsonl** — one JSON record per emission with timestamp, level,
   logger and the structured fields, for machine consumption.
 
-The stream is resolved at *emit* time (``sys.stdout`` lookup per call),
-so pytest's ``capsys`` and any other stdout redirection see the output.
+``debug``/``info`` go to ``sys.stdout`` (they *are* the program's
+output); ``warning``/``error`` go to ``sys.stderr`` — diagnostics must
+not perturb parity-sensitive stdout (a clamped ``n_jobs`` run prints
+the same report as a serial one, plus a stderr warning).
+
+The stream is resolved at *emit* time (``sys.stdout``/``sys.stderr``
+lookup per call), so pytest's ``capsys`` and any other redirection see
+the output.
 Deliberately not built on :mod:`logging`: stdlib handlers bind their
 stream at configuration time, which breaks exactly that redirection,
 and the repro runtime needs no handler fan-out.
@@ -80,7 +85,8 @@ class StructuredLogger:
     def _emit(self, level: int, message: str, fields: dict) -> None:
         if level < _CONFIG.level:
             return
-        stream = sys.stdout  # resolved per call: capsys/redirect safe
+        # Resolved per call: capsys/redirect safe. Diagnostics on stderr.
+        stream = sys.stderr if level >= LEVELS["warning"] else sys.stdout
         if _CONFIG.json_lines:
             record = {
                 "ts": round(time.time(), 3),

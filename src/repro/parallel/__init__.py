@@ -1,22 +1,28 @@
-"""Parallel execution layer: process pools with deterministic fallback.
+"""Parallel execution layer: a persistent process pool with deterministic fallback.
 
-See :mod:`repro.parallel.executor` for the design; ``docs/performance.md``
-documents the seeding discipline that keeps every ``n_jobs`` setting
-bit-identical.
+See :mod:`repro.parallel.executor` for the design (dispatch + calibrated
+serial fallback), :mod:`repro.parallel.pool` for the persistent pool
+lifecycle, and :mod:`repro.parallel.shared` for the generation-tagged
+copy-on-write payload registry. ``docs/performance.md`` documents the
+seeding discipline that keeps every ``n_jobs`` setting bit-identical.
 """
 
 from repro.parallel.executor import (
     ParallelExecutor,
     SharedPayload,
+    StalePayloadError,
     effective_n_jobs,
     fork_available,
     share,
+    shutdown_pool,
 )
 
 __all__ = [
     "ParallelExecutor",
     "SharedPayload",
+    "StalePayloadError",
     "effective_n_jobs",
     "fork_available",
     "share",
+    "shutdown_pool",
 ]

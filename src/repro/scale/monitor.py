@@ -35,7 +35,10 @@ order — deterministic at every ``n_jobs``.
 from __future__ import annotations
 
 import copy
+import json
+import pickle
 import time
+from pathlib import Path
 
 from repro.core.deployment import (
     MonitoringWindow,
@@ -51,9 +54,20 @@ from repro.parallel import ParallelExecutor, SharedPayload, share
 from repro.scale.memory import MemoryCeiling
 from repro.scale.store import ShardedDataset
 from repro.scale.trainer import fit_sharded, prepare_shard
+from repro.robustness.checkpoint import (
+    atomic_write,
+    has_checkpoint_files,
+    verify_manifest,
+    write_manifest,
+)
 from repro.telemetry.dataset import DriveMeta
 
-__all__ = ["GradingView", "ShardedFleetMonitor"]
+__all__ = ["GradingView", "SHARD_MONITOR_FILES", "ShardedFleetMonitor"]
+
+#: The file pair a ShardedFleetMonitor checkpoint consists of:
+#: ``monitor.pkl`` (window models + retrain plan, written once per run)
+#: and ``progress.pkl`` (scored shards so far, rewritten per boundary).
+SHARD_MONITOR_FILES = ("monitor.pkl", "progress.pkl")
 
 
 class GradingView:
@@ -205,50 +219,158 @@ class ShardedFleetMonitor:
             models.append(current)
         return models, plan
 
+    # -- checkpointing at shard boundaries ----------------------------
+    def _run_params(
+        self, start_day: int, end_day: int, window_days: int
+    ) -> dict:
+        """The identity a checkpoint is only valid for."""
+        return {
+            "fingerprint": self.store.fleet_fingerprint,
+            "n_shards": self.store.n_shards,
+            "start_day": start_day,
+            "end_day": end_day,
+            "window_days": window_days,
+            "alarm_threshold": self.alarm_threshold,
+            "sanitize": self.sanitize,
+        }
+
+    def _save_models(
+        self, directory: Path, params: dict, models: list[MFPA], plan: list[bool]
+    ) -> None:
+        directory.mkdir(parents=True, exist_ok=True)
+        atomic_write(
+            directory / "monitor.pkl",
+            pickle.dumps({"params": params, "models": models, "plan": plan}),
+        )
+
+    def _save_progress(
+        self,
+        directory: Path,
+        per_shard: list,
+        grading: dict[int, DriveMeta],
+    ) -> None:
+        """Commit scored-shard progress: rewrite ``progress.pkl``, then
+        the manifest (the commit record, covering both files)."""
+        atomic_write(
+            directory / "progress.pkl",
+            pickle.dumps({"per_shard": per_shard, "grading": grading}),
+        )
+        write_manifest(directory, SHARD_MONITOR_FILES)
+
+    def _load_resume(self, directory: Path, params: dict) -> tuple | None:
+        """Restore (models, plan, per_shard, grading) or None if there
+        is no usable checkpoint. A checkpoint for a different store or
+        run shape is an error, not a silent restart."""
+        if not has_checkpoint_files(directory, SHARD_MONITOR_FILES):
+            return None
+        verify_manifest(directory, SHARD_MONITOR_FILES)
+        with open(directory / "monitor.pkl", "rb") as handle:
+            meta = pickle.load(handle)
+        if meta["params"] != params:
+            raise ValueError(
+                "sharded-monitor checkpoint does not match this run: "
+                f"checkpointed {json.dumps(meta['params'], sort_keys=True, default=str)} "
+                f"vs requested {json.dumps(params, sort_keys=True, default=str)}"
+            )
+        with open(directory / "progress.pkl", "rb") as handle:
+            progress = pickle.load(handle)
+        return (
+            meta["models"], meta["plan"],
+            progress["per_shard"], progress["grading"],
+        )
+
     def run(
-        self, start_day: int, end_day: int, window_days: int = 30
+        self,
+        start_day: int,
+        end_day: int,
+        window_days: int = 30,
+        checkpoint_dir: str | Path | None = None,
+        resume: bool = False,
+        max_shards: int | None = None,
     ) -> OperationSummary:
         """Replay the monitored horizon; grade against ground truth.
 
         Equivalent to ``simulate_operation(...)`` on the concatenated
         fleet: same windows, same alarms (bit for bit), same summary
         counts and lead times.
+
+        With ``checkpoint_dir`` set, progress is committed at **shard
+        boundaries** (after every shard serially, after every
+        ``n_jobs``-sized shard group in parallel) with the same
+        atomic-write + sha256-manifest discipline as the in-RAM
+        monitor's checkpoints; ``resume=True`` continues from an
+        existing checkpoint — already-scored shards are not rescored —
+        and produces the same summary an uninterrupted run would.
+        ``max_shards`` stops the replay early (a controlled "crash")
+        after that many total shards, returning a partial summary.
         """
-        if self.model is None:
-            self.start(start_day)
         boundaries = [
             (day, min(day + window_days, end_day))
             for day in range(start_day, end_day, window_days)
         ]
-        with trace_span("scale.monitor.run"):
-            models, plan = self._window_models(boundaries)
-            self.ceiling.check("scale.monitor.models")
+        directory = Path(checkpoint_dir) if checkpoint_dir is not None else None
+        params = self._run_params(start_day, end_day, window_days)
+        restored = None
+        if directory is not None and resume:
+            restored = self._load_resume(directory, params)
 
+        with trace_span("scale.monitor.run"):
             per_shard: list[list[tuple[list, int]]] = []
             grading: dict[int, DriveMeta] = {}
+            if restored is not None:
+                models, plan, per_shard, grading = restored
+                self.model = models[0]
+            else:
+                if self.model is None:
+                    self.start(start_day)
+                models, plan = self._window_models(boundaries)
+                if directory is not None:
+                    self._save_models(directory, params, models, plan)
+                    self._save_progress(directory, per_shard, grading)
+            self.ceiling.check("scale.monitor.models")
+
+            stop_at = self.store.n_shards
+            if max_shards is not None:
+                stop_at = min(stop_at, max_shards)
             executor = ParallelExecutor(self.n_jobs)
             if executor.is_parallel and self.store.n_shards > 1:
+                # Checkpointing bounds the group a crash can lose;
+                # without it one starmap covers every remaining shard.
+                group = (
+                    max(executor.n_jobs, 1)
+                    if directory is not None
+                    else stop_at
+                )
                 context = (
                     self.store, models, boundaries,
                     self.alarm_threshold, self.sanitize,
                 )
                 with share(context) as shared:
-                    outcomes = executor.starmap(
-                        _score_shard_task,
-                        [(shared, i) for i in range(self.store.n_shards)],
-                    )
-                for results, metas in outcomes:
-                    per_shard.append(results)
-                    grading.update(metas)
+                    while len(per_shard) < stop_at:
+                        batch = range(
+                            len(per_shard),
+                            min(len(per_shard) + group, stop_at),
+                        )
+                        outcomes = executor.starmap(
+                            _score_shard_task,
+                            [(shared, i) for i in batch],
+                        )
+                        for results, metas in outcomes:
+                            per_shard.append(results)
+                            grading.update(metas)
+                        if directory is not None:
+                            self._save_progress(directory, per_shard, grading)
                 self.ceiling.check("scale.monitor.score")
             else:
-                for index in range(self.store.n_shards):
+                while len(per_shard) < stop_at:
                     results, metas = _score_shard(
-                        index, self.store, models, boundaries,
+                        len(per_shard), self.store, models, boundaries,
                         self.alarm_threshold, self.sanitize,
                     )
                     per_shard.append(results)
                     grading.update(metas)
+                    if directory is not None:
+                        self._save_progress(directory, per_shard, grading)
                     self.ceiling.check("scale.monitor.score")
 
             windows: list[MonitoringWindow] = []

@@ -36,6 +36,7 @@ import numpy as np
 from repro.core.client import ClientPredictor
 from repro.core.pipeline import MFPA, MFPAConfig
 from repro.obs import get_logger, inc_counter, set_gauge, trace_span
+from repro.parallel import ParallelExecutor, SharedPayload, share
 from repro.scale.memory import update_peak_rss_gauge
 from repro.robustness.checkpoint import (
     CheckpointCorruptError,
@@ -60,6 +61,17 @@ SERVE_STATE_VERSION = 1
 SERVE_FILES = ("model.pkl", "state.json")
 
 
+def _predict_rows_task(
+    predictor: SharedPayload, X: np.ndarray
+) -> np.ndarray:
+    """Worker task: score one chunk of a staged batch.
+
+    ``predict_matrix`` only reads the fitted model (never the ring
+    buffers), so the fork-shared predictor needs no synchronization.
+    """
+    return predictor.get().predict_matrix(X)
+
+
 @dataclass(frozen=True)
 class ServeConfig:
     """All serve-daemon knobs (frozen: pickled into the checkpoint)."""
@@ -82,6 +94,12 @@ class ServeConfig:
     cooldown_ticks: int = 2
     slow_tick_seconds: float = 5.0
     gate: GatePolicy = field(default_factory=GatePolicy)
+    n_jobs: int = 1
+    """Worker processes for batch scoring (1 = serial). The persistent
+    pool amortizes its fork across every window the daemon flushes, and
+    the calibrated fallback keeps small batches serial — results are
+    identical at every setting. Read via ``getattr`` with a default so
+    checkpoints written before this field existed still restore."""
 
 
 class ServeDaemon:
@@ -304,13 +322,33 @@ class ServeDaemon:
     def _score_staged(self, degraded_route: bool) -> tuple[np.ndarray, bool]:
         """Batched probabilities for the staged rows; returns the
         probabilities plus the route actually used (a full-route failure
-        falls back to the reduced model mid-window)."""
+        falls back to the reduced model mid-window).
+
+        With ``config.n_jobs > 1`` each batch's rows are chunked over
+        the persistent worker pool; the predictor travels by fork
+        inheritance and per-row independence keeps the concatenated
+        probabilities identical to the serial pass. Retries and the
+        circuit breaker wrap the whole parallel call, so failure
+        semantics are unchanged.
+        """
         column = 3 if degraded_route and self.scorer.has_reduced else 2
         predict = (
             self.scorer.predict_reduced
             if column == 3
             else self.scorer.predict_full
         )
+        executor = ParallelExecutor(getattr(self.config, "n_jobs", 1))
+        if executor.is_parallel:
+            predictor = self.scorer.reduced if column == 3 else self.scorer.full
+
+            def predict(X, _predictor=predictor, _executor=executor):
+                chunks = np.array_split(X, _executor.n_jobs)
+                with share(_predictor, name="serve_predictor") as handle:
+                    parts = _executor.starmap(
+                        _predict_rows_task,
+                        [(handle, chunk) for chunk in chunks if len(chunk)],
+                    )
+                return np.concatenate(parts)
         stage = "score_reduced" if column == 3 else "score_full"
         probabilities: list[np.ndarray] = []
         for offset in range(0, len(self._staged), self.config.batch_size):

@@ -49,7 +49,18 @@ class TestLevels:
         logger = get_logger("t")
         logger.info("hidden")
         logger.warning("shown")
-        assert capsys.readouterr().out == "shown\n"
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err == "shown\n"
+
+    def test_warnings_go_to_stderr_not_stdout(self, capsys):
+        """Diagnostics must not perturb parity-sensitive stdout."""
+        logger = get_logger("t")
+        logger.warning("careful")
+        logger.error("broken")
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err == "careful\nbroken\n"
 
     def test_unknown_level_rejected(self):
         with pytest.raises(ValueError, match="unknown log level"):

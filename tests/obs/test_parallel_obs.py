@@ -15,13 +15,26 @@ from repro.obs import (
     get_tracer,
     trace_span,
 )
-from repro.parallel import ParallelExecutor, fork_available
+from repro.parallel import ParallelExecutor, fork_available, shutdown_pool
+from repro.parallel.calibration import set_serial_fallback_mode
 
 pytestmark = pytest.mark.smoke
 
 needs_fork = pytest.mark.skipif(
     not fork_available(), reason="fork start method unavailable"
 )
+
+
+@pytest.fixture(autouse=True)
+def force_pool_paths(monkeypatch):
+    """Exercise real fork workers even on single-core CI boxes: disable
+    the cpu_count clamp and the calibrated serial fallback, and tear the
+    persistent pool down so per-test fork counters start from zero."""
+    monkeypatch.setenv("REPRO_PARALLEL_OVERSUBSCRIBE", "1")
+    set_serial_fallback_mode("never")
+    yield
+    set_serial_fallback_mode("auto")
+    shutdown_pool()
 
 
 def _traced_task(x):
@@ -77,8 +90,13 @@ class TestWorkerAggregation:
         ParallelExecutor(1).starmap(_traced_task, [(1,), (2,)])
         assert get_registry().counter("parallel_pool_forks_total").value == 0
         get_registry().reset()
+        shutdown_pool()  # the persistent pool may be live from _run_traced
         ParallelExecutor(3).starmap(_traced_task, [(1,), (2,)])
         assert get_registry().counter("parallel_pool_forks_total").value == 1
+        # A second dispatch reuses the live pool instead of re-forking.
+        ParallelExecutor(3).starmap(_traced_task, [(3,), (4,)])
+        assert get_registry().counter("parallel_pool_forks_total").value == 1
+        assert get_registry().counter("parallel_pool_reuses_total").value == 1
 
     def test_no_capture_no_span_shipping(self):
         # With observability off, results flow through the plain task

@@ -7,11 +7,13 @@ import pytest
 
 from repro.parallel import (
     ParallelExecutor,
+    StalePayloadError,
     effective_n_jobs,
     fork_available,
     share,
 )
 from repro.parallel import executor as executor_module
+from repro.parallel.shared import in_worker
 
 pytestmark = pytest.mark.smoke
 
@@ -36,7 +38,18 @@ class TestEffectiveNJobs:
         assert effective_n_jobs(1) == 1
 
     def test_positive_passthrough(self):
+        # The conftest fixture disables the cpu_count clamp.
         assert effective_n_jobs(7) == 7
+
+    def test_clamped_to_cpu_count(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_PARALLEL_OVERSUBSCRIBE", raising=False)
+        executor_module._WARNED_CLAMPS.clear()
+        cap = os.cpu_count() or 1
+        assert effective_n_jobs(cap + 3) == cap
+        assert f"clamping to {cap}" in capsys.readouterr().err
+        # Warned once per distinct request, not per executor.
+        assert effective_n_jobs(cap + 3) == cap
+        assert capsys.readouterr().err == ""
 
     def test_minus_one_is_all_cores(self):
         assert effective_n_jobs(-1) == (os.cpu_count() or 1)
@@ -57,7 +70,7 @@ class TestSharedPayload:
     def test_handle_invalid_after_context(self):
         with share([1, 2]) as handle:
             pass
-        with pytest.raises(RuntimeError, match="no longer registered"):
+        with pytest.raises(StalePayloadError, match="released"):
             handle.get()
 
     def test_handles_are_independent(self):
@@ -100,7 +113,7 @@ class TestParallelExecutor:
         flags = ParallelExecutor(2).starmap(_nested_probe, [(i,) for i in range(4)])
         assert flags == [False, False, False, False]
         # The parent itself is unaffected by worker-side flags.
-        assert not executor_module._IN_WORKER
+        assert not in_worker()
 
     def test_serial_when_fork_unavailable(self, monkeypatch):
         monkeypatch.setattr(executor_module, "fork_available", lambda: False)

@@ -1,0 +1,266 @@
+"""Persistent-pool lifecycle: reuse, re-fork, calibration, clamping.
+
+The pool outliving a single ``starmap`` is only correct if nothing
+observable changes when it does: forest and monitor outputs must stay
+bit-identical across pool reuse, across an induced worker death and
+re-fork, and with the calibrated serial fallback forced both on and
+off. The conftest fixture pins fallback mode ``"never"`` (and disables
+the cpu_count clamp); tests that exercise other modes set their own.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.deployment import simulate_operation
+from repro.ml.forest import RandomForestClassifier
+from repro.obs import get_registry, set_current_run
+from repro.obs.manifest import start_run
+from repro.parallel import (
+    ParallelExecutor,
+    SharedPayload,
+    StalePayloadError,
+    fork_available,
+    share,
+    shutdown_pool,
+)
+from repro.parallel import pool as pool_manager
+from repro.parallel.calibration import (
+    get_cost_model,
+    set_serial_fallback_mode,
+)
+
+pytestmark = [
+    pytest.mark.smoke,
+    pytest.mark.skipif(not fork_available(), reason="requires fork"),
+]
+
+
+def _square(x):
+    return x * x
+
+
+def _slow_square(x):
+    time.sleep(0.001)
+    return x * x
+
+
+def _counter(name: str) -> float:
+    return get_registry().counter(name).value
+
+
+def _kill_pool_workers() -> None:
+    """Induce worker death in the live persistent pool."""
+    workers = list(pool_manager._pool._pool)
+    for process in workers:
+        process.terminate()
+    deadline = time.monotonic() + 10
+    while any(p.is_alive() for p in workers):
+        assert time.monotonic() < deadline, "workers did not die"
+        time.sleep(0.01)
+
+
+class TestPoolReuse:
+    def test_second_starmap_reuses_the_pool(self):
+        executor = ParallelExecutor(2)
+        forks = _counter("parallel_pool_forks_total")
+        reuses = _counter("parallel_pool_reuses_total")
+        first = executor.starmap(_square, [(i,) for i in range(8)])
+        second = executor.starmap(_square, [(i,) for i in range(8)])
+        assert first == second == [i * i for i in range(8)]
+        assert _counter("parallel_pool_forks_total") - forks == 1
+        assert _counter("parallel_pool_reuses_total") - reuses == 1
+        stats = pool_manager.pool_stats()
+        assert stats["live"] and stats["workers"] == 2
+
+    def test_forest_bit_identical_across_pool_reuse(self, binary_blobs):
+        X, y = binary_blobs
+
+        def fit(n_jobs):
+            model = RandomForestClassifier(
+                n_estimators=8, max_depth=5, seed=3, n_jobs=n_jobs
+            )
+            return model.fit(X, y).predict_proba(X)
+
+        serial = fit(1)
+        # Two parallel fits: the second rides the pool the first forked.
+        np.testing.assert_array_equal(serial, fit(2))
+        assert pool_manager.pool_stats()["live"]
+        np.testing.assert_array_equal(serial, fit(2))
+
+    def test_monitor_bit_identical_across_pool_reuse(self, small_fleet):
+        def run(n_jobs):
+            summary = simulate_operation(
+                small_fleet,
+                start_day=240,
+                end_day=320,
+                window_days=40,
+                n_jobs=n_jobs,
+            )
+            return summary.alarm_records(), summary.lead_times
+
+        serial = run(1)
+        # Every window of both parallel runs shares one pool.
+        assert run(2) == serial
+        assert run(2) == serial
+
+
+class TestWorkerDeathRecovery:
+    def test_refork_after_induced_worker_death(self):
+        executor = ParallelExecutor(2)
+        assert executor.starmap(_square, [(i,) for i in range(6)]) == [
+            i * i for i in range(6)
+        ]
+        restarts = _counter("parallel_pool_restarts_total")
+        _kill_pool_workers()
+        assert executor.starmap(_square, [(i,) for i in range(6)]) == [
+            i * i for i in range(6)
+        ]
+        assert _counter("parallel_pool_restarts_total") - restarts == 1
+
+    def test_forest_bit_identical_after_worker_death(self, binary_blobs):
+        X, y = binary_blobs
+
+        def fit(n_jobs):
+            model = RandomForestClassifier(
+                n_estimators=8, max_depth=5, seed=7, n_jobs=n_jobs
+            )
+            return model.fit(X, y).predict_proba(X)
+
+        serial = fit(1)
+        np.testing.assert_array_equal(serial, fit(2))
+        _kill_pool_workers()
+        np.testing.assert_array_equal(serial, fit(2))
+
+
+class TestGenerationSafety:
+    def test_new_payload_after_fork_restarts_pool(self):
+        executor = ParallelExecutor(2)
+        executor.starmap(_square, [(i,) for i in range(4)])
+        restarts = _counter("parallel_pool_restarts_total")
+        with share(np.arange(10.0), name="late") as handle:
+            results = executor.starmap(
+                _payload_total, [(handle,), (handle,)]
+            )
+        assert results == [45.0, 45.0]
+        assert _counter("parallel_pool_restarts_total") - restarts == 1
+
+    def test_resharing_same_object_reuses_pool(self):
+        executor = ParallelExecutor(2)
+        payload = np.arange(20.0)
+        with share(payload) as handle:
+            executor.starmap(_payload_total, [(handle,), (handle,)])
+        restarts = _counter("parallel_pool_restarts_total")
+        reuses = _counter("parallel_pool_reuses_total")
+        # The monitor's per-window pattern: share the same object again.
+        with share(payload) as handle:
+            results = executor.starmap(_payload_total, [(handle,), (handle,)])
+        assert results == [190.0, 190.0]
+        assert _counter("parallel_pool_restarts_total") - restarts == 0
+        assert _counter("parallel_pool_reuses_total") - reuses == 1
+
+
+class TestCalibratedFallback:
+    def test_forced_on_runs_serial_with_identical_results(self):
+        set_serial_fallback_mode("always")
+        executor = ParallelExecutor(4)
+        fallbacks = _counter("parallel_serial_fallbacks_total")
+        results = executor.starmap(_square, [(i,) for i in range(12)])
+        assert results == [i * i for i in range(12)]
+        assert _counter("parallel_serial_fallbacks_total") - fallbacks == 1
+        assert not pool_manager.pool_stats()["live"]
+
+    def test_auto_keeps_tiny_tasks_serial(self):
+        set_serial_fallback_mode("auto")
+        model = get_cost_model()
+        model.reset()
+        model.observe_spinup(0.05)
+        model.observe_dispatch(0.001)
+        model.observe_task(model.task_key(_square), 1e-6)
+        fallbacks = _counter("parallel_serial_fallbacks_total")
+        results = ParallelExecutor(4).starmap(_square, [(i,) for i in range(12)])
+        assert results == [i * i for i in range(12)]
+        assert _counter("parallel_serial_fallbacks_total") - fallbacks == 1
+        assert not pool_manager.pool_stats()["live"]
+
+    def test_auto_dispatches_when_measured_work_is_large(self):
+        set_serial_fallback_mode("auto")
+        model = get_cost_model()
+        model.reset()
+        model.observe_spinup(0.01)
+        model.observe_dispatch(0.0001)
+        model.observe_task(model.task_key(_slow_square), 0.5)
+        results = ParallelExecutor(4).starmap(
+            _slow_square, [(i,) for i in range(8)]
+        )
+        assert results == [i * i for i in range(8)]
+        assert pool_manager.pool_stats()["live"]
+
+    def test_auto_probes_unknown_tasks_in_process(self):
+        set_serial_fallback_mode("auto")
+        model = get_cost_model()
+        model.reset()
+        key = model.task_key(_slow_square)
+        assert model.estimate_task(key) is None
+        results = ParallelExecutor(4).starmap(
+            _slow_square, [(i,) for i in range(4)]
+        )
+        assert results == [i * i for i in range(4)]
+        # The probe ran task #0 in-process and recorded its duration.
+        assert model.estimate_task(key) is not None
+
+    def test_forest_bit_identical_fallback_on_and_off(self, binary_blobs):
+        X, y = binary_blobs
+
+        def fit():
+            model = RandomForestClassifier(
+                n_estimators=8, max_depth=5, seed=5, n_jobs=2
+            )
+            return model.fit(X, y).predict_proba(X)
+
+        set_serial_fallback_mode("never")
+        pooled = fit()
+        set_serial_fallback_mode("always")
+        fallback = fit()
+        np.testing.assert_array_equal(pooled, fallback)
+
+
+class TestClamping:
+    def test_clamp_annotates_active_run(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLEL_OVERSUBSCRIBE", raising=False)
+        run = start_run(tmp_path / "run", command="train", args={})
+        set_current_run(run)
+        try:
+            requested = (os.cpu_count() or 1) + 3
+            executor = ParallelExecutor(requested)
+            assert executor.n_jobs == (os.cpu_count() or 1)
+            assert run.annotations["parallel_requested_n_jobs"] == requested
+            assert (
+                run.annotations["parallel_effective_n_jobs"]
+                == executor.n_jobs
+            )
+        finally:
+            set_current_run(None)
+
+
+class TestStalePayloadErrors:
+    def test_unregistered_token_is_typed_and_actionable(self):
+        handle = SharedPayload(999999, name="ghost", generation=42)
+        with pytest.raises(StalePayloadError) as excinfo:
+            handle.get()
+        assert excinfo.value.payload_name == "ghost"
+        assert excinfo.value.generation == 42
+        assert "ghost" in str(excinfo.value)
+        assert "generation 42" in str(excinfo.value)
+
+    def test_released_handle_is_typed(self):
+        with share({"a": 1}, name="config") as handle:
+            assert handle.get() == {"a": 1}
+        with pytest.raises(StalePayloadError, match="config.*released"):
+            handle.get()
+
+
+def _payload_total(handle):
+    return float(handle.get().sum())

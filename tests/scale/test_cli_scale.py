@@ -107,11 +107,30 @@ class TestShardedMonitor:
         assert "Monitored operation" in out
         assert "150-200" in out
 
-    def test_checkpointing_flags_rejected_on_stores(self, cli_store):
+    def test_allow_degraded_rejected_on_stores(self, cli_store):
         with pytest.raises(SystemExit, match="not supported"):
             main(
                 [
                     "monitor", str(cli_store),
-                    "--checkpoint-dir", "/tmp/nope",
+                    "--allow-degraded",
                 ]
             )
+
+    def test_checkpointing_flags_accepted_on_stores(
+        self, cli_store, tmp_path, capsys
+    ):
+        checkpoint = tmp_path / "ckpt"
+        arguments = [
+            "monitor", str(cli_store),
+            "--start-day", "150",
+            "--end-day", "300",
+            "--window-days", "50",
+            "--checkpoint-dir", str(checkpoint),
+        ]
+        assert main(arguments) == 0
+        first = capsys.readouterr().out
+        assert (checkpoint / "progress.pkl").exists()
+        # A resumed run restores the committed progress and reprints
+        # the identical summary.
+        assert main([*arguments, "--resume"]) == 0
+        assert capsys.readouterr().out == first
