@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test smoke serve-smoke scale-smoke bench bench-parallel bench-obs bench-hist bench-scale chaos obs-smoke lint-obs examples exhibits clean
+.PHONY: install test smoke serve-smoke obs-serve-smoke scale-smoke bench bench-parallel bench-obs bench-hist bench-scale chaos obs-smoke lint-obs examples exhibits clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -11,11 +11,14 @@ test:
 bench:
 	pytest benchmarks/ --benchmark-only
 
-smoke: serve-smoke scale-smoke
+smoke: serve-smoke obs-serve-smoke scale-smoke
 	PYTHONPATH=src pytest tests -m smoke
 
 serve-smoke:
 	PYTHONPATH=src python tools/serve_smoke.py
+
+obs-serve-smoke:
+	PYTHONPATH=src python tools/obs_serve_smoke.py
 
 scale-smoke:
 	PYTHONPATH=src python tools/scale_smoke.py

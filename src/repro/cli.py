@@ -11,7 +11,8 @@ chaos       corrupt a fleet with fault injectors, sanitize, and
 serve       run the always-on fleet-scoring daemon over a recorded
             reading stream (checkpointing, crash-resume, alarm sink)
 replay      record a fleet as a replayable per-day reading stream
-obs         observability utilities (``obs report <run-dir>``)
+obs         observability utilities (``obs report <run-dir>``,
+            ``obs top <url>`` live dashboard)
 scale       shard-store utilities (``scale inspect <shard-dir>``)
 
 Out-of-core operation
@@ -31,6 +32,12 @@ with ``.prom``), ``--log-level``/``--log-json`` (structured logging) and
 ``--run-dir DIR`` (write ``DIR/manifest.json`` stamping config hash,
 dataset fingerprint, span tree, metrics and results). Default output is
 unchanged when none of these flags are given.
+
+``serve`` and ``monitor`` additionally accept ``--obs-port`` (live HTTP
+``/metrics`` + ``/health`` + ``/status`` endpoint on a daemon thread)
+and ``--obs-textfile PATH`` (periodic atomic ``.prom`` export for the
+node_exporter textfile collector); ``repro obs top URL`` renders a
+refreshing terminal dashboard from a live endpoint.
 
 Performance
 -----------
@@ -52,6 +59,7 @@ from repro.obs import (
     annotate_run,
     config_hash,
     configure_logging,
+    current_run,
     dataset_fingerprint,
     disable_observability,
     enable_observability,
@@ -179,6 +187,36 @@ def _add_obs_flags(parser) -> None:
     )
 
 
+def _add_obs_server_flags(parser) -> None:
+    parser.add_argument(
+        "--obs-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve live GET /metrics, /health and /status on this port "
+        "while the command runs (0 = ephemeral; default: no endpoint)",
+    )
+    parser.add_argument(
+        "--obs-host",
+        default="127.0.0.1",
+        metavar="HOST",
+        help="bind address for --obs-port (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--obs-textfile",
+        metavar="PATH",
+        help="periodically write Prometheus text to PATH (atomic replace; "
+        "for the node_exporter textfile collector)",
+    )
+    parser.add_argument(
+        "--obs-textfile-interval",
+        type=float,
+        default=15.0,
+        metavar="SECONDS",
+        help="seconds between --obs-textfile writes (default: 15)",
+    )
+
+
 def _add_train(subparsers) -> None:
     parser = subparsers.add_parser("train", help="train MFPA on a saved fleet")
     parser.add_argument("dataset", help="directory written by `simulate`")
@@ -223,6 +261,7 @@ def _add_monitor(subparsers) -> None:
     _add_memory_ceiling_flag(parser)
     _add_loading_flags(parser)
     _add_obs_flags(parser)
+    _add_obs_server_flags(parser)
 
 
 def _add_replay(subparsers) -> None:
@@ -281,6 +320,11 @@ def _add_serve(subparsers) -> None:
         "--no-reduced", action="store_true",
         help="skip fitting the reduced-feature fallback model",
     )
+    parser.add_argument(
+        "--no-drift", action="store_true",
+        help="skip the training-time ReferenceProfile and per-window "
+        "PSI drift monitoring",
+    )
     _add_n_jobs_flag(parser)
     parser.add_argument("--checkpoint-dir",
                         help="checkpoint daemon state at every window boundary")
@@ -303,6 +347,7 @@ def _add_serve(subparsers) -> None:
         help="only throttle from this day on (default: every day)",
     )
     _add_obs_flags(parser)
+    _add_obs_server_flags(parser)
 
 
 def _add_summary(subparsers) -> None:
@@ -348,6 +393,26 @@ def _add_obs(subparsers) -> None:
         "report", help="render a run manifest's span tree and metrics"
     )
     report.add_argument("run_dir", help="directory a run wrote with --run-dir")
+    top = obs_subparsers.add_parser(
+        "top",
+        help="refreshing terminal dashboard polling a live --obs-port "
+        "endpoint's /status and /health",
+    )
+    top.add_argument(
+        "url", help="endpoint base URL, e.g. http://127.0.0.1:9100"
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between repaints (default: 2)",
+    )
+    top.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="stop after N frames (default: run until Ctrl-C)",
+    )
+    top.add_argument(
+        "--no-clear", action="store_true",
+        help="append frames instead of repainting (for logs/pipes)",
+    )
 
 
 def _add_scale(subparsers) -> None:
@@ -509,6 +574,41 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _start_obs_endpoint(args, status_fn=None, health_fn=None):
+    """Start the live HTTP endpoint / textfile exporter if asked for.
+
+    Returns ``(server, exporter)`` (either may be None); pass both to
+    :func:`_stop_obs_endpoint` in a ``finally``.
+    """
+    server = None
+    exporter = None
+    if getattr(args, "obs_port", None) is not None:
+        from repro.obs import ObsServer
+
+        server = ObsServer(
+            host=args.obs_host,
+            port=args.obs_port,
+            status_fn=status_fn,
+            health_fn=health_fn,
+        ).start()
+        log.info(f"observability endpoint at {server.url}")
+    if getattr(args, "obs_textfile", None):
+        from repro.obs import TextfileExporter
+
+        exporter = TextfileExporter(
+            args.obs_textfile, interval=args.obs_textfile_interval
+        ).start()
+        log.info(f"textfile exporter writing {args.obs_textfile}")
+    return server, exporter
+
+
+def _stop_obs_endpoint(server, exporter) -> None:
+    if exporter is not None:
+        exporter.stop()
+    if server is not None:
+        server.stop()
+
+
 def _monitor_config(args: argparse.Namespace) -> MFPAConfig | None:
     """Monitor/chaos MFPA config; None keeps the all-defaults path."""
     ceiling = getattr(args, "memory_ceiling_mb", None)
@@ -523,6 +623,14 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     from repro.scale import is_shard_store
 
     annotate_run(n_jobs=args.n_jobs, split_algorithm=args.split_algorithm)
+    obs_server, obs_textfile = _start_obs_endpoint(args)
+    try:
+        return _run_monitor(args, is_shard_store)
+    finally:
+        _stop_obs_endpoint(obs_server, obs_textfile)
+
+
+def _run_monitor(args: argparse.Namespace, is_shard_store) -> int:
     if is_shard_store(args.dataset):
         from repro.scale import ShardedDataset, ShardedFleetMonitor
 
@@ -752,34 +860,51 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 config,
                 train_end_day=args.train_end_day,
                 fit_reduced=not args.no_reduced,
+                drift=not args.no_drift,
                 checkpoint_dir=args.checkpoint_dir,
                 sink_path=args.alarms_out,
             )
         min_day = None
+        run = current_run()
+        if run is not None and daemon.drift is not None:
+            from pathlib import Path
 
+            profile_path = daemon.drift.profile.save(
+                Path(run.run_dir) / "reference_profile.json"
+            )
+            log.info(f"reference profile written to {profile_path}")
+
+    obs_server, obs_textfile = _start_obs_endpoint(
+        args,
+        status_fn=daemon.status_snapshot,
+        health_fn=daemon.health_snapshot,
+    )
     end_day = args.end_day
     current_day = None
-    with trace_span("serve.consume"):
-        for event in iter_stream(args.input):
-            if event["kind"] == "end":
-                if event.get("day") is not None:
-                    end_day = event["day"]
-                break
-            day = event["day"]
-            if min_day is not None and day < min_day:
-                continue
-            if current_day is not None and day != current_day:
-                daemon.pump()
-                if args.speed:
-                    time.sleep((day - current_day) / args.speed)
-                if args.throttle_seconds and (
-                    args.throttle_from_day is None
-                    or day >= args.throttle_from_day
-                ):
-                    time.sleep(args.throttle_seconds)
-            current_day = day
-            daemon.submit(event["serial"], day, event["reading"])
-        summary = daemon.finish(end_day)
+    try:
+        with trace_span("serve.consume"):
+            for event in iter_stream(args.input):
+                if event["kind"] == "end":
+                    if event.get("day") is not None:
+                        end_day = event["day"]
+                    break
+                day = event["day"]
+                if min_day is not None and day < min_day:
+                    continue
+                if current_day is not None and day != current_day:
+                    daemon.pump()
+                    if args.speed:
+                        time.sleep((day - current_day) / args.speed)
+                    if args.throttle_seconds and (
+                        args.throttle_from_day is None
+                        or day >= args.throttle_from_day
+                    ):
+                        time.sleep(args.throttle_seconds)
+                current_day = day
+                daemon.submit(event["serial"], day, event["reading"])
+            summary = daemon.finish(end_day)
+    finally:
+        _stop_obs_endpoint(obs_server, obs_textfile)
 
     log.info(
         render_table(
@@ -789,10 +914,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             title="serve summary",
         )
     )
+    latency = summary["e2e_latency_seconds"]
+    if latency["count"]:
+        log.info(
+            f"ingest→alarm latency over {latency['count']} alarms: "
+            f"p50 {latency['p50']:.3f}s, p95 {latency['p95']:.3f}s, "
+            f"p99 {latency['p99']:.3f}s"
+        )
+    drift = daemon.drift.last if daemon.drift is not None else None
+    if drift is not None:
+        log.info(
+            f"drift: state {drift['state_name']}, worst PSI "
+            f"{drift['worst']:.4f} (window starting day "
+            f"{drift['window_start']})"
+        )
     return 0
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
+    if args.obs_command == "top":
+        from repro.obs.top import run_top
+
+        frames = run_top(
+            args.url,
+            interval=args.interval,
+            iterations=args.iterations,
+            clear=not args.no_clear,
+            out=sys.stdout,
+        )
+        return 0 if frames else 1
     from repro.obs.report import render_run_report
 
     log.info(render_run_report(args.run_dir))

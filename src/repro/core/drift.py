@@ -18,19 +18,22 @@ import numpy as np
 from repro.core.pipeline import MFPA
 
 
-def population_stability_index(
-    expected: np.ndarray, actual: np.ndarray, n_bins: int = 10
-) -> float:
-    """PSI between a reference sample and a current sample.
+def reference_bins(
+    expected: np.ndarray, n_bins: int = 10
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Quantile bin edges + floored expected shares of a reference sample.
 
-    Bins are the reference sample's quantiles, so a stationary feature
-    scores ~0 regardless of its marginal shape. Empty-bin counts are
-    floored to keep the statistic finite.
+    This is the training-time half of the PSI computation: everything
+    that depends only on the *reference* population. The returned
+    ``(edges, expected_share)`` pair is what a deployed monitor persists
+    (see :class:`repro.serve.drift.ReferenceProfile`) so live windows
+    can be scored against the exact training-era distribution.
+    ``expected_share`` is ``None`` for a degenerate sample whose edges
+    collapse below three (PSI is then defined as 0).
     """
     expected = np.asarray(expected, dtype=float)
-    actual = np.asarray(actual, dtype=float)
-    if expected.size == 0 or actual.size == 0:
-        raise ValueError("both samples must be non-empty")
+    if expected.size == 0:
+        raise ValueError("reference sample must be non-empty")
     if n_bins < 2:
         raise ValueError("n_bins must be at least 2")
 
@@ -40,13 +43,49 @@ def population_stability_index(
     # Collapse duplicate edges (constant-ish features).
     edges = np.unique(edges)
     if edges.size < 3:
-        return 0.0
-
+        return edges, None
     expected_counts, _ = np.histogram(expected, bins=edges)
-    actual_counts, _ = np.histogram(actual, bins=edges)
     expected_share = np.maximum(expected_counts / expected.size, 1e-6)
+    return edges, expected_share
+
+
+def psi_against_reference(
+    edges: np.ndarray, expected_share: np.ndarray | None, actual: np.ndarray
+) -> float:
+    """PSI of ``actual`` against a :func:`reference_bins` pair.
+
+    The serving-time half: shared by the offline
+    :func:`population_stability_index` and the serve daemon's live drift
+    monitor, so both produce bit-identical values on the same windows.
+    """
+    actual = np.asarray(actual, dtype=float)
+    if actual.size == 0:
+        raise ValueError("current sample must be non-empty")
+    if expected_share is None or len(edges) < 3:
+        return 0.0
+    actual_counts, _ = np.histogram(actual, bins=np.asarray(edges, dtype=float))
     actual_share = np.maximum(actual_counts / actual.size, 1e-6)
     return float(np.sum((actual_share - expected_share) * np.log(actual_share / expected_share)))
+
+
+def population_stability_index(
+    expected: np.ndarray, actual: np.ndarray, n_bins: int = 10
+) -> float:
+    """PSI between a reference sample and a current sample.
+
+    Bins are the reference sample's quantiles, so a stationary feature
+    scores ~0 regardless of its marginal shape. Empty-bin counts are
+    floored to keep the statistic finite. Composed from
+    :func:`reference_bins` + :func:`psi_against_reference` so an
+    offline report and a live monitor follow one code path.
+    """
+    actual = np.asarray(actual, dtype=float)
+    if actual.size == 0:
+        raise ValueError("both samples must be non-empty")
+    edges, expected_share = reference_bins(expected, n_bins)
+    if expected_share is None:
+        return 0.0
+    return psi_against_reference(edges, expected_share, actual)
 
 
 @dataclass(frozen=True)

@@ -41,12 +41,21 @@ from repro.obs.metrics import (
     observe_histogram,
     set_gauge,
 )
+from repro.obs.server import (
+    ObsServer,
+    TextfileExporter,
+    histogram_quantile,
+    registry_status,
+)
+from repro.obs.top import fetch_json, render_top, run_top
 from repro.obs.tracing import Tracer, get_tracer, set_tracing, trace_span, traced
 from repro.obs import metrics as _metrics
 
 __all__ = [
     "MetricsRegistry",
+    "ObsServer",
     "RunContext",
+    "TextfileExporter",
     "Tracer",
     "absorb_worker",
     "annotate_run",
@@ -57,13 +66,18 @@ __all__ = [
     "dataset_fingerprint",
     "disable_observability",
     "enable_observability",
+    "fetch_json",
     "get_logger",
     "get_registry",
     "get_tracer",
+    "histogram_quantile",
     "inc_counter",
     "load_manifest",
     "observe_histogram",
     "record_result",
+    "registry_status",
+    "render_top",
+    "run_top",
     "set_current_run",
     "set_gauge",
     "set_tracing",

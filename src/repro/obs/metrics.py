@@ -264,6 +264,28 @@ CATALOG: tuple[tuple[str, str, str, tuple | None, bool], ...] = (
      "pump ticks completed by the serve loop", None, True),
     ("serve_slow_ticks_total", "counter",
      "pump ticks exceeding the watchdog's slow-tick threshold", None, True),
+    ("serve_e2e_latency_seconds", "histogram",
+     "ingest-to-alarm latency of emitted alarms (daemon clock)",
+     SECONDS_BUCKETS, True),
+    # ---- live drift monitoring (repro.serve.drift) ----
+    ("serve_drift_psi", "gauge",
+     "per-window population stability index vs the training-time "
+     "ReferenceProfile, by feature (__score__ = score distribution)",
+     None, False),
+    ("serve_drift_state", "gauge",
+     "worst drift severity last window (0 stable, 1 drifting, 2 severe)",
+     None, True),
+    ("serve_drift_events_total", "counter",
+     "rate-budgeted severe-drift events fired by the drift monitor",
+     None, True),
+    ("serve_drift_events_suppressed_total", "counter",
+     "severe-drift windows withheld by the drift event budget", None, True),
+    # ---- live observability plane (repro.obs.server) ----
+    ("obs_scrapes_total", "counter",
+     "HTTP requests served by the observability endpoint, by path",
+     None, False),
+    ("obs_textfile_writes_total", "counter",
+     ".prom textfile exports written by the periodic exporter", None, True),
     # ---- out-of-core sharded execution (repro.scale) ----
     ("tree_bin_cache_evictions_total", "counter",
      "BinnedDataset entries dropped by the bounded LRU", None, True),
@@ -421,13 +443,25 @@ class MetricsRegistry:
     def to_prometheus(self) -> str:
         """Prometheus text exposition format (v0.0.4)."""
 
+        def escape_label_value(value: str) -> str:
+            # Exposition-format escaping: backslash first, then quote and
+            # newline, so already-inserted backslashes are not re-escaped.
+            return (
+                str(value)
+                .replace("\\", r"\\")
+                .replace('"', r"\"")
+                .replace("\n", r"\n")
+            )
+
         def fmt_labels(labels: dict, extra: tuple[str, str] | None = None) -> str:
             items = list(labels.items())
             if extra is not None:
                 items.append(extra)
             if not items:
                 return ""
-            inner = ",".join(f'{k}="{v}"' for k, v in items)
+            inner = ",".join(
+                f'{k}="{escape_label_value(v)}"' for k, v in items
+            )
             return "{" + inner + "}"
 
         def fmt_value(value: float) -> str:

@@ -1,0 +1,188 @@
+"""``repro obs top`` — a curses-free refreshing terminal dashboard.
+
+Polls a running daemon's `/status` and `/health` endpoints
+(:mod:`repro.obs.server`) and repaints a compact operator view:
+readiness checks, throughput counters, per-stage latency percentiles,
+alarm/shed/quarantine pressure and the live drift table. Rendering is a
+pure function of the two JSON payloads (:func:`render_top`), so tests
+drive it without a network or a TTY; the refresh loop just clears the
+screen with ANSI codes — no curses dependency.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Callable, TextIO
+
+from repro.obs.logs import get_logger
+
+__all__ = ["fetch_json", "render_top", "run_top"]
+
+_LOG = get_logger("repro.obs.top")
+
+#: Home + clear-to-end — repaint without scrollback spam.
+ANSI_CLEAR = "\x1b[H\x1b[2J"
+
+_DRIFT_GLYPH = {0: "·", 1: "~", 2: "!"}
+
+
+def fetch_json(url: str, timeout: float = 2.0) -> dict:
+    """GET ``url`` and parse the JSON body (also on 4xx/5xx, which the
+    health endpoint uses for not-ready)."""
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return json.loads(response.read().decode())
+    except urllib.error.HTTPError as err:
+        # /health returns 503 with a JSON body while not ready.
+        return json.loads(err.read().decode())
+
+
+def _fmt(value, digits: int = 3) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def _counter_value(metrics: dict, name: str) -> float:
+    family = metrics.get(name)
+    if not family:
+        return 0.0
+    return sum(s.get("value", 0.0) for s in family.get("samples", []))
+
+
+def render_top(status: dict, health: dict | None = None) -> str:
+    """Render one dashboard frame from `/status` (+ optional `/health`)."""
+    lines: list[str] = []
+    metrics = status.get("metrics", {})
+
+    ready = None if health is None else health.get("ready")
+    badge = {True: "READY", False: "NOT READY", None: "?"}[ready]
+    lines.append(
+        f"repro serve — {badge}   watermark={_fmt(status.get('watermark'))}   "
+        f"window_start={_fmt(status.get('window_start'))}   "
+        f"degraded={_fmt(status.get('degraded'))}"
+    )
+    if health:
+        checks = health.get("checks", {})
+        if checks:
+            parts = []
+            for name in sorted(checks):
+                check = checks[name]
+                ok = check.get("ok") if isinstance(check, dict) else bool(check)
+                parts.append(f"{name}={'ok' if ok else 'FAIL'}")
+            lines.append("checks   " + "  ".join(parts))
+    lines.append("")
+
+    queue = status.get("queue", {})
+    lines.append(
+        f"queue    depth={_fmt(queue.get('depth'))}/"
+        f"{_fmt(queue.get('capacity'))}   "
+        f"breaker={_fmt(status.get('breaker', {}).get('name'))}   "
+        f"staged={_fmt(status.get('staged'))}"
+    )
+    lines.append(
+        "counts   "
+        f"ingested={_fmt(_counter_value(metrics, 'serve_readings_ingested_total'), 0)}  "
+        f"scored_windows={_fmt(_counter_value(metrics, 'serve_windows_scored_total'), 0)}  "
+        f"alarms={_fmt(_counter_value(metrics, 'serve_alarms_emitted_total'), 0)}  "
+        f"shed={_fmt(_counter_value(metrics, 'serve_readings_shed_total'), 0)}  "
+        f"quarantined={_fmt(_counter_value(metrics, 'serve_readings_quarantined_total'), 0)}  "
+        f"checkpoints={_fmt(_counter_value(metrics, 'serve_checkpoints_total'), 0)}"
+    )
+    lines.append("")
+
+    histograms = [
+        (name, family)
+        for name, family in sorted(metrics.items())
+        if family.get("type") == "histogram"
+    ]
+    if histograms:
+        lines.append(
+            f"{'latency (s)':<34} {'count':>8} {'mean':>9} {'p50':>9} "
+            f"{'p95':>9} {'p99':>9}"
+        )
+        for name, family in histograms:
+            for sample in family["samples"]:
+                labels = sample.get("labels") or {}
+                label = name + (
+                    "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+                    if labels else ""
+                )
+                lines.append(
+                    f"{label:<34} {sample['count']:>8} "
+                    f"{_fmt(sample.get('mean')):>9} {_fmt(sample.get('p50')):>9} "
+                    f"{_fmt(sample.get('p95')):>9} {_fmt(sample.get('p99')):>9}"
+                )
+        lines.append("")
+
+    drift = status.get("drift")
+    if drift:
+        lines.append(
+            f"drift    state={drift.get('state_name', '?')}   "
+            f"worst_psi={_fmt(drift.get('worst'))}   "
+            f"score_psi={_fmt(drift.get('score'))}   "
+            f"window={_fmt(drift.get('window_start'))}"
+        )
+        features = drift.get("features") or {}
+        worst = sorted(features.items(), key=lambda kv: kv[1], reverse=True)[:8]
+        for column, psi in worst:
+            glyph = _DRIFT_GLYPH[2 if psi >= 0.25 else 1 if psi >= 0.1 else 0]
+            lines.append(f"  {glyph} {column:<28} psi={_fmt(psi, 4)}")
+        lines.append("")
+
+    alarms = status.get("alarms", {})
+    if alarms:
+        lines.append(
+            f"alarms   ledger={_fmt(alarms.get('ledger'))}   "
+            f"alarmed_drives={_fmt(alarms.get('alarmed'))}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def run_top(
+    url: str,
+    interval: float = 2.0,
+    iterations: int | None = None,
+    clear: bool = True,
+    out: TextIO | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> int:
+    """Poll ``url``'s `/status` + `/health` and repaint until interrupted.
+
+    ``iterations=None`` runs forever (Ctrl-C to stop); a finite count is
+    for scripts and tests. Returns the number of successful frames.
+    """
+    base = url.rstrip("/")
+    if not base.startswith("http"):
+        base = "http://" + base
+    frames = 0
+    n = 0
+    try:
+        while iterations is None or n < iterations:
+            n += 1
+            try:
+                status = fetch_json(base + "/status")
+                health = fetch_json(base + "/health")
+            except (OSError, ValueError) as exc:
+                _LOG.warning(
+                    "obs top poll failed", url=base, error=repr(exc)
+                )
+            else:
+                frame = render_top(status, health)
+                text = (ANSI_CLEAR if clear else "") + frame
+                if out is None:
+                    _LOG.info(text.rstrip("\n"))
+                else:
+                    out.write(text)
+                    out.flush()
+                frames += 1
+            if iterations is None or n < iterations:
+                sleep(interval)
+    except KeyboardInterrupt:
+        pass  # operator detached; frames so far are the result
+    return frames

@@ -15,12 +15,15 @@ long-running daemon assembled from the robustness layer's parts:
 * :mod:`repro.serve.replay` — recorded-dataset replay (``repro
   replay``) and stream (de)serialization;
 * :mod:`repro.serve.chaos` — the chaos-under-serve harness driving the
-  six fault injectors at a live daemon.
+  six fault injectors at a live daemon;
+* :mod:`repro.serve.drift` — training-time :class:`ReferenceProfile`
+  sketches and the per-window live PSI :class:`DriftMonitor`.
 """
 
 from repro.serve.alarms import AlarmStream
 from repro.serve.chaos import ChaosServeReport, run_chaos_one, run_chaos_under_serve
 from repro.serve.daemon import SERVE_FILES, ServeConfig, ServeDaemon
+from repro.serve.drift import DriftMonitor, ReferenceProfile
 from repro.serve.ingest import BoundedReadingQueue, GatePolicy, ReadingGate
 from repro.serve.replay import (
     dataset_to_readings,
@@ -42,7 +45,9 @@ __all__ = [
     "ChaosServeReport",
     "CircuitBreaker",
     "DimensionFreshness",
+    "DriftMonitor",
     "GatePolicy",
+    "ReferenceProfile",
     "IncrementalScorer",
     "ReadingGate",
     "RetryExhaustedError",

@@ -35,7 +35,15 @@ import numpy as np
 
 from repro.core.client import ClientPredictor
 from repro.core.pipeline import MFPA, MFPAConfig
-from repro.obs import get_logger, inc_counter, set_gauge, trace_span
+from repro.obs import (
+    get_logger,
+    get_registry,
+    inc_counter,
+    observe_histogram,
+    registry_status,
+    set_gauge,
+    trace_span,
+)
 from repro.parallel import ParallelExecutor, SharedPayload, share
 from repro.scale.memory import update_peak_rss_gauge
 from repro.robustness.checkpoint import (
@@ -47,8 +55,9 @@ from repro.robustness.checkpoint import (
 )
 from repro.robustness.degraded import fit_reduced_model
 from repro.serve.alarms import AlarmStream
+from repro.serve.drift import DriftMonitor, ReferenceProfile
 from repro.serve.ingest import BoundedReadingQueue, GatePolicy, ReadingGate
-from repro.serve.retry import CircuitBreaker, RetryPolicy, retry_call
+from repro.serve.retry import STATE_NAMES, CircuitBreaker, RetryPolicy, retry_call
 from repro.serve.state import DimensionFreshness, IncrementalScorer
 from repro.telemetry.dataset import TelemetryDataset
 
@@ -100,6 +109,13 @@ class ServeConfig:
     the calibrated fallback keeps small batches serial — results are
     identical at every setting. Read via ``getattr`` with a default so
     checkpoints written before this field existed still restore."""
+    heartbeat_timeout_seconds: float = 60.0
+    """`/health` readiness flips once the pump loop has been silent this
+    long (measured on the daemon clock). Read via ``getattr`` for
+    pre-field checkpoint compatibility, like ``n_jobs``."""
+    drift_event_budget_windows: int = 3
+    """Minimum flushed windows between two severe-drift events (the
+    drift monitor's alarm-fatigue rate budget). ``getattr``-read."""
 
 
 class ServeDaemon:
@@ -115,6 +131,7 @@ class ServeDaemon:
         sink_path: str | Path | None = None,
         clock=time.monotonic,
         sleep=time.sleep,
+        drift: DriftMonitor | None = None,
     ):
         self.config = config or ServeConfig()
         self.scorer = scorer
@@ -138,11 +155,19 @@ class ServeDaemon:
         self.window_start = self.config.serve_start_day
         self.watermark = self.config.serve_start_day
         self.degraded = False
-        self._staged: list[tuple[int, int, np.ndarray, np.ndarray | None]] = []
+        self.drift = drift
+        #: (serial, day, full_row, reduced_row, staged_at) — staged_at is
+        #: the daemon clock at staging, for ingest→alarm latency.
+        self._staged: list[
+            tuple[int, int, np.ndarray, np.ndarray | None, float]
+        ] = []
+        self._e2e_latencies: list[float] = []
         self._clock = clock
         self._sleep = sleep
         self._retry_rng = np.random.default_rng(self.config.retry.seed)
         self._model_file_written = False
+        self._last_tick: float | None = None
+        self._last_checkpoint: float | None = None
         set_gauge("serve_degraded_mode", 0)
 
     # ------------------------------------------------------------------
@@ -156,9 +181,15 @@ class ServeDaemon:
         mfpa_config: MFPAConfig | None = None,
         train_end_day: int | None = None,
         fit_reduced: bool = True,
+        drift: bool = True,
         **kwargs,
     ) -> "ServeDaemon":
-        """Fit the full and reduced models on ``dataset`` and serve."""
+        """Fit the full and reduced models on ``dataset`` and serve.
+
+        ``drift=True`` also sketches the training-era feature and score
+        distributions into a :class:`ReferenceProfile` so the daemon
+        monitors PSI per flushed window.
+        """
         config = config or ServeConfig()
         train_end_day = (
             train_end_day if train_end_day is not None else config.serve_start_day
@@ -170,7 +201,7 @@ class ServeDaemon:
             if fit_reduced
             else None
         )
-        return cls.from_models(full, reduced, config, **kwargs)
+        return cls.from_models(full, reduced, config, drift=drift, **kwargs)
 
     @classmethod
     def from_models(
@@ -178,15 +209,30 @@ class ServeDaemon:
         full: MFPA,
         reduced: MFPA | None,
         config: ServeConfig | None = None,
+        drift: "bool | DriftMonitor | ReferenceProfile" = False,
         **kwargs,
     ) -> "ServeDaemon":
+        config = config or ServeConfig()
         scorer = IncrementalScorer(
             ClientPredictor.from_model(full, on_missing="impute"),
             ClientPredictor.from_model(reduced, on_missing="impute")
             if reduced is not None
             else None,
         )
-        return cls(scorer, config, **kwargs)
+        if drift is True:
+            train_end = min(
+                config.serve_start_day,
+                int(full.dataset_.columns["day"].max()) + 1,
+            )
+            drift = ReferenceProfile.from_model(full, (0, train_end))
+        if isinstance(drift, ReferenceProfile):
+            drift = DriftMonitor(
+                drift,
+                event_budget_windows=getattr(
+                    config, "drift_event_budget_windows", 3
+                ),
+            )
+        return cls(scorer, config, drift=drift or None, **kwargs)
 
     @classmethod
     def resume(
@@ -223,13 +269,29 @@ class ServeDaemon:
             raise ValueError(f"unsupported serve checkpoint version {version!r}")
 
         scorer = IncrementalScorer(payload["full"], payload["reduced"])
+        config = payload["config"]
+        profile = payload.get("profile")
+        drift = None
+        if profile is not None:
+            drift = DriftMonitor(
+                profile,
+                event_budget_windows=getattr(
+                    config, "drift_event_budget_windows", 3
+                ),
+            )
         daemon = cls(
             scorer,
-            payload["config"],
+            config,
             checkpoint_dir=path,
             sink_path=sink_path,
+            drift=drift,
             **kwargs,
         )
+        # Metrics continuity: fold the checkpointed registry snapshot in
+        # *before* the explicit gauge writes below, so counters resume
+        # monotone from the crash point while current-truth gauges win.
+        get_registry().merge(state.get("metrics") or [])
+        set_gauge("serve_queue_depth", 0)
         # Pickled predictor states are as-of-pickling; the JSON state is
         # the committed truth — restore from it.
         daemon.scorer.restore(state["scorer"])
@@ -237,6 +299,8 @@ class ServeDaemon:
         daemon.freshness.restore(state["freshness"])
         daemon.breaker.restore(state["breaker"])
         daemon.alarms.restore(state["alarms"])
+        if daemon.drift is not None and state.get("drift") is not None:
+            daemon.drift.restore(state["drift"])
         daemon.windows = [dict(window) for window in state["windows"]]
         daemon.window_start = int(state["window_start"])
         daemon.watermark = int(state["watermark"])
@@ -268,6 +332,7 @@ class ServeDaemon:
                 self._process(serial, day, reading)
         self.breaker.tick()
         inc_counter("serve_ticks_total")
+        self._last_tick = self._clock()
         set_gauge("serve_heartbeat_timestamp", time.time())
         update_peak_rss_gauge()
         elapsed = self._clock() - started
@@ -314,7 +379,9 @@ class ServeDaemon:
             )
             return
         if numeric_day >= self.config.serve_start_day:
-            self._staged.append((int(serial), numeric_day, full_row, reduced_row))
+            self._staged.append(
+                (int(serial), numeric_day, full_row, reduced_row, self._clock())
+            )
 
     # ------------------------------------------------------------------
     # Window flush
@@ -405,9 +472,24 @@ class ServeDaemon:
             )
             self._set_degraded(used_reduced, reasons)
 
+            if (
+                self.drift is not None
+                and self._staged
+                and len(probabilities) == len(self._staged)
+            ):
+                # Current-day feature block of the *full* rows: the
+                # trailing columns (earlier blocks are history lags).
+                current = np.stack(
+                    [entry[2] for entry in self._staged]
+                )[:, -self.drift.n_columns:]
+                self.drift.observe_window(
+                    current, probabilities, window_start=self.window_start
+                )
+
             self.alarms.open_window()
             window_alarms: list[dict] = []
-            for (serial, day, _full, _reduced), probability in zip(
+            decided_at = self._clock()
+            for (serial, day, _full, _reduced, staged_at), probability in zip(
                 self._staged, probabilities
             ):
                 if self.alarms.decide(
@@ -415,6 +497,9 @@ class ServeDaemon:
                     window_start=self.window_start, degraded=used_reduced,
                 ):
                     window_alarms.append(self.alarms.ledger[-1])
+                    latency = max(0.0, decided_at - staged_at)
+                    observe_histogram("serve_e2e_latency_seconds", latency)
+                    self._e2e_latencies.append(latency)
 
             self.windows.append(
                 {
@@ -455,6 +540,7 @@ class ServeDaemon:
                 "config": self.config,
                 "full": self.scorer.full,
                 "reduced": self.scorer.reduced,
+                "profile": self.drift.profile if self.drift else None,
             }
             atomic_write(path / "model.pkl", pickle.dumps(payload))
             self._model_file_written = True
@@ -469,10 +555,15 @@ class ServeDaemon:
             "breaker": self.breaker.snapshot(),
             "alarms": self.alarms.snapshot(),
             "windows": self.windows,
+            "drift": self.drift.snapshot() if self.drift else None,
+            # Registry snapshot: restored by resume() so counters stay
+            # monotone across kill -9 (the continuity contract).
+            "metrics": get_registry().dump(),
         }
         atomic_write(path / "state.json", json.dumps(state).encode())
         write_manifest(path, SERVE_FILES)
         inc_counter("serve_checkpoints_total")
+        self._last_checkpoint = self._clock()
 
     # ------------------------------------------------------------------
     # Reporting
@@ -485,6 +576,88 @@ class ServeDaemon:
             "alarmed_serials": sorted(self.alarms.alarmed),
             "degraded_windows": sum(1 for w in self.windows if w["degraded"]),
             "watermark": self.watermark,
+            "e2e_latency_seconds": self._latency_summary(),
+        }
+
+    def _latency_summary(self) -> dict:
+        """Ingest→alarm latency percentiles over this process's alarms."""
+        if not self._e2e_latencies:
+            return {"count": 0, "p50": None, "p95": None, "p99": None}
+        values = np.asarray(self._e2e_latencies, dtype=float)
+        p50, p95, p99 = np.percentile(values, [50, 95, 99])
+        return {
+            "count": int(values.size),
+            "p50": float(p50),
+            "p95": float(p95),
+            "p99": float(p99),
+        }
+
+    def status_snapshot(self) -> dict:
+        """The `/status` payload: everything an operator dashboard needs
+        in one JSON-ready dict. Cheap to build; safe from any thread that
+        tolerates slightly-torn reads (the HTTP handler does)."""
+        return {
+            "watermark": self.watermark,
+            "window_start": self.window_start,
+            "n_windows": len(self.windows),
+            "staged": len(self._staged),
+            "degraded": self.degraded,
+            "queue": {
+                "depth": len(self.queue),
+                "capacity": self.queue.capacity,
+            },
+            "breaker": {
+                "state": self.breaker.state,
+                "name": STATE_NAMES[self.breaker.state],
+            },
+            "alarms": {
+                "ledger": len(self.alarms.ledger),
+                "alarmed": len(self.alarms.alarmed),
+            },
+            "gate": {
+                "banned": len(self.gate.banned),
+                "quarantined_drives": len(self.gate.quarantine_counts),
+            },
+            "drift": self.drift.last if self.drift else None,
+            "e2e_latency_seconds": self._latency_summary(),
+            "metrics": registry_status(),
+        }
+
+    def health_snapshot(self) -> dict:
+        """The `/health` payload: liveness (we answered) plus readiness
+        checks — queue headroom, breaker closed, heartbeat fresh."""
+        now = self._clock()
+        depth = len(self.queue)
+        heartbeat_age = None if self._last_tick is None else now - self._last_tick
+        timeout = getattr(self.config, "heartbeat_timeout_seconds", 60.0)
+        checks = {
+            "queue": {
+                "ok": depth < self.queue.capacity,
+                "depth": depth,
+                "capacity": self.queue.capacity,
+            },
+            "breaker": {
+                "ok": not self.breaker.is_open,
+                "state": STATE_NAMES[self.breaker.state],
+            },
+            "heartbeat": {
+                # None = not pumped yet; a freshly started daemon is
+                # ready, staleness only means the loop went silent.
+                "ok": heartbeat_age is None or heartbeat_age <= timeout,
+                "age_seconds": heartbeat_age,
+                "timeout_seconds": timeout,
+            },
+        }
+        return {
+            "alive": True,
+            "ready": all(check["ok"] for check in checks.values()),
+            "checks": checks,
+            "watermark": self.watermark,
+            "checkpoint_age_seconds": (
+                None
+                if self._last_checkpoint is None
+                else now - self._last_checkpoint
+            ),
         }
 
     def alarm_records(self) -> list[tuple[int, int, float]]:

@@ -30,6 +30,7 @@ __all__ = [
     "CLOSED",
     "HALF_OPEN",
     "OPEN",
+    "STATE_NAMES",
     "CircuitBreaker",
     "RetryExhaustedError",
     "RetryPolicy",
@@ -111,7 +112,8 @@ def retry_call(
 
 #: Breaker states, exported as the ``serve_breaker_state`` gauge value.
 CLOSED, HALF_OPEN, OPEN = 0, 1, 2
-_STATE_NAMES = {CLOSED: "closed", HALF_OPEN: "half_open", OPEN: "open"}
+STATE_NAMES = {CLOSED: "closed", HALF_OPEN: "half_open", OPEN: "open"}
+_STATE_NAMES = STATE_NAMES
 
 
 class CircuitBreaker:

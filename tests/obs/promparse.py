@@ -1,0 +1,203 @@
+"""A strict Prometheus text-exposition (v0.0.4) parser for tests.
+
+Deliberately unforgiving: any line that is not a well-formed HELP/TYPE
+comment or sample line raises, label values are fully unescaped, and
+:func:`validate_exposition` checks the structural invariants scrapers
+rely on (TYPE before samples, cumulative monotone histogram buckets,
+``_count`` equal to the ``+Inf`` bucket). The endpoint tests round-trip
+`/metrics` output through this so "parser-valid while the daemon
+scores" is a tested property, not a hope.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+_METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_LABEL_NAME = r"[a-zA-Z_][a-zA-Z0-9_]*"
+
+_HELP_RE = re.compile(rf"^# HELP ({_METRIC_NAME}) (.*)$")
+_TYPE_RE = re.compile(
+    rf"^# TYPE ({_METRIC_NAME}) (counter|gauge|histogram|summary|untyped)$"
+)
+_SAMPLE_RE = re.compile(
+    rf"^({_METRIC_NAME})(?:\{{(.*)\}})? ([^ ]+)(?: (\d+))?$"
+)
+_LABEL_RE = re.compile(rf'({_LABEL_NAME})="((?:[^"\\]|\\.)*)"')
+
+
+def unescape_label_value(value: str) -> str:
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\":
+            if i + 1 >= len(value):
+                raise ValueError(f"dangling backslash in label value {value!r}")
+            nxt = value[i + 1]
+            if nxt == "\\":
+                out.append("\\")
+            elif nxt == '"':
+                out.append('"')
+            elif nxt == "n":
+                out.append("\n")
+            else:
+                raise ValueError(
+                    f"invalid escape \\{nxt} in label value {value!r}"
+                )
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _parse_labels(raw: str | None) -> dict[str, str]:
+    if not raw:
+        return {}
+    labels: dict[str, str] = {}
+    pos = 0
+    while pos < len(raw):
+        match = _LABEL_RE.match(raw, pos)
+        if match is None:
+            raise ValueError(f"malformed label pair at {raw[pos:]!r}")
+        labels[match.group(1)] = unescape_label_value(match.group(2))
+        pos = match.end()
+        if pos < len(raw):
+            if raw[pos] != ",":
+                raise ValueError(f"expected ',' between labels in {raw!r}")
+            pos += 1
+    return labels
+
+
+def _parse_value(raw: str) -> float:
+    if raw == "+Inf":
+        return float("inf")
+    if raw == "-Inf":
+        return float("-inf")
+    if raw == "NaN":
+        return float("nan")
+    return float(raw)
+
+
+@dataclass
+class Sample:
+    name: str
+    labels: dict[str, str]
+    value: float
+
+
+@dataclass
+class Family:
+    name: str
+    type: str | None = None
+    help: str | None = None
+    samples: list[Sample] = field(default_factory=list)
+
+
+def _base_name(sample_name: str, families: dict[str, Family]) -> str:
+    for suffix in ("_bucket", "_sum", "_count"):
+        base = sample_name.removesuffix(suffix)
+        if (
+            base != sample_name
+            and base in families
+            and families[base].type == "histogram"
+        ):
+            return base
+    return sample_name
+
+
+def parse_exposition(text: str) -> dict[str, Family]:
+    """Parse exposition text; raise ValueError on any malformed line."""
+    if text and not text.endswith("\n"):
+        raise ValueError("exposition must end with a newline")
+    families: dict[str, Family] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            help_match = _HELP_RE.match(line)
+            type_match = _TYPE_RE.match(line)
+            if help_match:
+                family = families.setdefault(
+                    help_match.group(1), Family(help_match.group(1))
+                )
+                family.help = help_match.group(2)
+            elif type_match:
+                family = families.setdefault(
+                    type_match.group(1), Family(type_match.group(1))
+                )
+                if family.samples:
+                    raise ValueError(
+                        f"line {lineno}: TYPE after samples for {family.name}"
+                    )
+                family.type = type_match.group(2)
+            else:
+                raise ValueError(f"line {lineno}: malformed comment {line!r}")
+            continue
+        sample_match = _SAMPLE_RE.match(line)
+        if sample_match is None:
+            raise ValueError(f"line {lineno}: malformed sample line {line!r}")
+        name, raw_labels, raw_value, _ts = sample_match.groups()
+        base = _base_name(name, families)
+        family = families.setdefault(base, Family(base))
+        family.samples.append(
+            Sample(name, _parse_labels(raw_labels), _parse_value(raw_value))
+        )
+    return families
+
+
+def validate_exposition(text: str) -> dict[str, Family]:
+    """Parse + check the invariants scrapers depend on."""
+    families = parse_exposition(text)
+    for family in families.values():
+        if family.samples and family.type is None:
+            raise ValueError(f"{family.name}: samples without a TYPE line")
+        if family.type != "histogram":
+            continue
+        # Group histogram series by their non-`le` label set.
+        series: dict[tuple, dict] = {}
+        for sample in family.samples:
+            key = tuple(
+                sorted((k, v) for k, v in sample.labels.items() if k != "le")
+            )
+            group = series.setdefault(
+                key, {"buckets": [], "sum": None, "count": None}
+            )
+            if sample.name.endswith("_bucket"):
+                if "le" not in sample.labels:
+                    raise ValueError(f"{family.name}: bucket without le label")
+                group["buckets"].append(
+                    (_parse_value(sample.labels["le"]), sample.value)
+                )
+            elif sample.name.endswith("_sum"):
+                group["sum"] = sample.value
+            elif sample.name.endswith("_count"):
+                group["count"] = sample.value
+            else:
+                raise ValueError(
+                    f"{family.name}: unexpected histogram sample {sample.name}"
+                )
+        for key, group in series.items():
+            buckets = group["buckets"]
+            if not buckets:
+                raise ValueError(f"{family.name}{dict(key)}: no buckets")
+            bounds = [b for b, _ in buckets]
+            if bounds != sorted(bounds):
+                raise ValueError(f"{family.name}{dict(key)}: unsorted buckets")
+            if bounds[-1] != float("inf"):
+                raise ValueError(f"{family.name}{dict(key)}: missing +Inf")
+            counts = [c for _, c in buckets]
+            if counts != sorted(counts):
+                raise ValueError(
+                    f"{family.name}{dict(key)}: non-cumulative buckets"
+                )
+            if group["count"] is None or group["sum"] is None:
+                raise ValueError(f"{family.name}{dict(key)}: missing sum/count")
+            if group["count"] != counts[-1]:
+                raise ValueError(
+                    f"{family.name}{dict(key)}: _count {group['count']} != "
+                    f"+Inf bucket {counts[-1]}"
+                )
+    return families

@@ -146,3 +146,27 @@ class TestExport:
         assert 't_seconds_bucket{le="+Inf"} 3' in text
         assert "t_seconds_sum 101" in text
         assert "t_seconds_count 3" in text
+
+    def test_prometheus_label_values_escaped(self):
+        """Backslash, quote and newline in label values must be escaped
+        per the exposition spec (regression: raw interpolation)."""
+        registry = MetricsRegistry(declare_catalog=False)
+        hostile = 'fw "v2"\\beta\nline2'
+        registry.counter("faults_total", rule=hostile).inc(2)
+        text = registry.to_prometheus()
+        assert 'faults_total{rule="fw \\"v2\\"\\\\beta\\nline2"} 2' in text
+        # No raw newline may survive inside a sample line.
+        sample_lines = [
+            line for line in text.splitlines() if line.startswith("faults_total{")
+        ]
+        assert len(sample_lines) == 1
+
+    def test_prometheus_escaping_round_trips_through_parser(self):
+        from tests.obs.promparse import validate_exposition
+
+        registry = MetricsRegistry(declare_catalog=False)
+        hostile = 'path="C:\\drives"\nnext'
+        registry.counter("events_total", source=hostile).inc()
+        families = validate_exposition(registry.to_prometheus())
+        (sample,) = families["events_total"].samples
+        assert sample.labels["source"] == hostile

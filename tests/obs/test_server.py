@@ -1,0 +1,193 @@
+"""Endpoint tests for the live observability plane (`repro.obs.server`)."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.server import (
+    ObsServer,
+    TextfileExporter,
+    histogram_quantile,
+    registry_status,
+)
+from tests.obs.promparse import validate_exposition
+
+pytestmark = pytest.mark.smoke
+
+
+def _get(url: str):
+    try:
+        with urllib.request.urlopen(url, timeout=5) as response:
+            return response.status, response.headers, response.read().decode()
+    except urllib.error.HTTPError as err:
+        return err.code, err.headers, err.read().decode()
+
+
+@pytest.fixture()
+def registry():
+    registry = MetricsRegistry(declare_catalog=False)
+    registry.counter("serve_ticks_total").inc(7)
+    registry.gauge("serve_queue_depth").set(3)
+    h = registry.histogram("window_score_seconds", buckets=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(0.5)
+    return registry
+
+
+class TestHistogramQuantile:
+    def test_interpolates_within_bucket(self):
+        # 10 observations in (0, 1], 10 in (1, 2]
+        assert histogram_quantile((1.0, 2.0), [10, 10, 0], 0.5) == pytest.approx(1.0)
+        assert histogram_quantile((1.0, 2.0), [10, 10, 0], 0.25) == pytest.approx(0.5)
+        assert histogram_quantile((1.0, 2.0), [10, 10, 0], 0.75) == pytest.approx(1.5)
+
+    def test_empty_histogram_is_zero(self):
+        assert histogram_quantile((1.0,), [0, 0], 0.99) == 0.0
+
+    def test_overflow_bucket_clamps_to_last_bound(self):
+        assert histogram_quantile((1.0, 2.0), [0, 0, 5], 0.5) == 2.0
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ValueError, match="quantile"):
+            histogram_quantile((1.0,), [1, 0], 1.5)
+
+
+class TestRegistryStatus:
+    def test_summarizes_histograms_with_percentiles(self, registry):
+        status = registry_status(registry)
+        (sample,) = status["window_score_seconds"]["samples"]
+        assert sample["count"] == 2
+        assert sample["mean"] == pytest.approx(0.275)
+        assert 0 < sample["p50"] <= sample["p95"] <= sample["p99"] <= 1.0
+
+    def test_drops_zero_samples(self, registry):
+        registry.counter("never_happened_total")
+        status = registry_status(registry)
+        assert "never_happened_total" not in status
+        assert status["serve_ticks_total"]["samples"][0]["value"] == 7
+
+
+class TestObsServer:
+    def test_metrics_endpoint_parser_valid(self, registry):
+        with ObsServer(port=0, registry=registry) as server:
+            code, headers, body = _get(server.url + "/metrics")
+        assert code == 200
+        assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+        families = validate_exposition(body)
+        (tick,) = families["serve_ticks_total"].samples
+        assert tick.value == 7
+
+    def test_metrics_scrape_counter_increments(self, registry):
+        with ObsServer(port=0, registry=registry) as server:
+            _get(server.url + "/metrics")
+            _get(server.url + "/metrics")
+            code, _, body = _get(server.url + "/metrics")
+        families = validate_exposition(body)
+        scrapes = {
+            s.labels["endpoint"]: s.value
+            for s in families["obs_scrapes_total"].samples
+        }
+        # The third scrape counts itself before rendering.
+        assert scrapes["/metrics"] == 3
+
+    def test_health_defaults_ready(self, registry):
+        with ObsServer(port=0, registry=registry) as server:
+            code, headers, body = _get(server.url + "/health")
+        assert code == 200
+        payload = json.loads(body)
+        assert payload["alive"] is True and payload["ready"] is True
+
+    def test_health_503_when_not_ready(self, registry):
+        health = {"alive": True, "ready": False,
+                  "checks": {"queue": {"ok": False}}}
+        server = ObsServer(port=0, registry=registry, health_fn=lambda: health)
+        with server:
+            code, _, body = _get(server.url + "/health")
+        assert code == 503
+        assert json.loads(body)["ready"] is False
+
+    def test_status_merges_callable_and_metrics(self, registry):
+        status_fn = lambda: {"watermark": 300, "queue": {"depth": 0}}  # noqa: E731
+        with ObsServer(port=0, registry=registry, status_fn=status_fn) as server:
+            code, _, body = _get(server.url + "/status")
+        assert code == 200
+        payload = json.loads(body)
+        assert payload["watermark"] == 300
+        assert payload["metrics"]["serve_ticks_total"]["samples"][0]["value"] == 7
+
+    def test_status_sanitizes_non_finite(self, registry):
+        status_fn = lambda: {"psi": float("inf"), "nan": float("nan")}  # noqa: E731
+        with ObsServer(port=0, registry=registry, status_fn=status_fn) as server:
+            _, _, body = _get(server.url + "/status")
+        payload = json.loads(body)
+        assert payload["psi"] is None and payload["nan"] is None
+
+    def test_unknown_path_404_lists_endpoints(self, registry):
+        with ObsServer(port=0, registry=registry) as server:
+            code, _, body = _get(server.url + "/nope")
+        assert code == 404
+        assert "/metrics" in json.loads(body)["endpoints"]
+
+    def test_failing_status_fn_is_500_not_crash(self, registry):
+        def status_fn():
+            raise RuntimeError("snapshot torn")
+
+        with ObsServer(port=0, registry=registry, status_fn=status_fn) as server:
+            code, _, body = _get(server.url + "/status")
+            # The server survives the failure and keeps serving.
+            ok_code, _, _ = _get(server.url + "/metrics")
+        assert code == 500
+        assert ok_code == 200
+
+    def test_default_registry_is_process_global(self):
+        get_registry().counter("serve_ticks_total").inc(11)
+        with ObsServer(port=0) as server:
+            _, _, body = _get(server.url + "/metrics")
+        families = validate_exposition(body)
+        (tick,) = families["serve_ticks_total"].samples
+        assert tick.value == 11
+
+    def test_double_start_rejected(self, registry):
+        server = ObsServer(port=0, registry=registry)
+        with server:
+            with pytest.raises(RuntimeError, match="already started"):
+                server.start()
+
+
+class TestTextfileExporter:
+    def test_write_once_atomic_and_parser_valid(self, registry, tmp_path):
+        target = tmp_path / "collector" / "mfpa.prom"
+        exporter = TextfileExporter(target, interval=60, registry=registry)
+        exporter.write_once()
+        assert not target.with_name(target.name + ".tmp").exists()
+        families = validate_exposition(target.read_text())
+        assert families["serve_ticks_total"].samples[0].value == 7
+
+    def test_write_counter_increments(self, registry, tmp_path):
+        exporter = TextfileExporter(
+            tmp_path / "m.prom", interval=60, registry=registry
+        )
+        exporter.write_once()
+        exporter.write_once()
+        assert registry.counter("obs_textfile_writes_total").value == 2
+
+    def test_start_writes_immediately_and_stop_flushes(self, registry, tmp_path):
+        target = tmp_path / "m.prom"
+        exporter = TextfileExporter(target, interval=3600, registry=registry)
+        exporter.start()
+        try:
+            assert target.exists()
+            registry.counter("serve_ticks_total").inc(100)
+        finally:
+            exporter.stop()
+        families = validate_exposition(target.read_text())
+        assert families["serve_ticks_total"].samples[0].value == 107
+
+    def test_rejects_nonpositive_interval(self, registry, tmp_path):
+        with pytest.raises(ValueError, match="interval"):
+            TextfileExporter(tmp_path / "m.prom", interval=0, registry=registry)

@@ -1,0 +1,128 @@
+"""Tests for the ``repro obs top`` dashboard (`repro.obs.top`)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.server import ObsServer
+from repro.obs.top import ANSI_CLEAR, fetch_json, render_top, run_top
+
+pytestmark = pytest.mark.smoke
+
+
+def _status() -> dict:
+    return {
+        "watermark": 300,
+        "window_start": 300,
+        "staged": 12,
+        "degraded": False,
+        "queue": {"depth": 4, "capacity": 4096},
+        "breaker": {"state": 0, "name": "closed"},
+        "alarms": {"ledger": 5, "alarmed": 5},
+        "drift": {
+            "state": 2,
+            "state_name": "severe",
+            "worst": 0.31,
+            "score": 0.02,
+            "window_start": 270,
+            "features": {"reallocated_sectors": 0.31, "wear_leveling": 0.05},
+        },
+        "metrics": {
+            "serve_readings_ingested_total": {
+                "type": "counter", "samples": [{"labels": {}, "value": 420}],
+            },
+            "window_score_seconds": {
+                "type": "histogram",
+                "samples": [{
+                    "labels": {}, "count": 9, "sum": 0.9, "mean": 0.1,
+                    "p50": 0.08, "p95": 0.2, "p99": 0.4,
+                }],
+            },
+        },
+    }
+
+
+def _health(ready: bool = True) -> dict:
+    return {
+        "alive": True,
+        "ready": ready,
+        "checks": {
+            "queue": {"ok": True},
+            "breaker": {"ok": ready},
+            "heartbeat": {"ok": True},
+        },
+    }
+
+
+class TestRenderTop:
+    def test_renders_core_fields(self):
+        frame = render_top(_status(), _health())
+        assert "READY" in frame
+        assert "watermark=300" in frame
+        assert "depth=4/4096" in frame
+        assert "breaker=closed" in frame
+        assert "ingested=420" in frame
+
+    def test_not_ready_badge_and_failing_check(self):
+        frame = render_top(_status(), _health(ready=False))
+        assert "NOT READY" in frame
+        assert "breaker=FAIL" in frame
+
+    def test_latency_table_has_percentiles(self):
+        frame = render_top(_status(), _health())
+        assert "window_score_seconds" in frame
+        assert "0.080" in frame and "0.400" in frame
+
+    def test_drift_section_sorted_worst_first(self):
+        frame = render_top(_status(), _health())
+        assert "state=severe" in frame
+        assert frame.index("reallocated_sectors") < frame.index("wear_leveling")
+        assert "! reallocated_sectors" in frame  # severe glyph
+
+    def test_health_optional(self):
+        frame = render_top(_status(), None)
+        assert "repro serve" in frame
+
+    def test_empty_status_renders(self):
+        assert render_top({}, None)
+
+
+class TestRunTop:
+    def test_polls_live_endpoint(self):
+        registry = MetricsRegistry(declare_catalog=False)
+        registry.counter("serve_ticks_total").inc(3)
+        out = io.StringIO()
+        with ObsServer(
+            port=0,
+            registry=registry,
+            status_fn=_status,
+            health_fn=_health,
+        ) as server:
+            frames = run_top(
+                server.url, interval=0, iterations=2, clear=True, out=out,
+                sleep=lambda _t: None,
+            )
+        assert frames == 2
+        text = out.getvalue()
+        assert text.count(ANSI_CLEAR) == 2
+        assert "watermark=300" in text
+
+    def test_unreachable_endpoint_counts_no_frames(self):
+        frames = run_top(
+            "http://127.0.0.1:9",  # discard port; nothing listens
+            interval=0, iterations=2, clear=False, out=io.StringIO(),
+            sleep=lambda _t: None,
+        )
+        assert frames == 0
+
+    def test_fetch_json_reads_503_bodies(self):
+        registry = MetricsRegistry(declare_catalog=False)
+        health = {"alive": True, "ready": False, "checks": {}}
+        with ObsServer(
+            port=0, registry=registry, health_fn=lambda: health
+        ) as server:
+            payload = fetch_json(server.url + "/health")
+        assert payload["ready"] is False

@@ -1,0 +1,179 @@
+"""Tests for the serve-side drift plane (`repro.serve.drift`).
+
+The load-bearing property is *bit-identity*: a PSI the daemon computes
+live against its :class:`ReferenceProfile` must equal, to the last bit,
+what the offline :func:`repro.core.drift.population_stability_index`
+computes on the same two samples — both halves run the same code path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.drift import (
+    population_stability_index,
+    psi_against_reference,
+    reference_bins,
+)
+from repro.obs import get_registry
+from repro.serve.drift import (
+    SCORE_FEATURE,
+    DriftMonitor,
+    ReferenceProfile,
+)
+
+pytestmark = pytest.mark.smoke
+
+RNG = np.random.default_rng(11)
+
+
+def _profile(n_features: int = 3, n_rows: int = 400) -> ReferenceProfile:
+    X = RNG.normal(size=(n_rows, n_features))
+    scores = RNG.uniform(size=n_rows)
+    columns = [f"f{i}" for i in range(n_features)]
+    return ReferenceProfile.from_samples(columns, X, scores), X, scores
+
+
+class TestReferenceBins:
+    def test_psi_composition_bit_identical(self):
+        expected = RNG.normal(size=500)
+        actual = RNG.normal(loc=0.4, size=300)
+        edges, share = reference_bins(expected)
+        split = psi_against_reference(edges, share, actual)
+        composed = population_stability_index(expected, actual)
+        assert split == composed  # exact, not approx
+
+    def test_constant_reference_vs_itself_is_zero(self):
+        assert population_stability_index(np.ones(50), np.ones(20)) == 0.0
+
+
+class TestReferenceProfile:
+    def test_feature_psi_matches_offline(self):
+        profile, X, _scores = _profile()
+        current = RNG.normal(loc=0.8, size=(200, 3))
+        for i, column in enumerate(profile.columns):
+            live = profile.feature_psi(column, current[:, i])
+            offline = population_stability_index(X[:, i], current[:, i])
+            assert live == offline
+
+    def test_score_psi_matches_offline(self):
+        profile, _X, scores = _profile()
+        current = RNG.uniform(size=150) ** 2
+        assert profile.score_psi(current) == population_stability_index(
+            scores, current
+        )
+
+    def test_json_round_trip_preserves_psi_bits(self, tmp_path):
+        profile, _X, _scores = _profile()
+        current = RNG.normal(loc=1.0, size=(120, 3))
+        path = profile.save(tmp_path / "reference_profile.json")
+        loaded = ReferenceProfile.load(path)
+        assert loaded.columns == profile.columns
+        assert loaded.n_reference_rows == profile.n_reference_rows
+        for i, column in enumerate(profile.columns):
+            assert loaded.feature_psi(column, current[:, i]) == (
+                profile.feature_psi(column, current[:, i])
+            )
+
+    def test_rejects_column_mismatch(self):
+        with pytest.raises(ValueError, match="columns"):
+            ReferenceProfile.from_samples(["a", "b"], RNG.normal(size=(10, 3)))
+
+    def test_rejects_unknown_version(self):
+        profile, _X, _scores = _profile()
+        payload = profile.to_json()
+        payload["version"] = 999
+        with pytest.raises(ValueError, match="version"):
+            ReferenceProfile.from_json(payload)
+
+    def test_from_model_profiles_training_window(self, serve_models):
+        full, _reduced = serve_models
+        profile = ReferenceProfile.from_model(full, (0, 240))
+        assert profile.columns == tuple(full.assembler_.columns)
+        assert profile.n_reference_rows > 0
+        # Scoring the training window itself must read as stationary.
+        # (Random subsample: a *prefix* of the row order is drive-biased
+        # and genuinely drifts on per-drive columns like firmware.)
+        day = full.dataset_.columns["day"]
+        rows = np.flatnonzero(day < 240)
+        rows = np.sort(
+            np.random.default_rng(5).choice(rows, size=2000, replace=False)
+        )
+        assembled = full.assembler_.assemble(full.dataset_.columns, rows)
+        current = assembled[:, -len(profile.columns):]
+        for i, column in enumerate(profile.columns):
+            assert profile.feature_psi(column, current[:, i]) < 0.25
+
+
+class TestDriftMonitor:
+    def test_observe_sets_gauges_per_feature(self):
+        profile, X, scores = _profile()
+        monitor = DriftMonitor(profile)
+        # The reference sample scored against itself: PSI exactly 0.
+        report = monitor.observe_window(X, scores, window_start=240)
+        registry = get_registry()
+        for column in profile.columns:
+            gauge = registry.gauge("serve_drift_psi", feature=column)
+            assert gauge.value == report["features"][column]
+        assert (
+            registry.gauge("serve_drift_psi", feature=SCORE_FEATURE).value
+            == report["score"]
+        )
+        assert report["state_name"] == "stable"
+        assert registry.gauge("serve_drift_state").value == 0
+
+    def test_severe_shift_fires_budgeted_event(self):
+        profile, X, _scores = _profile()
+        monitor = DriftMonitor(profile, event_budget_windows=3)
+        shifted = X[:150] + 5.0
+        registry = get_registry()
+        first = monitor.observe_window(shifted, window_start=240)
+        assert first["state_name"] == "severe" and first["event"]
+        # The next two severe windows are inside the budget: suppressed.
+        second = monitor.observe_window(shifted, window_start=270)
+        third = monitor.observe_window(shifted, window_start=300)
+        assert not second["event"] and not third["event"]
+        fourth = monitor.observe_window(shifted, window_start=330)
+        assert fourth["event"]
+        assert registry.counter("serve_drift_events_total").value == 2
+        assert (
+            registry.counter("serve_drift_events_suppressed_total").value == 2
+        )
+
+    def test_stable_windows_never_fire(self):
+        profile, X, scores = _profile()
+        monitor = DriftMonitor(profile)
+        for start in (240, 270, 300):
+            report = monitor.observe_window(X[:80], scores[:80], window_start=start)
+            assert not report["event"]
+        assert get_registry().counter("serve_drift_events_total").value == 0
+
+    def test_snapshot_restore_preserves_budget_position(self):
+        profile, X, _scores = _profile()
+        monitor = DriftMonitor(profile, event_budget_windows=3)
+        shifted = X[:100] + 5.0
+        monitor.observe_window(shifted, window_start=240)  # fires
+        monitor.observe_window(shifted, window_start=270)  # suppressed
+        snapshot = monitor.snapshot()
+
+        resumed = DriftMonitor(profile, event_budget_windows=3)
+        resumed.restore(snapshot)
+        assert resumed.last["window_start"] == 270
+        report = resumed.observe_window(shifted, window_start=300)
+        assert not report["event"]  # still inside the budget
+        report = resumed.observe_window(shifted, window_start=330)
+        assert report["event"]
+
+    def test_rejects_bad_shapes(self):
+        profile, _X, _scores = _profile()
+        monitor = DriftMonitor(profile)
+        with pytest.raises(ValueError, match="shape"):
+            monitor.observe_window(np.zeros((5, 99)))
+        with pytest.raises(ValueError, match="empty"):
+            monitor.observe_window(np.zeros((0, 3)))
+
+    def test_rejects_bad_budget(self):
+        profile, _X, _scores = _profile()
+        with pytest.raises(ValueError, match="budget"):
+            DriftMonitor(profile, event_budget_windows=0)

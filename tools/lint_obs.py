@@ -1,7 +1,8 @@
 #!/usr/bin/env python
-"""Lint: no stray ``print()``; no silent exception swallowing in serve/.
+"""Lint: no stray ``print()``; no silent excepts in serve/; no
+``http.server`` outside ``src/repro/obs/``.
 
-Two AST checks over ``src/repro`` (``make lint-obs``):
+Three AST checks over ``src/repro`` (``make lint-obs``):
 
 * library output must flow through ``repro.obs.get_logger`` so it
   carries a level and respects ``--log-level`` / ``--log-json`` — any
@@ -11,7 +12,12 @@ Two AST checks over ``src/repro`` (``make lint-obs``):
   is *accounting* for failures — a bare ``except:`` or an ``except
   Exception:`` whose body is only ``pass``/``...`` hides a fault from
   the quarantine counters, the breaker, the shard manifest checks and
-  the logs, so both are rejected there.
+  the logs, so both are rejected there;
+* the HTTP surface is ``repro.obs.server``'s single responsibility —
+  importing ``http.server`` anywhere else in the library scatters
+  socket lifecycles and bypasses the endpoint's scrape counters, dump
+  retries and access-log routing, so it is rejected outside
+  ``src/repro/obs/``.
 
 AST-based on purpose: docstrings contain ``print()`` usage examples and
 prose about ``except`` clauses that a grep would false-positive on.
@@ -33,6 +39,10 @@ ALLOWED = {
 
 #: Directories (relative to src/repro) under the silent-except ban.
 STRICT_EXCEPT_DIRS = frozenset({Path("serve"), Path("scale")})
+
+#: The only directory (relative to src/repro) allowed to import
+#: ``http.server``.
+HTTP_SERVER_DIR = Path("obs")
 
 
 def find_prints(tree: ast.AST) -> list[tuple[int, str]]:
@@ -81,6 +91,32 @@ def find_silent_excepts(tree: ast.AST) -> list[tuple[int, str]]:
     return offenders
 
 
+def find_http_server_imports(tree: ast.AST) -> list[tuple[int, str]]:
+    """``http.server`` reached any way: ``import http.server``,
+    ``from http.server import ...``, or ``from http import server``."""
+    offenders: list[tuple[int, str]] = []
+    message = (
+        "http.server import outside src/repro/obs/ — the live endpoint "
+        "lives in repro.obs.server; talk to it instead"
+    )
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            if any(
+                alias.name == "http.server" or alias.name.startswith("http.server.")
+                for alias in node.names
+            ):
+                offenders.append((node.lineno, message))
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module == "http.server" or module.startswith("http.server."):
+                offenders.append((node.lineno, message))
+            elif module == "http" and any(
+                alias.name == "server" for alias in node.names
+            ):
+                offenders.append((node.lineno, message))
+    return offenders
+
+
 def main() -> int:
     offenders: list[str] = []
     for path in sorted(SRC.rglob("*.py")):
@@ -91,6 +127,8 @@ def main() -> int:
             findings.extend(find_prints(tree))
         if any(strict in relative.parents for strict in STRICT_EXCEPT_DIRS):
             findings.extend(find_silent_excepts(tree))
+        if HTTP_SERVER_DIR not in relative.parents:
+            findings.extend(find_http_server_imports(tree))
         for lineno, message in sorted(findings):
             offenders.append(f"src/repro/{relative}:{lineno}: {message}")
     if offenders:
@@ -99,7 +137,8 @@ def main() -> int:
         return 1
     print(
         "lint-obs: no stray print() calls in src/repro; "
-        "no silent excepts in src/repro/serve or src/repro/scale"
+        "no silent excepts in src/repro/serve or src/repro/scale; "
+        "no http.server imports outside src/repro/obs"
     )
     return 0
 

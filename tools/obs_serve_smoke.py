@@ -1,0 +1,209 @@
+#!/usr/bin/env python
+"""Obs-plane crash drill (``make obs-serve-smoke``): scrape → kill -9 →
+resume → counters monotone.
+
+The drill exercises the live observability plane end-to-end through the
+real CLI, in under a minute:
+
+1. simulate a small fleet, record its reading stream;
+2. start ``repro serve --obs-port`` throttled, with checkpointing on;
+3. poll ``/health`` until the endpoint answers, then scrape all three
+   endpoints — ``/metrics`` must round-trip through the strict
+   exposition parser while the daemon is scoring;
+4. the moment the first window checkpoint commits, ``kill -9`` the
+   daemon and record the last pre-checkpoint counter values;
+5. ``repro serve --resume --obs-port`` (still throttled), scrape again
+   mid-run and assert every counter resumed at or above its
+   pre-checkpoint value — the continuity contract;
+6. let the resumed daemon finish and check it exits 0.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = str(REPO / "src")
+
+SERVE_START, END, WINDOW = 300, 360, 30
+WATCHED = (
+    "serve_readings_ingested_total",
+    "serve_windows_scored_total",
+    "serve_ticks_total",
+)
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _run(argv: list[str]) -> None:
+    env = dict(os.environ, PYTHONPATH=SRC)
+    subprocess.run(argv, check=True, env=env, cwd=REPO)
+
+
+def _get(url: str, timeout: float = 2.0):
+    """(status, body) — 503s are answers here, not errors."""
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.status, response.read().decode()
+    except urllib.error.HTTPError as err:
+        return err.code, err.read().decode()
+
+
+def _counters(metrics_text: str) -> dict[str, float]:
+    from tests.obs.promparse import validate_exposition
+
+    families = validate_exposition(metrics_text)
+    return {
+        name: families[name].samples[0].value
+        for name in WATCHED
+        if name in families and families[name].samples
+    }
+
+
+def _wait_alive(port: int, daemon: subprocess.Popen, what: str) -> None:
+    deadline = time.monotonic() + 45
+    while time.monotonic() < deadline:
+        if daemon.poll() is not None:
+            raise SystemExit(
+                f"{what} daemon exited before its endpoint answered "
+                f"(code {daemon.returncode})"
+            )
+        try:
+            status, _ = _get(f"http://127.0.0.1:{port}/health")
+        except (urllib.error.URLError, OSError):
+            time.sleep(0.05)
+            continue
+        if status in (200, 503):
+            return
+        time.sleep(0.05)
+    raise SystemExit(f"{what} /health never answered on port {port}")
+
+
+def main() -> int:
+    started = time.monotonic()
+    sys.path.insert(0, SRC)
+    sys.path.insert(0, str(REPO))  # tests.obs.promparse, the strict parser
+
+    with tempfile.TemporaryDirectory(prefix="obs-serve-smoke-") as tmp:
+        tmp = Path(tmp)
+        data, stream = tmp / "data", tmp / "stream.jsonl"
+        ckpt, sink = tmp / "ckpt", tmp / "alarms.jsonl"
+        port = _free_port()
+
+        _run([sys.executable, "-m", "repro", "simulate", str(data),
+              "--vendor", "I=80", "--horizon-days", "420",
+              "--failure-boost", "25", "--seed", "17"])
+        _run([sys.executable, "-m", "repro", "replay", str(data), str(stream),
+              "--end-day", str(END)])
+
+        serve_argv = [
+            sys.executable, "-m", "repro", "serve", str(data),
+            "--input", str(stream),
+            "--serve-start-day", str(SERVE_START),
+            "--window-days", str(WINDOW), "--end-day", str(END),
+            "--checkpoint-dir", str(ckpt), "--alarms-out", str(sink),
+            "--throttle-seconds", "0.12",
+            "--throttle-from-day", str(SERVE_START),
+        ]
+        env = dict(os.environ, PYTHONPATH=SRC)
+        daemon = subprocess.Popen(
+            serve_argv + ["--obs-port", str(port)], env=env, cwd=REPO
+        )
+        pre_checkpoint: dict[str, float] = {}
+        try:
+            _wait_alive(port, daemon, "serve")
+
+            # All three endpoints answer while the daemon is scoring,
+            # and /metrics satisfies the strict exposition parser.
+            status, metrics_text = _get(f"http://127.0.0.1:{port}/metrics")
+            assert status == 200, f"/metrics returned {status}"
+            pre_checkpoint = _counters(metrics_text)
+            missing = [n for n in WATCHED if n not in pre_checkpoint]
+            assert not missing, f"/metrics lacks serve families: {missing}"
+            status, body = _get(f"http://127.0.0.1:{port}/status")
+            assert status == 200 and "watermark" in json.loads(body)
+            status, body = _get(f"http://127.0.0.1:{port}/health")
+            assert json.loads(body)["alive"] is True
+            print(f"obs-serve-smoke: live scrape OK {pre_checkpoint}")
+
+            # Keep the freshest scrape that predates the checkpoint:
+            # everything in it is <= the checkpointed registry snapshot.
+            deadline = time.monotonic() + 45
+            while time.monotonic() < deadline:
+                if (ckpt / "manifest.json").exists():
+                    break
+                status, metrics_text = _get(
+                    f"http://127.0.0.1:{port}/metrics"
+                )
+                if status == 200 and not (ckpt / "manifest.json").exists():
+                    pre_checkpoint = _counters(metrics_text)
+                if daemon.poll() is not None:
+                    raise SystemExit(
+                        "daemon exited before its first checkpoint "
+                        f"(code {daemon.returncode})"
+                    )
+                time.sleep(0.05)
+            else:
+                raise SystemExit("daemon never committed a checkpoint")
+            daemon.send_signal(signal.SIGKILL)
+            daemon.wait(timeout=10)
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+        print(
+            f"obs-serve-smoke: daemon killed -9 (pid {daemon.pid}), "
+            f"pre-checkpoint counters {pre_checkpoint}"
+        )
+
+        resume_port = _free_port()
+        resumed = subprocess.Popen(
+            serve_argv + ["--resume", "--obs-port", str(resume_port)],
+            env=env, cwd=REPO,
+        )
+        try:
+            _wait_alive(resume_port, resumed, "resumed")
+            status, metrics_text = _get(
+                f"http://127.0.0.1:{resume_port}/metrics", timeout=5
+            )
+            assert status == 200, f"resumed /metrics returned {status}"
+            post = _counters(metrics_text)
+            for name, before in pre_checkpoint.items():
+                after = post.get(name, 0.0)
+                assert after >= before, (
+                    f"counter {name} went backwards across kill -9: "
+                    f"{before} -> {after}"
+                )
+            print(f"obs-serve-smoke: counters monotone after resume {post}")
+            returncode = resumed.wait(timeout=60)
+            assert returncode == 0, f"resumed daemon exited {returncode}"
+        finally:
+            if resumed.poll() is None:
+                resumed.kill()
+
+        elapsed = time.monotonic() - started
+        print(
+            "obs-serve-smoke PASS: parser-valid live scrape, "
+            f"monotone counters across kill -9 + resume, {elapsed:.1f}s"
+        )
+        assert elapsed < 60, (
+            f"obs-serve-smoke exceeded its 60s budget: {elapsed:.1f}s"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
