@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test smoke serve-smoke obs-serve-smoke scale-smoke bench bench-parallel bench-obs bench-hist bench-scale chaos obs-smoke lint-obs examples exhibits clean
+.PHONY: install test smoke serve-smoke obs-serve-smoke scale-smoke bench bench-parallel bench-obs bench-hist bench-scale bench-predict chaos obs-smoke lint-obs examples exhibits clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -38,6 +38,10 @@ bench-hist:
 bench-scale:
 	PYTHONPATH=src pytest benchmarks/test_scale_bench.py -m scale_bench -s
 	@echo "results in benchmarks/results/scale_1m.json"
+
+bench-predict:
+	PYTHONPATH=src pytest benchmarks/test_predict_speedup.py -m predict_bench -s
+	@echo "results in benchmarks/results/predict_speedup.json"
 
 chaos:
 	PYTHONPATH=src pytest benchmarks/test_chaos_robustness.py -m chaos

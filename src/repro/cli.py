@@ -14,6 +14,11 @@ replay      record a fleet as a replayable per-day reading stream
 obs         observability utilities (``obs report <run-dir>``,
             ``obs top <url>`` live dashboard)
 scale       shard-store utilities (``scale inspect <shard-dir>``)
+model       versioned model artifacts: ``model save`` fits and persists
+            a schema-versioned, hash-manifested artifact directory that
+            ``monitor --model-artifact`` / ``serve --model-artifact``
+            score through without retraining; ``model inspect`` prints
+            the manifest, ``model load`` verifies integrity
 
 Out-of-core operation
 ---------------------
@@ -234,9 +239,57 @@ def _add_train(subparsers) -> None:
     _add_obs_flags(parser)
 
 
+def _add_model(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "model", help="versioned model artifacts (save / load / inspect)"
+    )
+    model_subparsers = parser.add_subparsers(dest="model_command", required=True)
+    save = model_subparsers.add_parser(
+        "save",
+        help="fit MFPA on a fleet (or shard store) and save a versioned "
+        "artifact directory",
+    )
+    save.add_argument("dataset", help="fleet directory or shard store")
+    save.add_argument("output", help="artifact directory to write")
+    save.add_argument("--feature-group", default="SFWB")
+    save.add_argument("--train-end-day", type=int, default=360)
+    save.add_argument(
+        "--with-reduced",
+        action="store_true",
+        help="also fit the reduced-feature fallback model and bundle it "
+        "under <output>/reduced (serve's degraded-mode scorer)",
+    )
+    save.add_argument(
+        "--no-profile",
+        action="store_true",
+        help="skip sketching the training-era ReferenceProfile into the "
+        "artifact (disables drift monitoring on `serve --model-artifact`)",
+    )
+    _add_n_jobs_flag(save)
+    _add_split_algorithm_flag(save)
+    _add_memory_ceiling_flag(save)
+    _add_loading_flags(save)
+    load = model_subparsers.add_parser(
+        "load",
+        help="load an artifact end to end (verifying every file hash) and "
+        "print what it contains",
+    )
+    load.add_argument("artifact", help="directory written by `model save`")
+    inspect = model_subparsers.add_parser(
+        "inspect", help="print an artifact's manifest without loading the model"
+    )
+    inspect.add_argument("artifact", help="directory written by `model save`")
+
+
 def _add_monitor(subparsers) -> None:
     parser = subparsers.add_parser("monitor", help="replay a monitored deployment")
     parser.add_argument("dataset")
+    parser.add_argument(
+        "--model-artifact",
+        metavar="DIR",
+        help="start from a `repro model save` artifact instead of fitting "
+        "the initial model (first window is scored without any fit call)",
+    )
     parser.add_argument("--start-day", type=int, default=300)
     parser.add_argument("--end-day", type=int, default=540)
     parser.add_argument("--window-days", type=int, default=30)
@@ -292,8 +345,21 @@ def _add_serve(subparsers) -> None:
     parser = subparsers.add_parser(
         "serve", help="run the fleet-scoring daemon over a reading stream"
     )
-    parser.add_argument("dataset", help="fleet used to fit the models (ignored on --resume)")
+    parser.add_argument(
+        "dataset",
+        nargs="?",
+        default=None,
+        help="fleet used to fit the models (not needed with --resume or "
+        "--model-artifact)",
+    )
     parser.add_argument("--input", required=True, help="JSONL stream from `repro replay`")
+    parser.add_argument(
+        "--model-artifact",
+        metavar="DIR",
+        help="score through a `repro model save` artifact instead of "
+        "fitting at startup; with --resume the checkpoint must have been "
+        "written by the same artifact (hash-checked)",
+    )
     parser.add_argument("--serve-start-day", type=int, default=240)
     parser.add_argument("--train-end-day", type=int, default=None,
                         help="default: --serve-start-day")
@@ -441,6 +507,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_replay(subparsers)
     _add_obs(subparsers)
     _add_scale(subparsers)
+    _add_model(subparsers)
     return parser
 
 
@@ -631,6 +698,18 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
 
 
 def _run_monitor(args: argparse.Namespace, is_shard_store) -> int:
+    initial_model = None
+    if getattr(args, "model_artifact", None):
+        from repro.ml.artifact import load_model
+
+        with trace_span("monitor.load_artifact"):
+            initial_model = load_model(args.model_artifact)
+        if args.allow_degraded:
+            raise SystemExit(
+                "--allow-degraded cannot be combined with --model-artifact; "
+                "the loaded model's feature group is fixed"
+            )
+        log.info(f"initial model loaded from {args.model_artifact} — no fit")
     if is_shard_store(args.dataset):
         from repro.scale import ShardedDataset, ShardedFleetMonitor
 
@@ -648,6 +727,8 @@ def _run_monitor(args: argparse.Namespace, is_shard_store) -> int:
             sanitize=args.sanitize,
             n_jobs=args.n_jobs,
         )
+        if initial_model is not None:
+            monitor.use_model(initial_model, args.start_day)
         summary = monitor.run(
             args.start_day,
             args.end_day,
@@ -668,6 +749,7 @@ def _run_monitor(args: argparse.Namespace, is_shard_store) -> int:
             checkpoint_dir=args.checkpoint_dir,
             resume=args.resume,
             n_jobs=args.n_jobs,
+            initial_model=initial_model,
         )
     record_result("n_alarms", summary.n_alarms)
     record_result("true_alarms", summary.true_alarms)
@@ -846,13 +928,64 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.resume and args.checkpoint_dir and has_checkpoint_files(
         args.checkpoint_dir, SERVE_FILES
     ):
-        daemon = ServeDaemon.resume(args.checkpoint_dir, sink_path=args.alarms_out)
+        expected_hash = None
+        if args.model_artifact:
+            from repro.ml.artifact import artifact_hash
+
+            expected_hash = artifact_hash(args.model_artifact)
+        daemon = ServeDaemon.resume(
+            args.checkpoint_dir,
+            sink_path=args.alarms_out,
+            expected_model_hash=expected_hash,
+        )
         log.info(
             f"resumed from {args.checkpoint_dir} at watermark day "
             f"{daemon.watermark}"
         )
         min_day = daemon.watermark
+    elif args.model_artifact:
+        from pathlib import Path
+
+        from repro.ml.artifact import (
+            artifact_hash,
+            load_model,
+            load_reference_profile,
+        )
+
+        with trace_span("serve.load_artifact"):
+            full = load_model(args.model_artifact)
+            reduced_dir = Path(args.model_artifact) / "reduced"
+            reduced = (
+                load_model(reduced_dir)
+                if not args.no_reduced and reduced_dir.is_dir()
+                else None
+            )
+            profile = (
+                load_reference_profile(args.model_artifact)
+                if not args.no_drift
+                else None
+            )
+            daemon = ServeDaemon.from_models(
+                full,
+                reduced,
+                config,
+                drift=profile if profile is not None else False,
+                checkpoint_dir=args.checkpoint_dir,
+                sink_path=args.alarms_out,
+                model_hash=artifact_hash(args.model_artifact),
+            )
+        log.info(
+            f"serving model artifact {args.model_artifact} "
+            f"(hash {daemon.model_hash}, drift "
+            f"{'on' if daemon.drift is not None else 'off'}) — no fit"
+        )
+        min_day = None
     else:
+        if args.dataset is None:
+            raise SystemExit(
+                "serve needs a fleet dataset unless --resume or "
+                "--model-artifact supplies the models"
+            )
         dataset = _load(args)
         with trace_span("serve.bootstrap"):
             daemon = ServeDaemon.bootstrap(
@@ -980,6 +1113,92 @@ def _cmd_scale(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_model(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.ml.artifact import (
+        artifact_hash,
+        inspect_artifact,
+        load_model,
+        save_model,
+    )
+
+    if args.model_command == "inspect":
+        log.info(_json.dumps(inspect_artifact(args.artifact), indent=2, sort_keys=True))
+        return 0
+    if args.model_command == "load":
+        model = load_model(args.artifact)
+        log.info(
+            f"loaded {type(model).__name__} from {args.artifact} "
+            f"(hash {artifact_hash(args.artifact)}); every file hash verified"
+        )
+        return 0
+
+    # save: fit on the fleet, then persist the versioned artifact.
+    from repro.scale import is_shard_store
+
+    config = MFPAConfig(
+        feature_group_name=args.feature_group,
+        n_jobs=args.n_jobs,
+        split_algorithm=args.split_algorithm,
+        memory_ceiling_mb=args.memory_ceiling_mb,
+    )
+    annotate_run(config_hash=config_hash(config), n_jobs=args.n_jobs)
+    profile = None
+    dataset = None
+    if is_shard_store(args.dataset):
+        from repro.scale import ShardedDataset, fit_sharded
+
+        store = ShardedDataset(args.dataset)
+        annotate_run(dataset_fingerprint=store.fleet_fingerprint)
+        model = fit_sharded(
+            store, config, train_end_day=args.train_end_day, sanitize=args.sanitize
+        )
+        if not args.no_profile:
+            log.warning(
+                "shard-store training keeps no in-RAM dataset; artifact is "
+                "saved without a ReferenceProfile"
+            )
+        if args.with_reduced:
+            raise SystemExit(
+                "--with-reduced needs an in-RAM fleet; shard stores fit "
+                "only the full model"
+            )
+    else:
+        dataset = _load(args)
+        model = MFPA(config)
+        with trace_span("model.fit"):
+            model.fit(dataset, train_end_day=args.train_end_day)
+        if not args.no_profile:
+            from repro.serve.drift import ReferenceProfile
+
+            train_end = min(
+                args.train_end_day,
+                int(model.dataset_.columns["day"].max()) + 1,
+            )
+            profile = ReferenceProfile.from_model(model, (0, train_end))
+    with trace_span("model.save"):
+        save_model(
+            model, args.output, dataset=dataset, reference_profile=profile
+        )
+        if args.with_reduced:
+            from pathlib import Path
+
+            from repro.robustness.degraded import fit_reduced_model
+
+            reduced = fit_reduced_model(
+                dataset, args.train_end_day, base_config=model.config
+            )
+            save_model(reduced, Path(args.output) / "reduced", dataset=dataset)
+    log.info(
+        f"saved {type(model).__name__} artifact to {args.output} "
+        f"(hash {artifact_hash(args.output)}, profile "
+        f"{'yes' if profile is not None else 'no'}, reduced "
+        f"{'yes' if args.with_reduced else 'no'})"
+    )
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "train": _cmd_train,
@@ -990,6 +1209,7 @@ _COMMANDS = {
     "replay": _cmd_replay,
     "obs": _cmd_obs,
     "scale": _cmd_scale,
+    "model": _cmd_model,
 }
 
 

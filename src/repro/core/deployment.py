@@ -325,6 +325,33 @@ class FleetMonitor:
             1 for day in self.model.failure_times_.values() if day < train_end_day
         )
 
+    def start_with_model(
+        self,
+        model: MFPA,
+        dataset: TelemetryDataset,
+        train_end_day: int,
+    ) -> None:
+        """Adopt an already-fitted pipeline instead of training one.
+
+        The artifact-loaded fast path: ``repro monitor --model-artifact``
+        reaches its first scored window with zero ``fit()`` calls. The
+        monitor takes the model's own config (so a later scheduled
+        retrain reproduces the artifact's training recipe) and binds the
+        fleet dataset through :meth:`MFPA.bind_dataset` when the loaded
+        pipeline does not carry one.
+        """
+        with trace_span("monitor.start"):
+            model._check_fitted()
+            self.config = model.config
+            self.dataset = dataset
+            self.model = model
+            if not hasattr(model, "dataset_"):
+                model.bind_dataset(dataset)
+        self._last_trained_day = train_end_day
+        self._failures_at_training = sum(
+            1 for day in self.model.failure_times_.values() if day < train_end_day
+        )
+
     def _check_started(self) -> None:
         if self._last_trained_day is None:
             raise RuntimeError("FleetMonitor.start() must be called first")
@@ -467,6 +494,7 @@ def simulate_operation(
     resume: bool = False,
     max_windows: int | None = None,
     n_jobs: int = 1,
+    initial_model: MFPA | None = None,
 ) -> OperationSummary:
     """Replay a monitored operation and grade it against ground truth.
 
@@ -477,6 +505,9 @@ def simulate_operation(
     replay early (a controlled "crash") after that many total windows,
     returning a partial summary. ``n_jobs`` chunks the per-drive scoring
     over a worker pool without changing any alarm or summary field.
+    ``initial_model`` (an artifact-loaded fitted :class:`MFPA`) skips
+    the initial training entirely — the first window is scored without
+    a ``fit()`` call.
     """
     boundaries = list(range(start_day, end_day, window_days))
     windows: list[MonitoringWindow] = []
@@ -505,7 +536,12 @@ def simulate_operation(
             allow_degraded=allow_degraded,
             n_jobs=n_jobs,
         )
-        monitor.start(dataset, train_end_day=start_day)
+        if initial_model is not None:
+            monitor.start_with_model(
+                initial_model, dataset, train_end_day=start_day
+            )
+        else:
+            monitor.start(dataset, train_end_day=start_day)
 
     for window_start in boundaries[len(windows):]:
         if max_windows is not None and len(windows) >= max_windows:

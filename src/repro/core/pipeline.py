@@ -266,6 +266,54 @@ class MFPA:
         self.train_end_day_ = train_end_day
         return self
 
+    def bind_dataset(self, dataset: TelemetryDataset) -> "MFPA":
+        """Attach a fleet dataset to an artifact-loaded pipeline.
+
+        Runs only the *transform* half of :meth:`fit` — discontinuity
+        repair, event accumulation, derived features, firmware encoding
+        through the **saved** encoder, and failure-time labeling — so an
+        ``repro model load``-ed pipeline can ``evaluate()`` or drive a
+        fleet monitor without retraining. ``model_``, ``assembler_`` and
+        ``firmware_encoder_`` are left exactly as loaded; a firmware
+        version the encoder never saw raises ``ValueError`` rather than
+        silently remapping codes.
+        """
+        self._check_fitted()
+        from repro.core.features import FIRMWARE_CODE_COLUMN
+        from repro.core.preprocess import (
+            accumulate_events,
+            repair_discontinuity,
+        )
+
+        config = self.config
+        started = time.perf_counter()
+        with trace_span("bind_dataset"):
+            prepared, report = repair_discontinuity(
+                dataset,
+                max_gap=config.max_gap,
+                fill_gap=config.fill_gap,
+                min_segment_records=config.min_segment_records,
+            )
+            prepared = accumulate_events(prepared)
+            columns = dict(prepared.columns)
+            columns[FIRMWARE_CODE_COLUMN] = self.firmware_encoder_.transform(
+                columns["firmware"]
+            ).astype(float)
+            prepared = TelemetryDataset(
+                columns, prepared.drives, prepared.tickets
+            )
+            if self.derived_columns_:
+                from repro.core.derived import add_derived_features
+
+                prepared, _ = add_derived_features(prepared)
+            self.dataset_ = prepared
+            self.preprocess_report_ = report
+            self.failure_times_ = FailureTimeIdentifier(config.theta).identify(
+                prepared
+            )
+        self._record_stage("bind_dataset", started, prepared.n_records)
+        return self
+
     def _select_train_samples(
         self, samples: SampleSet, train_end_day: int
     ) -> SampleSet:

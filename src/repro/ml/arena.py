@@ -1,0 +1,489 @@
+"""Packed multi-tree prediction arena — the inference fast path.
+
+A fitted forest/GBDT predicts by descending each tree independently:
+``T`` Python-level loops, each re-gathering rows and re-validating the
+batch.  :class:`ForestArena` packs *all* trees of an ensemble into one
+contiguous node-array set (``feature``/``threshold``/``child``/
+``values`` plus per-tree root offsets) so a whole batch descends every
+tree at once: the working state is a single flat array of
+``rows × trees`` lanes updated by vectorized gathers, and leaves
+self-loop (``child[2n] == child[2n+1] == n``) so finished lanes idle
+harmlessly while deep lanes keep walking.
+
+Two engines share the packed layout:
+
+* **binned** (default) — each feature gets a sorted *code table*: the
+  PR-5 training bin edges (when the model was hist-trained or an
+  artifact supplies a bin-edge snapshot) refined with every node
+  threshold the ensemble actually splits on.  Rows are encoded once
+  (``searchsorted(table, v, side="left")``) and each node compares
+  codes against its pre-quantized code threshold.
+  Because every threshold is *in* its table,
+  ``code(v) <= code(t)  ⟺  v <= t`` exactly — integer compares decide
+  every split bit-identically to the float engine, with no per-node
+  fallback path.
+* **float** — compares raw feature values against the stored float
+  thresholds, exactly the comparisons the per-tree loops make, just
+  batched.  Used when a code table cannot be built (pathological
+  threshold cardinality) or when forced via
+  :func:`set_inference_mode`.
+
+Inference-time NaN policy (see ``_Tree.predict_value``): ``NaN <= t``
+is False, so missing values route RIGHT in the float engine; the
+reserved NaN code (``table.size + 1``) sorts above every code
+threshold, so the binned engine routes the same rows right — and the
+comparison is a deterministic integer compare, not a NaN-poisoned
+float one.
+
+Aggregation preserves the seed's float accumulation order (a
+sequential per-tree loop, never a pairwise ``np.sum`` over the tree
+axis) so ensemble probabilities — not just alarms — stay bit-identical
+at any engine and any row chunking.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.ml.tree import _NO_SPLIT, _Tree
+from repro.obs import inc_counter, observe_histogram
+
+__all__ = [
+    "ForestArena",
+    "cached_arena",
+    "exact_mode",
+    "get_inference_mode",
+    "set_inference_mode",
+]
+
+_MODES = ("auto", "exact", "float", "binned")
+_inference_mode = "auto"
+
+#: Lane budget per descent chunk: each step materializes a handful of
+#: per-lane temporaries (~8 bytes/lane each), so chunking rows keeps
+#: peak memory flat for million-row batches.
+_MAX_LANES = 1 << 22
+
+#: Per-feature code-table ceiling. The leaf sentinel cut (0xFFFF) must
+#: exceed every real code (and the NaN code ``table.size + 1``); a
+#: feature split on more distinct thresholds than this (pathological)
+#: sends the arena to the float engine instead.
+_MAX_TABLE = 65000
+
+
+def set_inference_mode(mode: str) -> str:
+    """Select the prediction engine; returns the previous mode.
+
+    ``auto`` (default) uses the binned engine whenever the ensemble's
+    code tables exist and the float arena otherwise; ``exact`` restores
+    the seed's per-tree descent loops (the escape hatch the parity
+    gates diff against); ``float``/``binned`` force one arena engine.
+    """
+    global _inference_mode
+    if mode not in _MODES:
+        raise ValueError(f"unknown inference mode {mode!r}; choose from {_MODES}")
+    previous = _inference_mode
+    _inference_mode = mode
+    return previous
+
+
+def get_inference_mode() -> str:
+    return _inference_mode
+
+
+def exact_mode() -> bool:
+    """Whether callers should bypass the arena entirely."""
+    return _inference_mode == "exact"
+
+
+def cached_arena(model, build) -> "ForestArena":
+    """Return the model's arena, building (and caching) it on first use.
+
+    ``fit`` resets ``model._arena_`` to None, so refits rebuild; models
+    unpickled from pre-arena checkpoints lack the attribute and build
+    lazily.  Bin edges stashed by hist training (``model.bin_edges_``)
+    seed the code tables when present.
+    """
+    arena = model.__dict__.get("_arena_")
+    if arena is None:
+        arena = build()
+        arena.build_code_tables(getattr(model, "bin_edges_", None))
+        model._arena_ = arena
+    return arena
+
+
+class ForestArena:
+    """All trees of one ensemble packed into contiguous node arrays."""
+
+    def __init__(self, feature, threshold, child, values, roots,
+                 n_features: int, max_depth: int = 0):
+        self.feature = feature
+        self.threshold = threshold
+        #: Interleaved children: ``child[2n]`` = left, ``child[2n+1]`` =
+        #: right; leaves point both slots at themselves, so a lane that
+        #: reached its leaf stays put whichever way its (discarded)
+        #: comparison went — including the NaN-compares-False case.
+        self.child = child
+        self.values = values
+        self.roots = roots
+        self.n_features = int(n_features)
+        self.max_depth = int(max_depth)
+        self.is_split = feature != _NO_SPLIT
+        # Leaves gather feature 0 (any valid column) — their comparison
+        # result is discarded because they self-loop.
+        self.gather_feature = np.where(self.is_split, feature, 0)
+        self.code_tables = None
+        self.code_cut = None
+        self.base = None
+
+    # ---------------------------------------------------------- build
+
+    @staticmethod
+    def _sibling_order(feature_arr, left_arr, right_arr):
+        """BFS permutation placing every split's children adjacently.
+
+        Returns ``(order, new_pos, depth)`` — new-id → old-id, its
+        inverse, and the tree's leaf depth (BFS level count).  After
+        permutation ``right == left + 1`` for every split node, which
+        lets the binned walk address both children off one base index
+        (``next = base + went_right``).
+        """
+        n = feature_arr.size
+        order = np.zeros(n, dtype=np.int64)
+        new_pos = np.zeros(n, dtype=np.int64)
+        next_id = 1
+        depth = 0
+        frontier = np.zeros(1, dtype=np.int64)  # root is old id 0
+        while frontier.size:
+            parents = frontier[feature_arr[frontier] != _NO_SPLIT]
+            if parents.size == 0:
+                break
+            depth += 1
+            children = np.empty(2 * parents.size, dtype=np.int64)
+            children[0::2] = left_arr[parents]
+            children[1::2] = right_arr[parents]
+            ids = next_id + np.arange(children.size, dtype=np.int64)
+            order[ids] = children
+            new_pos[children] = ids
+            next_id += children.size
+            frontier = children
+        return order, new_pos, depth
+
+    @classmethod
+    def from_trees(cls, trees: list[_Tree], n_features: int,
+                   n_outputs: int | None = None,
+                   tree_columns=None) -> "ForestArena":
+        """Pack finalized ``_Tree`` objects into one arena.
+
+        Nodes are re-ordered breadth-first per tree (see
+        :meth:`_sibling_order`) — prediction only cares about the graph,
+        not the growth order, and the sibling-adjacent layout is what
+        the packed binned walk relies on.
+
+        ``tree_columns`` maps each tree's local output columns onto the
+        ensemble's (forests bootstrap, so member trees can know fewer
+        classes); leaf values land zero-padded on the ensemble columns,
+        which leaves the per-tree accumulation floats untouched
+        (``x + 0.0 == x``).
+        """
+        for tree in trees:
+            if getattr(tree, "feature_arr", None) is None:
+                tree.finalize()
+        counts = np.array([tree.feature_arr.size for tree in trees],
+                          dtype=np.int64)
+        offsets = np.zeros(len(trees), dtype=np.int64)
+        np.cumsum(counts[:-1], out=offsets[1:])
+        total = int(counts.sum())
+        if n_outputs is None:
+            n_outputs = trees[0].value_arr.shape[1]
+        feature = np.empty(total, dtype=np.int64)
+        threshold = np.empty(total, dtype=float)
+        child = np.empty(2 * total, dtype=np.int64)
+        values = np.zeros((total, n_outputs))
+        max_depth = 0
+        for i, tree in enumerate(trees):
+            offset = offsets[i]
+            span = slice(offset, offset + counts[i])
+            order, new_pos, depth = cls._sibling_order(
+                tree.feature_arr, tree.left_arr, tree.right_arr
+            )
+            max_depth = max(max_depth, depth)
+            tree_feature = tree.feature_arr[order]
+            feature[span] = tree_feature
+            threshold[span] = tree.threshold_arr[order]
+            is_leaf = tree_feature == _NO_SPLIT
+            node_ids = np.arange(counts[i], dtype=np.int64)
+            # Leaf child slots hold _NO_SPLIT (-1) in the tree arrays;
+            # the wraparound lookup result is discarded by np.where.
+            child[2 * offset:2 * (offset + counts[i]):2] = (
+                np.where(is_leaf, node_ids, new_pos[tree.left_arr[order]])
+                + offset
+            )
+            child[2 * offset + 1:2 * (offset + counts[i]) + 1:2] = (
+                np.where(is_leaf, node_ids, new_pos[tree.right_arr[order]])
+                + offset
+            )
+            columns = (np.arange(tree.value_arr.shape[1])
+                       if tree_columns is None
+                       else np.asarray(tree_columns[i]))
+            values[span.start:span.stop, columns] = tree.value_arr[order]
+        return cls(feature, threshold, child, values, roots=offsets,
+                   n_features=n_features, max_depth=max_depth)
+
+    @property
+    def n_trees(self) -> int:
+        return self.roots.size
+
+    @property
+    def n_nodes(self) -> int:
+        return self.feature.size
+
+    @property
+    def has_codes(self) -> bool:
+        return self.code_tables is not None
+
+    def build_code_tables(self, bin_edges=None) -> None:
+        """Build per-feature code tables and quantize node thresholds.
+
+        Each table is the sorted union of the feature's training bin
+        edges (when supplied — the PR-5 snapshot) and every threshold
+        the packed trees split that feature on.  A node's code
+        threshold is its threshold's exact position in the table, so
+        ``code(v) <= code_threshold ⟺ v <= threshold`` — integer
+        descent reproduces float descent bit-for-bit.
+
+        Alongside the tables, the binned walk gets base-addressed
+        children: after :meth:`_sibling_order` every split's children
+        are adjacent, so ``base + went_right`` reaches either one off a
+        single gather.  Leaves store ``base`` = themselves and
+        ``cut = 0xFFFF`` — ≥ every code including the reserved NaN
+        code — so a lane at its leaf always "goes left" and stays put.
+        """
+        tables: list[np.ndarray] = []
+        split_features = self.feature[self.is_split]
+        split_thresholds = self.threshold[self.is_split]
+        for f in range(self.n_features):
+            used = split_thresholds[split_features == f]
+            if bin_edges is not None and f < len(bin_edges):
+                seeded = np.concatenate(
+                    [np.asarray(bin_edges[f], dtype=float), used]
+                )
+            else:
+                seeded = used
+            table = np.unique(seeded)  # sorted + deduplicated
+            if table.size > _MAX_TABLE:
+                # Pathological cardinality: leave the arena on the
+                # float engine rather than overflow the code space.
+                self.code_tables = None
+                self.code_cut = None
+                self.base = None
+                return
+            tables.append(table)
+        code_threshold = np.zeros(self.n_nodes, dtype=np.int64)
+        split_nodes = np.flatnonzero(self.is_split)
+        for f in np.unique(split_features):
+            mask = split_features == f
+            code_threshold[split_nodes[mask]] = np.searchsorted(
+                tables[f], split_thresholds[mask], side="left"
+            )
+        self.code_tables = tables
+        node_ids = np.arange(self.n_nodes, dtype=np.int64)
+        self.base = np.where(self.is_split, self.child[0::2], node_ids)
+        self.code_cut = np.where(self.is_split, code_threshold, 0xFFFF)
+
+    # -------------------------------------------------------- descent
+
+    def encode(self, X: np.ndarray) -> np.ndarray:
+        """Encode a float batch to codes against the code tables.
+
+        Same semantics as :mod:`repro.ml.binning`:
+        ``searchsorted(table, v, side="left")`` with NaN mapped to the
+        reserved top code ``table.size + 1``.  Codes are int64 so every
+        arithmetic step of the walk stays in one dtype (mixed-width
+        integer ops cost an extra cast pass per element).
+        """
+        started = time.perf_counter()
+        # searchsorted walks each column; the transposed copy makes
+        # every column contiguous for the price of one memcpy.
+        columns = np.ascontiguousarray(X.T)
+        codes = np.empty((self.n_features, X.shape[0]), dtype=np.int64)
+        for j, table in enumerate(self.code_tables):
+            column = columns[j]
+            column_codes = np.searchsorted(table, column, side="left")
+            nan_rows = np.isnan(column)
+            if nan_rows.any():
+                column_codes = np.where(nan_rows, table.size + 1, column_codes)
+            codes[j] = column_codes
+        out = np.ascontiguousarray(codes.T)
+        observe_histogram(
+            "predict_encode_seconds", time.perf_counter() - started
+        )
+        return out
+
+    def _descend(self, X: np.ndarray, codes) -> np.ndarray:
+        """One vectorized multi-tree walk over flattened lanes.
+
+        Lanes are the flattened ``(rows, trees)`` matrix; the returned
+        flat array holds each lane's absolute leaf index.  Feature
+        lookups go through one flat 1-D gather
+        (``row * n_features + feature``) instead of 2-D advanced
+        indexing, and children through the interleaved
+        ``child[(node << 1) + went_right]`` gather.
+
+        Two phases: while at least half the lanes still sit on split
+        nodes, whole-array steps are cheapest; once the population
+        thins (skewed trees route most rows to shallow leaves) the walk
+        compacts to the live lanes only, like the per-tree descent.
+        """
+        n_rows = X.shape[0]
+        lanes = n_rows * self.n_trees
+        nodes = np.empty(lanes, dtype=np.int64)
+        nodes.reshape(n_rows, self.n_trees)[:] = self.roots
+        row_offset = np.repeat(
+            np.arange(n_rows, dtype=np.int64) * self.n_features, self.n_trees
+        )
+        if codes is not None:
+            flat_codes = codes.reshape(-1)
+            gather_feature = self.gather_feature
+            cuts = self.code_cut
+            base = self.base
+
+            def step(cur: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+                code = flat_codes[offsets + gather_feature[cur]]
+                # Leaves carry cut = 0xFFFF ≥ every code (NaN included),
+                # so they add 0 and stay on base = themselves.
+                return base[cur] + (code > cuts[cur])
+        else:
+            flat_values = X.reshape(-1)
+            threshold = self.threshold
+            gather_feature = self.gather_feature
+            child = self.child
+
+            def step(cur: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+                value = flat_values[offsets + gather_feature[cur]]
+                # ``~(v <= t)`` rather than ``v > t``: both NaN-compares
+                # are False, and left must win only when ``v <= t``.
+                went_right = ~(value <= threshold[cur])
+                return child[(cur << 1) + went_right]
+
+        # The walk needs exactly max_depth steps — lanes that reach
+        # their leaf sooner self-loop harmlessly.  A lane that stops
+        # moving is at its leaf (children are always distinct nodes;
+        # only leaves self-loop), so "did it move" doubles as the
+        # liveness test — no node-kind gather per step, and the final
+        # depth-bounded step skips the bookkeeping entirely.
+        remaining = self.max_depth
+        if remaining == 0:  # every tree is a lone root leaf
+            return nodes
+        while remaining > 0:
+            stepped = step(nodes, row_offset)
+            remaining -= 1
+            if remaining == 0:
+                return stepped
+            moved = stepped != nodes
+            nodes = stepped
+            n_active = int(np.count_nonzero(moved))
+            if n_active == 0:
+                return nodes
+            if 2 * n_active < lanes:
+                break
+        live = np.flatnonzero(moved)
+        while live.size and remaining > 0:
+            stepped = step(nodes[live], row_offset[live])
+            remaining -= 1
+            moved = stepped != nodes[live]
+            nodes[live] = stepped
+            live = live[moved]
+        return nodes
+
+    def _choose_engine(self) -> str:
+        mode = get_inference_mode()
+        if mode == "binned":
+            if not self.has_codes:
+                raise RuntimeError(
+                    "binned inference forced but no code tables could be "
+                    "built for this ensemble"
+                )
+            return "binned"
+        if mode == "float":
+            return "float"
+        return "binned" if self.has_codes else "float"
+
+    def _chunk_rows(self) -> int:
+        return max(1, _MAX_LANES // max(1, self.n_trees))
+
+    def _observe(self, engine: str, n_rows: int, started: float) -> None:
+        inc_counter("predict_requests_total", engine=engine)
+        inc_counter("predict_rows_total", float(n_rows), engine=engine)
+        observe_histogram(
+            "predict_batch_seconds", time.perf_counter() - started
+        )
+
+    # ---------------------------------------------- ensemble predicts
+
+    def predict_mean(self, X: np.ndarray) -> np.ndarray:
+        """Forest-classifier aggregation: mean of aligned leaf values.
+
+        Accumulates tree-by-tree per row chunk — the same float
+        addition sequence as the seed's per-tree loop, so probabilities
+        are bit-identical.
+        """
+        started = time.perf_counter()
+        engine = self._choose_engine()
+        codes = self.encode(X) if engine == "binned" else None
+        out = np.zeros((X.shape[0], self.values.shape[1]))
+        chunk = self._chunk_rows()
+        for start in range(0, X.shape[0], chunk):
+            span = slice(start, start + chunk)
+            nodes = self._descend(
+                X[span], None if codes is None else codes[span]
+            ).reshape(-1, self.n_trees)
+            aggregate = out[span]
+            for t in range(self.n_trees):
+                aggregate += self.values[nodes[:, t]]
+            aggregate /= self.n_trees
+        self._observe(engine, X.shape[0], started)
+        return out
+
+    def predict_raw(self, X: np.ndarray, initial_score: float,
+                    learning_rate: float) -> np.ndarray:
+        """GBDT aggregation: additive raw score in boosting order."""
+        started = time.perf_counter()
+        engine = self._choose_engine()
+        codes = self.encode(X) if engine == "binned" else None
+        raw = np.full(X.shape[0], initial_score)
+        chunk = self._chunk_rows()
+        for start in range(0, X.shape[0], chunk):
+            span = slice(start, start + chunk)
+            nodes = self._descend(
+                X[span], None if codes is None else codes[span]
+            ).reshape(-1, self.n_trees)
+            segment = raw[span]
+            for t in range(self.n_trees):
+                segment += learning_rate * self.values[nodes[:, t], 0]
+        self._observe(engine, X.shape[0], started)
+        return raw
+
+    def predict_stack(self, X: np.ndarray) -> np.ndarray:
+        """Per-tree predictions as a ``(trees, rows)`` stack.
+
+        The regressor forest reduces this with ``np.mean(stack,
+        axis=0)`` — the identical reduction (and pairwise-summation
+        pattern) the seed applies to its list of per-tree predictions.
+        """
+        started = time.perf_counter()
+        engine = self._choose_engine()
+        codes = self.encode(X) if engine == "binned" else None
+        stack = np.empty((self.n_trees, X.shape[0]))
+        chunk = self._chunk_rows()
+        for start in range(0, X.shape[0], chunk):
+            span = slice(start, start + chunk)
+            nodes = self._descend(
+                X[span], None if codes is None else codes[span]
+            ).reshape(-1, self.n_trees)
+            for t in range(self.n_trees):
+                stack[t, span] = self.values[nodes[:, t], 0]
+        self._observe(engine, X.shape[0], started)
+        return stack

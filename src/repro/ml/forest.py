@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.ml.arena import ForestArena, cached_arena, exact_mode
 from repro.ml.base import BaseClassifier, check_X, check_X_y
 from repro.ml.binning import BinnedDataset, get_binned
 from repro.ml.tree import (
@@ -162,6 +163,8 @@ class RandomForestClassifier(BaseClassifier):
         # precompute each tree's column alignment onto the forest's class
         # list once instead of rebuilding it on every predict_proba call.
         self._tree_columns_ = self._align_tree_columns()
+        self.bin_edges_ = binned.bin_edges if binned is not None else None
+        self._arena_ = None
         return self
 
     def _align_tree_columns(self) -> list[np.ndarray]:
@@ -177,11 +180,22 @@ class RandomForestClassifier(BaseClassifier):
         tree_columns = getattr(self, "_tree_columns_", None)
         if tree_columns is None:  # forests unpickled from older checkpoints
             tree_columns = self._tree_columns_ = self._align_tree_columns()
-        aggregate = np.zeros((X.shape[0], self.classes_.size))
-        for tree, columns in zip(self.trees_, tree_columns):
-            aggregate[:, columns] += tree.predict_proba(X)
-        aggregate /= len(self.trees_)
-        return aggregate
+        if exact_mode():
+            aggregate = np.zeros((X.shape[0], self.classes_.size))
+            for tree, columns in zip(self.trees_, tree_columns):
+                aggregate[:, columns] += tree.predict_proba(X)
+            aggregate /= len(self.trees_)
+            return aggregate
+        arena = cached_arena(
+            self,
+            lambda: ForestArena.from_trees(
+                [tree.tree_ for tree in self.trees_],
+                self.n_features_,
+                n_outputs=self.classes_.size,
+                tree_columns=tree_columns,
+            ),
+        )
+        return arena.predict_mean(X)
 
 
 class RandomForestRegressor:
@@ -244,10 +258,20 @@ class RandomForestRegressor:
                 _fit_regressor_tree,
                 [(data, sample, seed, params) for sample, seed in plans],
             )
+        self.bin_edges_ = binned.bin_edges if binned is not None else None
+        self._arena_ = None
         return self
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         if not hasattr(self, "trees_"):
             raise RuntimeError("RandomForestRegressor is not fitted yet")
         X = check_X(X, self.n_features_)
-        return np.mean([tree.predict(X) for tree in self.trees_], axis=0)
+        if exact_mode():
+            return np.mean([tree.predict(X) for tree in self.trees_], axis=0)
+        arena = cached_arena(
+            self,
+            lambda: ForestArena.from_trees(
+                [tree.tree_ for tree in self.trees_], self.n_features_
+            ),
+        )
+        return np.mean(arena.predict_stack(X), axis=0)

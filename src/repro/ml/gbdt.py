@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.ml.arena import ForestArena, cached_arena, exact_mode
 from repro.ml.base import BaseClassifier, check_X, check_X_y
 from repro.ml.binning import BinnedDataset, get_binned
 from repro.ml.tree import DecisionTreeRegressor, _check_split_algorithm
@@ -135,15 +136,25 @@ class GradientBoostingClassifier(BaseClassifier):
                 targets * np.log(clipped) + (1 - targets) * np.log(1 - clipped)
             )
             self.train_deviance_.append(float(deviance))
+        self.bin_edges_ = binned.bin_edges if binned is not None else None
+        self._arena_ = None
 
     def decision_function(self, X: np.ndarray) -> np.ndarray:
         """Raw additive score (log-odds scale)."""
         self._check_fitted()
         X = check_X(X, self.n_features_)
-        raw = np.full(X.shape[0], self.initial_score_)
-        for tree in self.trees_:
-            raw += self.learning_rate * tree.predict(X)
-        return raw
+        if exact_mode():
+            raw = np.full(X.shape[0], self.initial_score_)
+            for tree in self.trees_:
+                raw += self.learning_rate * tree.predict(X)
+            return raw
+        arena = cached_arena(
+            self,
+            lambda: ForestArena.from_trees(
+                [tree.tree_ for tree in self.trees_], self.n_features_
+            ),
+        )
+        return arena.predict_raw(X, self.initial_score_, self.learning_rate)
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         positive = _sigmoid(self.decision_function(X))

@@ -81,12 +81,23 @@ class _Tree:
         self.value_arr = np.stack(self.value)
 
     def predict_value(self, X: np.ndarray) -> np.ndarray:
-        """Route every row to its leaf and return the leaf values."""
+        """Route every row to its leaf and return the leaf values.
+
+        Inference-time NaN policy: ``NaN <= threshold`` evaluates
+        False, so a row whose split feature is missing deterministically
+        routes RIGHT at that node.  This is a contract, not an
+        accident — the binned engine (:mod:`repro.ml.arena`) maps NaN
+        to the reserved top bin (``edges.size + 1``), which sorts above
+        every quantized code threshold and therefore routes the same
+        rows right, keeping both engines bit-identical on missing
+        values.  Pinned by ``tests/ml/test_arena.py``.
+        """
         nodes = np.zeros(X.shape[0], dtype=np.int64)
         active = self.feature_arr[nodes] != _NO_SPLIT
         while np.any(active):
             indices = np.flatnonzero(active)
             current = nodes[indices]
+            # NaN compares False here → missing values go right (see above).
             go_left = (
                 X[indices, self.feature_arr[current]] <= self.threshold_arr[current]
             )
@@ -799,6 +810,10 @@ class DecisionTreeClassifier(BaseClassifier):
             self.feature_importances_ /= total_importance
         tree.finalize()
         self.tree_ = tree
+        # Snapshot the training bin edges so the arena's binned engine
+        # (and saved artifacts) can encode inference batches without
+        # refitting quantiles.
+        self.bin_edges_ = binned.bin_edges if use_hist else None
         return self
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
@@ -945,6 +960,7 @@ class DecisionTreeRegressor:
             inc_counter("tree_hist_nodes_total", hist_nodes)
         tree.finalize()
         self.tree_ = tree
+        self.bin_edges_ = binned.bin_edges if use_hist else None
         return self
 
     def predict(self, X: np.ndarray) -> np.ndarray:

@@ -308,6 +308,24 @@ CATALOG: tuple[tuple[str, str, str, tuple | None, bool], ...] = (
     ("scale_shard_score_seconds", "histogram",
      "wall-clock per (shard, window) ShardedFleetMonitor scoring pass",
      SECONDS_BUCKETS, True),
+    # ---- inference fast path (repro.ml.arena / repro.ml.artifact) ----
+    ("predict_requests_total", "counter",
+     "prediction batches served by the forest arena, by engine "
+     "(float | binned)", None, False),
+    ("predict_rows_total", "counter",
+     "rows scored by the forest arena, by engine (float | binned)",
+     None, False),
+    ("model_artifacts_saved_total", "counter",
+     "versioned model artifacts written by save_model", None, True),
+    ("model_artifacts_loaded_total", "counter",
+     "versioned model artifacts loaded (and sha256-verified) by "
+     "load_model", None, True),
+    ("predict_batch_seconds", "histogram",
+     "wall-clock per arena predict call (descent + aggregation)",
+     SECONDS_BUCKETS, True),
+    ("predict_encode_seconds", "histogram",
+     "wall-clock per integer-code encode of an inference batch against "
+     "the refined per-feature code tables", SECONDS_BUCKETS, True),
 )
 
 

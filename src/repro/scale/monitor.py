@@ -187,6 +187,18 @@ class ShardedFleetMonitor:
             )
         self._train_end_day = train_end_day
 
+    def use_model(self, model: MFPA, train_end_day: int) -> None:
+        """Adopt an already-fitted pipeline (``repro model load``) as the
+        initial model — :meth:`run` then reaches its first scored window
+        without a single ``fit()``. The monitor takes the model's own
+        config so any later scheduled retrain reproduces its training
+        recipe."""
+        model._check_fitted()
+        self.model = model
+        self.config = model.config
+        self.ceiling = MemoryCeiling(self.config.memory_ceiling_mb)
+        self._train_end_day = train_end_day
+
     def _window_models(
         self, boundaries: list[tuple[int, int]]
     ) -> tuple[list[MFPA], list[bool]]:
@@ -237,10 +249,33 @@ class ShardedFleetMonitor:
     def _save_models(
         self, directory: Path, params: dict, models: list[MFPA], plan: list[bool]
     ) -> None:
+        """Persist the window models as versioned artifacts.
+
+        Each *unique* boundary model (windows between retrains share one
+        instance) is saved once via :func:`repro.ml.artifact.save_model`
+        into ``models/boundary_<k>/``; ``monitor.pkl`` records only the
+        per-window directory names. Compared to pickling the models
+        in-line this drops the prepared dataset from the checkpoint and
+        makes every boundary model independently loadable/inspectable
+        with ``repro model inspect``.
+        """
+        from repro.ml.artifact import save_model
+
         directory.mkdir(parents=True, exist_ok=True)
+        model_dirs: list[str] = []
+        saved: dict[int, str] = {}
+        for index, model in enumerate(models):
+            name = saved.get(id(model))
+            if name is None:
+                name = f"models/boundary_{index:03d}"
+                save_model(model, directory / name)
+                saved[id(model)] = name
+            model_dirs.append(name)
         atomic_write(
             directory / "monitor.pkl",
-            pickle.dumps({"params": params, "models": models, "plan": plan}),
+            pickle.dumps(
+                {"params": params, "model_dirs": model_dirs, "plan": plan}
+            ),
         )
 
     def _save_progress(
@@ -274,8 +309,19 @@ class ShardedFleetMonitor:
             )
         with open(directory / "progress.pkl", "rb") as handle:
             progress = pickle.load(handle)
+        if "model_dirs" in meta:
+            from repro.ml.artifact import load_model
+
+            loaded: dict[str, MFPA] = {}
+            models = []
+            for name in meta["model_dirs"]:
+                if name not in loaded:
+                    loaded[name] = load_model(directory / name)
+                models.append(loaded[name])
+        else:  # pre-artifact checkpoint with in-line pickled models
+            models = meta["models"]
         return (
-            meta["models"], meta["plan"],
+            models, meta["plan"],
             progress["per_shard"], progress["grading"],
         )
 

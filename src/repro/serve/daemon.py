@@ -132,6 +132,7 @@ class ServeDaemon:
         clock=time.monotonic,
         sleep=time.sleep,
         drift: DriftMonitor | None = None,
+        model_hash: str | None = None,
     ):
         self.config = config or ServeConfig()
         self.scorer = scorer
@@ -156,6 +157,11 @@ class ServeDaemon:
         self.watermark = self.config.serve_start_day
         self.degraded = False
         self.drift = drift
+        #: Artifact hash of the model pair serving this daemon (set when
+        #: the models came from ``repro model save`` artifacts). Recorded
+        #: in every checkpoint so ``resume`` can refuse a state written
+        #: by a different model.
+        self.model_hash = model_hash
         #: (serial, day, full_row, reduced_row, staged_at) — staged_at is
         #: the daemon clock at staging, for ingest→alarm latency.
         self._staged: list[
@@ -239,12 +245,20 @@ class ServeDaemon:
         cls,
         checkpoint_dir: str | Path,
         sink_path: str | Path | None = None,
+        expected_model_hash: str | None = None,
         **kwargs,
     ) -> "ServeDaemon":
         """Restore a daemon from its last committed checkpoint.
 
         Feed it every recorded reading with ``day >= daemon.watermark``
         and the result is identical to the uninterrupted run.
+
+        ``expected_model_hash`` (the :func:`repro.ml.artifact.artifact_hash`
+        of the model artifact the caller intends to serve) makes the
+        resume refuse — with :class:`repro.ml.artifact.ArtifactMismatchError`
+        — a checkpoint written by a daemon scoring through a different
+        model. Silent continuation across a model swap would splice two
+        incompatible alarm streams.
         """
         path = Path(checkpoint_dir)
         if not has_checkpoint_files(path, SERVE_FILES):
@@ -267,6 +281,16 @@ class ServeDaemon:
         version = state.get("version")
         if version != SERVE_STATE_VERSION:
             raise ValueError(f"unsupported serve checkpoint version {version!r}")
+        stored_hash = state.get("model_hash")
+        if expected_model_hash is not None and stored_hash != expected_model_hash:
+            from repro.ml.artifact import ArtifactMismatchError
+
+            raise ArtifactMismatchError(
+                f"serve checkpoint {path} was written by model "
+                f"{stored_hash or '<untracked>'}, refusing to resume with "
+                f"artifact {expected_model_hash}; restart without --resume "
+                f"or point --checkpoint-dir at a fresh directory"
+            )
 
         scorer = IncrementalScorer(payload["full"], payload["reduced"])
         config = payload["config"]
@@ -305,6 +329,7 @@ class ServeDaemon:
         daemon.window_start = int(state["window_start"])
         daemon.watermark = int(state["watermark"])
         daemon.degraded = bool(state["degraded"])
+        daemon.model_hash = stored_hash
         daemon._model_file_written = True
         set_gauge("serve_degraded_mode", int(daemon.degraded))
         inc_counter("serve_resumes_total")
@@ -549,6 +574,7 @@ class ServeDaemon:
             "window_start": self.window_start,
             "watermark": self.watermark,
             "degraded": self.degraded,
+            "model_hash": self.model_hash,
             "scorer": self.scorer.snapshot(),
             "gate": self.gate.snapshot(),
             "freshness": self.freshness.snapshot(),

@@ -172,3 +172,43 @@ class TestVariants:
         near_tpr = near.evaluate(240, 360).drive_report.tpr
         far_tpr = far.evaluate(240, 360).drive_report.tpr
         assert far_tpr <= near_tpr + 0.05
+
+
+class TestBindDataset:
+    """Transform-only rebinding for artifact-loaded pipelines."""
+
+    def test_bound_pipeline_evaluates_identically(
+        self, fitted_sfwb, small_fleet, tmp_path
+    ):
+        from repro.ml.artifact import load_model, save_model
+
+        save_model(fitted_sfwb, tmp_path / "artifact")
+        loaded = load_model(tmp_path / "artifact")
+        assert not hasattr(loaded, "dataset_")  # artifacts ship no data
+        loaded.bind_dataset(small_fleet)
+        want = fitted_sfwb.evaluate(240, 360)
+        got = loaded.evaluate(240, 360)
+        assert got.drive_report.tpr == want.drive_report.tpr
+        assert got.drive_report.fpr == want.drive_report.fpr
+        np.testing.assert_array_equal(
+            sorted(got.period), sorted(want.period)
+        )
+        assert loaded.failure_times_ == fitted_sfwb.failure_times_
+
+    def test_bind_requires_fitted(self, small_fleet):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            MFPA(MFPAConfig()).bind_dataset(small_fleet)
+
+    def test_unseen_firmware_rejected(self, fitted_sfwb, small_fleet, tmp_path):
+        from repro.ml.artifact import load_model, save_model
+
+        save_model(fitted_sfwb, tmp_path / "artifact")
+        loaded = load_model(tmp_path / "artifact")
+        mutated = type(small_fleet)(
+            dict(small_fleet.columns), small_fleet.drives, small_fleet.tickets
+        )
+        firmware = mutated.columns["firmware"].copy()
+        firmware[:] = "FW-NEVER-SEEN"
+        mutated.columns["firmware"] = firmware
+        with pytest.raises(ValueError, match="unseen label"):
+            loaded.bind_dataset(mutated)

@@ -1,0 +1,68 @@
+"""Tiny-size never-slower gate for the inference fast path.
+
+A miniature of ``make bench-predict``'s gate, run by ``make smoke``:
+on a small forest and a window-sized batch, the binned arena must not
+lose to the seed per-tree loop. The full benchmark pins the >=2x win;
+this gate only guards against the fast path regressing into a slow
+path (a broken code table falling back to per-row work, an arena
+rebuild per call) without needing benchmark-scale fixtures. Slack is
+wide because these runs are sub-millisecond.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks._util import never_slower
+from repro.ml.arena import get_inference_mode, set_inference_mode
+from repro.ml.forest import RandomForestClassifier
+
+pytestmark = pytest.mark.smoke
+
+#: Sub-millisecond predict calls need generous absolute slack.
+TINY_SLACK_SECONDS = 0.05
+
+
+@pytest.fixture(autouse=True)
+def restore_mode():
+    previous = get_inference_mode()
+    yield
+    set_inference_mode(previous)
+
+
+def _timed_best(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_binned_arena_never_slower_than_exact():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(600, 8))
+    y = (X[:, 0] + X[:, 2] > 0.5).astype(int)
+    model = RandomForestClassifier(
+        n_estimators=10, max_depth=8, seed=0, n_jobs=1
+    ).fit(X, y)
+    rows = rng.normal(scale=2.0, size=(512, 8))
+    set_inference_mode("binned")
+    model.predict_proba(rows[:4])  # build the arena once; time steady state
+
+    set_inference_mode("exact")
+    exact = model.predict_proba(rows)
+    exact_seconds = _timed_best(lambda: model.predict_proba(rows))
+    set_inference_mode("binned")
+    np.testing.assert_array_equal(model.predict_proba(rows), exact)
+    binned_seconds = _timed_best(lambda: model.predict_proba(rows))
+
+    assert never_slower(
+        exact_seconds, binned_seconds, slack_seconds=TINY_SLACK_SECONDS
+    ), (
+        f"binned arena lost to the seed loop: exact {exact_seconds:.4f}s "
+        f"vs binned {binned_seconds:.4f}s on 512 rows"
+    )

@@ -26,10 +26,17 @@ from repro.parallel.calibration import get_cost_model, set_serial_fallback_mode
 pytestmark = pytest.mark.smoke
 
 
-def _timed(fn):
-    started = time.perf_counter()
-    result = fn()
-    return result, time.perf_counter() - started
+def _timed(fn, repeats=2):
+    """Best-of-``repeats`` timing: on a loaded single-core host a lone
+    run can swing by hundreds of milliseconds of scheduler noise, which
+    is wider than this gate's whole margin; the minimum of two runs is
+    what the code path actually costs."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return result, best
 
 #: Sub-second workloads need more absolute slack than the full bench.
 TINY_SLACK_SECONDS = 0.25

@@ -1,0 +1,101 @@
+"""Artifact-backed boundary models in the sharded monitor.
+
+``_save_models`` persists every unique window model as a versioned
+``repro.ml.artifact`` directory (``models/boundary_<k>/``) instead of
+pickling it — and with ``monitor.pkl`` inline. Resume loads those
+artifacts back with zero refits, and ``use_model`` adopts an
+artifact-loaded pipeline as the initial model so the first window is
+scored without a single ``fit()``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.core.pipeline as pipeline_mod
+from repro.core.deployment import RetrainPolicy, simulate_operation
+from repro.core.pipeline import MFPA
+from repro.ml.artifact import load_model, save_model
+from repro.scale import ShardedFleetMonitor
+
+from tests.scale.conftest import cheap_config
+from tests.scale.test_monitor_checkpoint import assert_summaries_equal
+
+START, END, WINDOW = 240, 360, 40
+POLICY = RetrainPolicy(interval_days=60, min_new_failures=1)
+
+
+def _monitor(shard_store) -> ShardedFleetMonitor:
+    return ShardedFleetMonitor(
+        shard_store,
+        config=cheap_config(feature_group_name="SFWB"),
+        policy=POLICY,
+    )
+
+
+@pytest.fixture()
+def count_estimator_fits(monkeypatch):
+    calls = {"n": 0}
+    original = pipeline_mod.MFPA._fit_estimator
+
+    def counting(self, X, labels, days):
+        calls["n"] += 1
+        return original(self, X, labels, days)
+
+    monkeypatch.setattr(pipeline_mod.MFPA, "_fit_estimator", counting)
+    return calls
+
+
+def test_boundary_models_are_artifacts(shard_store, tmp_path):
+    directory = tmp_path / "ckpt"
+    _monitor(shard_store).run(START, END, window_days=WINDOW,
+                              checkpoint_dir=directory)
+    boundaries = sorted(p.name for p in (directory / "models").iterdir())
+    assert boundaries  # at least the initial model
+    for name in boundaries:
+        assert (directory / "models" / name / "manifest.json").exists()
+        loaded = load_model(directory / "models" / name)
+        assert isinstance(loaded, MFPA)
+
+
+def test_resume_loads_artifacts_without_refit(
+    shard_store, tmp_path, count_estimator_fits
+):
+    directory = tmp_path / "ckpt"
+    baseline = _monitor(shard_store).run(
+        START, END, window_days=WINDOW, checkpoint_dir=directory
+    )
+    fits_before = count_estimator_fits["n"]
+    resumed = _monitor(shard_store).run(
+        START, END, window_days=WINDOW, checkpoint_dir=directory, resume=True
+    )
+    assert count_estimator_fits["n"] == fits_before  # zero refits
+    assert_summaries_equal(resumed, baseline)
+
+
+def test_use_model_matches_in_ram_monitor(
+    shard_store, small_fleet, tmp_path, count_estimator_fits
+):
+    config = cheap_config(feature_group_name="SFWB")
+    model = MFPA(config)
+    model.fit(small_fleet, train_end_day=START)
+    save_model(model, tmp_path / "artifact", dataset=small_fleet)
+
+    fits_before = count_estimator_fits["n"]
+    monitor = _monitor(shard_store)
+    monitor.use_model(load_model(tmp_path / "artifact"), START)
+    sharded = monitor.run(START, END, window_days=WINDOW)
+    # The day-300 scheduled retrain may fit; the *initial* model must not.
+    initial_fits = count_estimator_fits["n"] - fits_before
+    in_ram = simulate_operation(
+        small_fleet,
+        config=config,
+        policy=POLICY,
+        start_day=START,
+        end_day=END,
+        window_days=WINDOW,
+    )
+    assert sharded.alarm_records() == in_ram.alarm_records()
+    # Only scheduled retrains fit — never the adopted initial model.
+    retrains = sum(1 for w in sharded.windows if w.retrained)
+    assert initial_fits == retrains

@@ -1,0 +1,138 @@
+"""Serving from a versioned model artifact: fit-free start, hash guard.
+
+``serve --model-artifact`` loads the MFPA bundle (full model, optional
+``reduced/`` fallback, bundled ReferenceProfile) and reaches its first
+scored window with **zero** ``fit()`` calls. Every checkpoint records
+the artifact hash, and ``resume`` refuses — with
+:class:`ArtifactMismatchError` — a checkpoint written by a different
+model: silently splicing two models' alarm streams is how a fleet ends
+up paging on stale thresholds.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.core.pipeline as pipeline_mod
+from repro.ml.artifact import (
+    ArtifactMismatchError,
+    artifact_hash,
+    load_model,
+    load_reference_profile,
+    save_model,
+)
+from repro.serve.daemon import ServeDaemon
+from repro.serve.drift import ReferenceProfile
+
+from tests.serve.conftest import END, SERVE_START
+
+
+@pytest.fixture(scope="module")
+def artifact_dir(serve_models, serve_fleet, tmp_path_factory):
+    """The fitted full model saved as an artifact, profile bundled."""
+    full, _ = serve_models
+    directory = tmp_path_factory.mktemp("serve-artifact") / "model"
+    profile = ReferenceProfile.from_model(full, (0, SERVE_START))
+    save_model(full, directory, dataset=serve_fleet, reference_profile=profile)
+    return directory
+
+
+def _drain(daemon, readings, end_day=END):
+    for serial, day, reading in readings:
+        if day < SERVE_START:
+            continue
+        daemon.submit(serial, day, reading)
+        daemon.pump()
+    return daemon.finish(end_day)
+
+
+def test_artifact_serve_is_fit_free_and_alarm_identical(
+    artifact_dir, serve_models, serve_config, serve_readings, monkeypatch
+):
+    full, _ = serve_models
+    baseline = _drain(
+        ServeDaemon.from_models(full, None, serve_config), serve_readings
+    )
+
+    calls = {"n": 0}
+    original = pipeline_mod.MFPA.fit
+
+    def counting(self, *args, **kwargs):
+        calls["n"] += 1
+        return original(self, *args, **kwargs)
+
+    monkeypatch.setattr(pipeline_mod.MFPA, "fit", counting)
+    loaded = load_model(artifact_dir)
+    daemon = ServeDaemon.from_models(
+        loaded, None, serve_config, model_hash=artifact_hash(artifact_dir)
+    )
+    summary = _drain(daemon, serve_readings)
+    assert calls["n"] == 0  # first window (and every window) fit-free
+    assert summary["n_windows"] >= 1
+    assert summary["n_alarms"] == baseline["n_alarms"]
+    assert summary["alarmed_serials"] == baseline["alarmed_serials"]
+
+
+def test_bundled_profile_enables_drift(artifact_dir, serve_config):
+    profile = load_reference_profile(artifact_dir)
+    assert profile is not None
+    daemon = ServeDaemon.from_models(
+        load_model(artifact_dir), None, serve_config, drift=profile
+    )
+    assert daemon.drift is not None
+
+
+def test_checkpoint_records_model_hash(
+    artifact_dir, serve_config, serve_readings, tmp_path
+):
+    expected = artifact_hash(artifact_dir)
+    daemon = ServeDaemon.from_models(
+        load_model(artifact_dir),
+        None,
+        serve_config,
+        checkpoint_dir=tmp_path / "ckpt",
+        model_hash=expected,
+    )
+    _drain(daemon, serve_readings)
+    state = json.loads((tmp_path / "ckpt" / "state.json").read_text())
+    assert state["model_hash"] == expected
+
+    resumed = ServeDaemon.resume(
+        tmp_path / "ckpt", expected_model_hash=expected
+    )
+    assert resumed.model_hash == expected
+
+
+def test_resume_refuses_different_model(
+    artifact_dir, serve_config, serve_readings, tmp_path
+):
+    daemon = ServeDaemon.from_models(
+        load_model(artifact_dir),
+        None,
+        serve_config,
+        checkpoint_dir=tmp_path / "ckpt",
+        model_hash=artifact_hash(artifact_dir),
+    )
+    _drain(daemon, serve_readings)
+    with pytest.raises(ArtifactMismatchError, match="refusing to resume"):
+        ServeDaemon.resume(
+            tmp_path / "ckpt", expected_model_hash="0" * 16
+        )
+
+
+def test_legacy_checkpoint_resumes_without_expectation(
+    serve_models, serve_config, serve_readings, tmp_path
+):
+    """A checkpoint from a bootstrap-fitted daemon (no artifact, no
+    hash) still resumes when the caller states no expectation."""
+    full, _ = serve_models
+    daemon = ServeDaemon.from_models(
+        full, None, serve_config, checkpoint_dir=tmp_path / "ckpt"
+    )
+    _drain(daemon, serve_readings)
+    state = json.loads((tmp_path / "ckpt" / "state.json").read_text())
+    assert state["model_hash"] is None
+    resumed = ServeDaemon.resume(tmp_path / "ckpt")
+    assert resumed.model_hash is None

@@ -1,8 +1,8 @@
 #!/usr/bin/env python
 """Lint: no stray ``print()``; no silent excepts in serve/; no
-``http.server`` outside ``src/repro/obs/``.
+``http.server`` outside ``src/repro/obs/``; no raw file writes in ml/.
 
-Three AST checks over ``src/repro`` (``make lint-obs``):
+Four AST checks over ``src/repro`` (``make lint-obs``):
 
 * library output must flow through ``repro.obs.get_logger`` so it
   carries a level and respects ``--log-level`` / ``--log-json`` — any
@@ -17,7 +17,13 @@ Three AST checks over ``src/repro`` (``make lint-obs``):
   importing ``http.server`` anywhere else in the library scatters
   socket lifecycles and bypasses the endpoint's scrape counters, dump
   retries and access-log routing, so it is rejected outside
-  ``src/repro/obs/``.
+  ``src/repro/obs/``;
+* model artifacts (``src/repro/ml/``) are verified by per-file sha256
+  in a manifest written last — a partial file from a crashed raw
+  ``open(..., "w")`` / ``write_text`` / ``write_bytes`` would either
+  fail that verification or, worse, be manifested before it is
+  durable, so every write there must go through
+  ``repro.robustness.checkpoint.atomic_write`` (fsync + rename).
 
 AST-based on purpose: docstrings contain ``print()`` usage examples and
 prose about ``except`` clauses that a grep would false-positive on.
@@ -43,6 +49,10 @@ STRICT_EXCEPT_DIRS = frozenset({Path("serve"), Path("scale")})
 #: The only directory (relative to src/repro) allowed to import
 #: ``http.server``.
 HTTP_SERVER_DIR = Path("obs")
+
+#: Directory (relative to src/repro) where file writes must route
+#: through ``repro.robustness.checkpoint.atomic_write``.
+ATOMIC_WRITE_DIR = Path("ml")
 
 
 def find_prints(tree: ast.AST) -> list[tuple[int, str]]:
@@ -117,6 +127,50 @@ def find_http_server_imports(tree: ast.AST) -> list[tuple[int, str]]:
     return offenders
 
 
+def find_raw_writes(tree: ast.AST) -> list[tuple[int, str]]:
+    """Write-mode ``open()`` and ``Path.write_text``/``write_bytes``.
+
+    ``open()`` with a non-literal mode is flagged too: if the mode can
+    vary at runtime, the call can write, and artifact bytes must only
+    reach disk through ``atomic_write``.
+    """
+    offenders: list[tuple[int, str]] = []
+    route = "route artifact writes through robustness.checkpoint.atomic_write"
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if isinstance(node.func, ast.Attribute) and node.func.attr in (
+            "write_text",
+            "write_bytes",
+        ):
+            offenders.append(
+                (node.lineno, f".{node.func.attr}() — {route}")
+            )
+        elif isinstance(node.func, ast.Name) and node.func.id == "open":
+            mode = None
+            if len(node.args) >= 2:
+                mode = node.args[1]
+            for keyword in node.keywords:
+                if keyword.arg == "mode":
+                    mode = keyword.value
+            if mode is None:
+                continue  # default "r" is a read
+            if not (
+                isinstance(mode, ast.Constant) and isinstance(mode.value, str)
+            ):
+                offenders.append(
+                    (node.lineno, f"open() with dynamic mode — {route}")
+                )
+            elif any(flag in mode.value for flag in "wax+"):
+                offenders.append(
+                    (
+                        node.lineno,
+                        f'open(..., "{mode.value}") — {route}',
+                    )
+                )
+    return offenders
+
+
 def main() -> int:
     offenders: list[str] = []
     for path in sorted(SRC.rglob("*.py")):
@@ -129,6 +183,8 @@ def main() -> int:
             findings.extend(find_silent_excepts(tree))
         if HTTP_SERVER_DIR not in relative.parents:
             findings.extend(find_http_server_imports(tree))
+        if ATOMIC_WRITE_DIR in relative.parents:
+            findings.extend(find_raw_writes(tree))
         for lineno, message in sorted(findings):
             offenders.append(f"src/repro/{relative}:{lineno}: {message}")
     if offenders:
@@ -138,7 +194,8 @@ def main() -> int:
     print(
         "lint-obs: no stray print() calls in src/repro; "
         "no silent excepts in src/repro/serve or src/repro/scale; "
-        "no http.server imports outside src/repro/obs"
+        "no http.server imports outside src/repro/obs; "
+        "no raw file writes in src/repro/ml (atomic_write only)"
     )
     return 0
 
